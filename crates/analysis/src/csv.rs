@@ -1,0 +1,136 @@
+//! Minimal CSV output (quote-free values only, as produced by experiments).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A small CSV writer for numeric experiment output.
+///
+/// Values are written verbatim; commas/quotes/newlines inside cells are
+/// rejected (experiments only emit numbers and identifiers, so a full
+/// quoting implementation would be dead code).
+///
+/// # Example
+///
+/// ```
+/// use congames_analysis::CsvWriter;
+/// let mut csv = CsvWriter::new(vec!["n", "rounds"]);
+/// csv.row(&[128.0, 42.0]);
+/// let text = csv.to_csv();
+/// assert_eq!(text.lines().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    header: Vec<String>,
+    lines: Vec<String>,
+}
+
+impl CsvWriter {
+    /// Create a writer with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column name contains CSV metacharacters.
+    pub fn new(header: Vec<&str>) -> Self {
+        for h in &header {
+            assert!(
+                !h.contains([',', '"', '\n']),
+                "column names must not contain CSV metacharacters"
+            );
+        }
+        CsvWriter { header: header.into_iter().map(String::from).collect(), lines: Vec::new() }
+    }
+
+    /// Append a numeric row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, values: &[f64]) -> &mut Self {
+        assert_eq!(values.len(), self.header.len(), "row width must match the header");
+        let mut line = String::new();
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{v}");
+        }
+        self.lines.push(line);
+        self
+    }
+
+    /// Append a row of pre-rendered string cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or CSV metacharacters in cells.
+    pub fn row_strings(&mut self, values: &[String]) -> &mut Self {
+        assert_eq!(values.len(), self.header.len(), "row width must match the header");
+        for v in values {
+            assert!(
+                !v.contains([',', '"', '\n']),
+                "cells must not contain CSV metacharacters"
+            );
+        }
+        self.lines.push(values.join(","));
+        self
+    }
+
+    /// Render the full CSV document.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the document to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_numbers_plainly() {
+        let mut c = CsvWriter::new(vec!["a", "b"]);
+        c.row(&[1.5, 2.0]).row(&[3.0, 4.25]);
+        assert_eq!(c.to_csv(), "a,b\n1.5,2\n3,4.25\n");
+    }
+
+    #[test]
+    fn string_rows() {
+        let mut c = CsvWriter::new(vec!["name", "v"]);
+        c.row_strings(&["braess".into(), "7".into()]);
+        assert!(c.to_csv().contains("braess,7"));
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("congames-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let mut c = CsvWriter::new(vec!["x"]);
+        c.row(&[9.0]);
+        c.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n9\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "metacharacters")]
+    fn rejects_commas_in_cells() {
+        let mut c = CsvWriter::new(vec!["a"]);
+        c.row_strings(&["1,2".into()]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # congames-analysis
+//!
+//! Experiment-harness utilities: summary statistics with confidence
+//! intervals, least-squares / log–log regression for scaling exponents,
+//! aligned-text and markdown table rendering, CSV output, and a
+//! deterministic multi-seed parallel trial runner built on crossbeam scoped
+//! threads.
+//!
+//! Everything here is deliberately free of the game types — it consumes and
+//! produces plain numbers — so the experiment binaries in `congames-bench`
+//! stay thin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod csv;
+mod regression;
+mod runner;
+mod stats;
+mod table;
+
+pub use csv::CsvWriter;
+pub use regression::{linear_fit, loglog_fit, Fit};
+pub use runner::{run_trials, run_trials_sequential};
+pub use stats::Summary;
+pub use table::Table;

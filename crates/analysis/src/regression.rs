@@ -1,0 +1,123 @@
+//! Least-squares fits, including log–log fits for scaling exponents.
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²`.
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given, inputs are non-finite, or all
+/// `x` coincide.
+pub fn linear_fit(points: &[(f64, f64)]) -> Fit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    assert!(
+        points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+        "fit points must be finite"
+    );
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must not all coincide");
+    let sxy: f64 = points.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Fit { slope, intercept, r_squared }
+}
+
+/// Fit `y ≈ c·x^slope` by least squares on `(ln x, ln y)`.
+///
+/// The returned slope is the scaling exponent — the quantity the C4
+/// experiments compare against the paper's `1/ε²` and `1/δ` bounds.
+///
+/// # Panics
+///
+/// Panics if any coordinate is non-positive (logarithms must exist), or on
+/// the conditions of [`linear_fit`].
+pub fn loglog_fit(points: &[(f64, f64)]) -> Fit {
+    assert!(
+        points.iter().all(|(x, y)| *x > 0.0 && *y > 0.0),
+        "log-log fits need strictly positive coordinates"
+    );
+    let logged: Vec<(f64, f64)> = points.iter().map(|(x, y)| (x.ln(), y.ln())).collect();
+    linear_fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        // Deterministic pseudo-noise.
+        let pts: Vec<(f64, f64)> = (1..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 2.0;
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 2.0).abs() < 0.05, "slope {}", fit.slope);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 5.0 * (i as f64).powf(-2.0))).collect();
+        let fit = loglog_fit(&pts);
+        assert!((fit.slope + 2.0).abs() < 1e-9, "exponent {}", fit.slope);
+        assert!((fit.intercept - 5.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_low_for_flat_noise() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let fit = linear_fit(&pts);
+        assert!(fit.r_squared < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn loglog_rejects_nonpositive() {
+        let _ = loglog_fit(&[(0.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn vertical_line_rejected() {
+        let _ = linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

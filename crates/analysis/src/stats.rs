@@ -1,0 +1,185 @@
+//! Summary statistics.
+
+use std::fmt;
+
+/// Summary statistics of a sample: mean, standard deviation, quantiles, and
+/// a normal-approximation 95% confidence interval for the mean.
+///
+/// # Example
+///
+/// ```
+/// use congames_analysis::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.median(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    sd: f64,
+    min: f64,
+    max: f64,
+    median: f64,
+    q25: f64,
+    q75: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite entries.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        assert!(values.iter().all(|v| v.is_finite()), "sample must be finite");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Summary {
+            count: values.len(),
+            mean,
+            sd: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median: quantile_sorted(&sorted, 0.5),
+            q25: quantile_sorted(&sorted, 0.25),
+            q75: quantile_sorted(&sorted, 0.75),
+        }
+    }
+
+    /// Sample size.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (Bessel-corrected; 0 for singletons).
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        self.sd / (self.count as f64).sqrt()
+    }
+
+    /// Normal-approximation 95% confidence half-width for the mean.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// The `q`-quantile for `q ∈ [0, 1]` of the three stored cut points
+    /// (0.25, 0.5, 0.75); other quantiles are not retained.
+    pub fn quartiles(&self) -> (f64, f64, f64) {
+        (self.q25, self.median, self.q75)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={}, sd={:.4}, [{:.4}, {:.4}])",
+            self.mean,
+            self.ci95(),
+            self.count,
+            self.sd,
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Linear-interpolation quantile of a sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Bessel-corrected sd of this classic sample is sqrt(32/7).
+        assert!((s.sd() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let (q25, med, q75) = s.quartiles();
+        assert!((q25 - 1.75).abs() < 1e-12);
+        assert!((med - 2.5).abs() < 1e-12);
+        assert!((q75 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sd(), 0.0);
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_mean_and_n() {
+        let s = Summary::of(&[1.0, 3.0]);
+        let out = s.to_string();
+        assert!(out.contains("2.0000"));
+        assert!(out.contains("n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+}

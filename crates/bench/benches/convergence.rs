@@ -1,0 +1,41 @@
+//! End-to-end convergence runs (small configurations, wall-clock view of
+//! the C4 measurement pipeline).
+
+use congames_bench::games::{braess_network, geometric_spread};
+use congames_dynamics::{ImitationProtocol, Simulation, StopCondition, StopSpec};
+use congames_model::ApproxEquilibrium;
+use congames_sampling::seeded_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    group.sample_size(20);
+    for &n in &[256u64, 4096] {
+        let net = braess_network(n);
+        let start = geometric_spread(net.game());
+        let nu = net.game().params().nu;
+        let eq = ApproxEquilibrium::new(0.05, 0.1, nu).expect("valid parameters");
+        let stop = StopSpec::new(vec![
+            StopCondition::ApproxEquilibrium(eq),
+            StopCondition::MaxRounds(200_000),
+        ]);
+        group.bench_with_input(BenchmarkId::new("braess_to_approx_eq", n), &n, |b, _| {
+            let mut stream = 0u64;
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    net.game(),
+                    ImitationProtocol::paper_default().into(),
+                    start.clone(),
+                )
+                .expect("valid simulation");
+                stream += 1;
+                let mut rng = seeded_rng(9, stream);
+                sim.run(&stop, &mut rng).expect("run succeeds").rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

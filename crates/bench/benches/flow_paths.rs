@@ -1,0 +1,32 @@
+//! Network substrate costs: simple-path enumeration and the convex-cost
+//! successive-shortest-path computation of `Φ*`.
+
+use congames_model::Affine;
+use congames_network::{builders, enumerate_paths, min_potential_flow};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    for &side in &[4usize, 6] {
+        let (g, s, t) = builders::grid(side, side, |_| Affine::linear(1.0).into());
+        group.bench_with_input(BenchmarkId::new("enumerate_grid", side), &side, |b, _| {
+            b.iter(|| enumerate_paths(&g, s, t, 1_000_000).expect("grid paths"));
+        });
+    }
+    for &n in &[100u64, 10_000] {
+        let (g, s, t) = builders::braess([
+            Affine::linear(10.0 / n as f64).into(),
+            Affine::new(0.0, 10.0).into(),
+            Affine::new(0.0, 10.0).into(),
+            Affine::linear(10.0 / n as f64).into(),
+            Affine::new(0.0, 0.5).into(),
+        ]);
+        group.bench_with_input(BenchmarkId::new("phi_star_braess", n), &n, |b, _| {
+            b.iter(|| min_potential_flow(&g, s, t, n).expect("flow computes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

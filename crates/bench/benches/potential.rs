@@ -1,0 +1,32 @@
+//! Cost of Rosenthal-potential computation: from scratch (O(Σ x_e)) vs the
+//! incremental per-move delta the engines rely on.
+
+use congames_bench::games::poly_links;
+use congames_model::{potential, potential_delta_for_load_change, ResourceId, State};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_potential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential");
+    for &n in &[1_000u64, 100_000] {
+        let game = poly_links(8, 2, n);
+        let counts: Vec<u64> = {
+            let mut v = vec![n / 8; 8];
+            v[0] += n % 8;
+            v
+        };
+        let state = State::from_counts(&game, counts).expect("valid state");
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &n, |b, _| {
+            b.iter(|| potential(&game, &state));
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_delta", n), &n, |b, _| {
+            let load = state.load(ResourceId::new(0));
+            b.iter(|| {
+                potential_delta_for_load_change(&game, ResourceId::new(0), 0, load, load + 16)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_potential);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Throughput of one concurrent round: aggregate vs player-level engines,
+//! across population and strategy-space sizes. The aggregate engine's cost
+//! must be independent of `n`; the player-level engine's linear in `n`.
+
+use congames_bench::games::{poly_links, skewed_two_hot};
+use congames_dynamics::{EngineKind, ImitationProtocol, NuRule, Simulation};
+use congames_sampling::seeded_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round");
+    for &(n, m) in &[(1_000u64, 8usize), (100_000, 8), (1_000_000, 8), (10_000, 64)] {
+        let game = poly_links(m, 2, n);
+        let start = skewed_two_hot(&game);
+        group.bench_with_input(
+            BenchmarkId::new("aggregate", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                let mut sim = Simulation::new(
+                    &game,
+                    ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+                    start.clone(),
+                )
+                .expect("valid simulation");
+                let mut rng = seeded_rng(1, 0);
+                b.iter(|| sim.step(&mut rng).expect("step succeeds"));
+            },
+        );
+    }
+    for &n in &[1_000u64, 10_000] {
+        let game = poly_links(8, 2, n);
+        let start = skewed_two_hot(&game);
+        group.bench_with_input(BenchmarkId::new("player_level", n), &n, |b, _| {
+            let mut sim = Simulation::new(
+                &game,
+                ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+                start.clone(),
+            )
+            .expect("valid simulation")
+            .with_engine(EngineKind::PlayerLevel);
+            let mut rng = seeded_rng(2, 0);
+            b.iter(|| sim.step(&mut rng).expect("step succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Ablation suite binary; see `congames_bench::experiments::ablation`.
+fn main() {
+    congames_bench::experiments::ablation::run(congames_bench::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Run every experiment (C1..C11 plus ablations) in order.
+fn main() {
+    congames_bench::experiments::run_all(congames_bench::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Experiment C1 binary; see `congames_bench::experiments::c1_supermartingale`.
+fn main() {
+    congames_bench::experiments::c1_supermartingale::run(congames_bench::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Experiment C10 binary; see `congames_bench::experiments::c10_singleton_convergence`.
+fn main() {
+    congames_bench::experiments::c10_singleton_convergence::run(congames_bench::quick_flag());
+}

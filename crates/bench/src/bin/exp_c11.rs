@@ -1,0 +1,4 @@
+//! Experiment C11 binary; see `congames_bench::experiments::c11_exploration`.
+fn main() {
+    congames_bench::experiments::c11_exploration::run(congames_bench::quick_flag());
+}

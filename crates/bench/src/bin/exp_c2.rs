@@ -1,0 +1,4 @@
+//! Experiment C2 binary; see `congames_bench::experiments::c2_lemma2`.
+fn main() {
+    congames_bench::experiments::c2_lemma2::run(congames_bench::quick_flag());
+}

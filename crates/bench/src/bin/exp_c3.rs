@@ -1,0 +1,4 @@
+//! Experiment C3 binary; see `congames_bench::experiments::c3_pseudopoly`.
+fn main() {
+    congames_bench::experiments::c3_pseudopoly::run(congames_bench::quick_flag());
+}

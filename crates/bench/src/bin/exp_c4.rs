@@ -1,0 +1,4 @@
+//! Experiment C4 binary; see `congames_bench::experiments::c4_main_theorem`.
+fn main() {
+    congames_bench::experiments::c4_main_theorem::run(congames_bench::quick_flag());
+}

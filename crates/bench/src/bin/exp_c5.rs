@@ -1,0 +1,4 @@
+//! Experiment C5 binary; see `congames_bench::experiments::c5_overshooting`.
+fn main() {
+    congames_bench::experiments::c5_overshooting::run(congames_bench::quick_flag());
+}

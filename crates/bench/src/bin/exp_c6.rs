@@ -1,0 +1,4 @@
+//! Experiment C6 binary; see `congames_bench::experiments::c6_sequential`.
+fn main() {
+    congames_bench::experiments::c6_sequential::run(congames_bench::quick_flag());
+}

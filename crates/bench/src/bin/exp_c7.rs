@@ -1,0 +1,4 @@
+//! Experiment C7 binary; see `congames_bench::experiments::c7_omega_n`.
+fn main() {
+    congames_bench::experiments::c7_omega_n::run(congames_bench::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Experiment C8 binary; see `congames_bench::experiments::c8_extinction`.
+fn main() {
+    congames_bench::experiments::c8_extinction::run(congames_bench::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Experiment C9 binary; see `congames_bench::experiments::c9_price_of_imitation`.
+fn main() {
+    congames_bench::experiments::c9_price_of_imitation::run(congames_bench::quick_flag());
+}

@@ -1,0 +1,5 @@
+//! Wardrop-limit extension experiment; see
+//! `congames_bench::experiments::wardrop_limit`.
+fn main() {
+    congames_bench::experiments::wardrop_limit::run(congames_bench::quick_flag());
+}

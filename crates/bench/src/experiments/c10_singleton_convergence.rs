@@ -1,0 +1,60 @@
+//! C10 (Lemma 12): in linear singleton games the IMITATION PROTOCOL reaches
+//! an imitation-stable state within `O(n⁴·log n)` rounds. We measure the
+//! actual scaling exponent, which should sit far below the bound.
+
+use congames_analysis::{loglog_fit, run_trials, Summary, Table};
+use congames_dynamics::{ImitationProtocol, Simulation, StopCondition, StopSpec};
+use congames_sampling::seeded_rng;
+
+use crate::games::{random_linear_singleton, random_state};
+use crate::harness::{banner, default_threads, fmt_f};
+
+/// Run the experiment; `quick` shrinks trials and the sweep.
+pub fn run(quick: bool) {
+    banner("C10", "Lemma 12: imitation-stable within O(n⁴ log n) rounds (linear singleton)");
+    let trials = if quick { 20 } else { 60 };
+    let ns: &[u64] = if quick { &[64, 256, 1024] } else { &[64, 256, 1024, 4096, 16384] };
+    let m = 8;
+    println!("{m} linear links, coefficients log-uniform in [1, 4]; random init");
+
+    let mut table = Table::new(vec!["n", "mean rounds", "±95%", "max rounds", "n⁴·log n"]);
+    let mut pts = Vec::new();
+    for &n in ns {
+        let rounds: Vec<f64> = run_trials(trials, 0xC10 + n, default_threads(), |seed| {
+            let mut rng = seeded_rng(seed, 0);
+            let game = random_linear_singleton(m, n, 4.0, &mut rng);
+            let state = random_state(&game, &mut rng);
+            let mut sim =
+                Simulation::new(&game, ImitationProtocol::paper_default().into(), state)
+                    .expect("valid simulation");
+            let out = sim
+                .run(
+                    &StopSpec::new(vec![
+                        StopCondition::ImitationStable,
+                        StopCondition::MaxRounds(2_000_000),
+                    ])
+                    .with_check_every(4),
+                    &mut rng,
+                )
+                .expect("run succeeds");
+            out.rounds as f64
+        });
+        let s = Summary::of(&rounds);
+        pts.push((n as f64, s.mean().max(0.5)));
+        let bound = (n as f64).powi(4) * (n as f64).ln();
+        table.row(vec![
+            n.to_string(),
+            fmt_f(s.mean()),
+            fmt_f(s.ci95()),
+            fmt_f(s.max()),
+            fmt_f(bound),
+        ]);
+    }
+    println!("{table}");
+    let fit = loglog_fit(&pts);
+    println!(
+        "measured scaling exponent of rounds vs n: {:.2} (Lemma 12 bound: ≤ 4; \
+         R² = {:.3}) — the bound is loose, actual convergence is far faster",
+        fit.slope, fit.r_squared
+    );
+}

@@ -1,0 +1,93 @@
+//! C11 (Theorem 15 / Section 6): the EXPLORATION PROTOCOL (and any mixture
+//! with imitation) converges to Nash equilibria — escaping the "lost
+//! strategy" trap that stalls pure imitation — but pays for innovation with
+//! much heavier damping, hence slower convergence to approximate equilibria.
+
+use congames_analysis::Table;
+use congames_dynamics::{
+    ExplorationProtocol, ImitationProtocol, Protocol, StopCondition, StopReason, StopSpec,
+};
+use congames_model::{ApproxEquilibrium, State};
+
+use crate::games::{poly_links, skewed_two_hot};
+use crate::harness::{banner, default_threads, fmt_f, rounds_summary, run_once};
+
+fn protocols() -> Vec<(&'static str, Protocol)> {
+    vec![
+        ("imitation", ImitationProtocol::paper_default().into()),
+        ("exploration", ExplorationProtocol::paper_default().into()),
+        ("combined 50/50", Protocol::combined_default()),
+    ]
+}
+
+/// Run the experiment; `quick` shrinks trials.
+pub fn run(quick: bool) {
+    banner(
+        "C11",
+        "Theorem 15 / Section 6: exploration reaches Nash; imitation is faster but not innovative",
+    );
+    let trials = if quick { 10 } else { 30 };
+    let n = 1024;
+    let game = poly_links(8, 1, n);
+    let params = game.params();
+    let eq = ApproxEquilibrium::new(0.05, 0.1, params.nu).expect("valid parameters");
+
+    println!("\n-- speed to a (0.05, 0.1, ν)-equilibrium from a skewed two-link start --");
+    let start = skewed_two_hot(&game);
+    let mut table = Table::new(vec!["protocol", "mean rounds", "±95%"]);
+    for (name, proto) in protocols() {
+        let stop = StopSpec::new(vec![
+            StopCondition::ApproxEquilibrium(eq),
+            StopCondition::MaxRounds(2_000_000),
+        ])
+        .with_check_every(4);
+        let s = rounds_summary(&game, proto, &start, &stop, trials, 0xC11, default_threads());
+        table.row(vec![name.to_string(), fmt_f(s.mean()), fmt_f(s.ci95())]);
+    }
+    println!("{table}");
+
+    println!("-- reaching a ν-Nash equilibrium from a lost-strategy start (all on the worst link) --");
+    let mut counts = vec![0u64; 8];
+    counts[7] = n; // the most expensive link
+    let stuck = State::from_counts(&game, counts).expect("valid state");
+    let mut table2 =
+        Table::new(vec!["protocol", "outcome", "rounds", "final support"]);
+    for (name, proto) in protocols() {
+        // Imitation-stability only terminates the non-innovative protocol;
+        // exploration and the mixture can leave imitation-stable states.
+        let mut conds = vec![
+            StopCondition::NashEquilibrium { tol: params.nu },
+            StopCondition::MaxRounds(500_000),
+        ];
+        if !proto.is_innovative() {
+            conds.push(StopCondition::ImitationStable);
+        }
+        let stop = StopSpec::new(conds).with_check_every(4);
+        let out = run_once(&game, proto, stuck.clone(), &stop, 0xC11F);
+        let outcome = match out.reason {
+            StopReason::NashEquilibrium => "ν-Nash reached",
+            StopReason::ImitationStable => "stuck imitation-stable (strategy lost)",
+            _ => "round budget exhausted",
+        };
+        // Re-run to inspect the final state support.
+        let support = {
+            let mut sim = congames_dynamics::Simulation::new(&game, proto, stuck.clone())
+                .expect("valid simulation");
+            let mut rng = congames_sampling::seeded_rng(0xC11F, 0);
+            let _ = sim.run(&stop, &mut rng).expect("run succeeds");
+            sim.state().support_size()
+        };
+        table2.row(vec![
+            name.to_string(),
+            outcome.to_string(),
+            out.rounds.to_string(),
+            support.to_string(),
+        ]);
+    }
+    println!("{table2}");
+    println!(
+        "paper's claim: pure imitation stabilizes immediately in the degenerate \
+         state (support 1); exploration and the combined protocol discover the \
+         unused links and reach a Nash equilibrium."
+    );
+}

@@ -1,0 +1,214 @@
+//! C4 (Theorem 7 / Corollary 8) — the main result: the IMITATION PROTOCOL
+//! reaches a (δ,ε,ν)-equilibrium in `O(d/(ε²δ) · log(Φ(x0)/Φ*))` rounds.
+//!
+//! Four sweeps probe the four factors of the bound:
+//!
+//! * **n** — rounds should grow like `log Φ(x0)/Φ*`, i.e. logarithmically
+//!   in the number of players for fixed instance shape;
+//! * **ε** — rounds should grow no faster than `1/ε²` (log–log slope ≥ −2);
+//! * **δ** — rounds should grow no faster than `1/δ` (log–log slope ≥ −1);
+//! * **d** — rounds should grow polynomially (at most quadratically) in the
+//!   elasticity bound.
+
+use congames_analysis::{linear_fit, loglog_fit, Table};
+use congames_dynamics::{ImitationProtocol, Protocol, StopCondition, StopSpec};
+use congames_model::{ApproxEquilibrium, State};
+
+use crate::games::{braess_network, geometric_spread, poly_links, skewed_two_hot};
+use crate::harness::{banner, default_threads, fmt_f, rounds_summary};
+
+fn stop_for(eq: ApproxEquilibrium, cap: u64) -> StopSpec {
+    StopSpec::new(vec![StopCondition::ApproxEquilibrium(eq), StopCondition::MaxRounds(cap)])
+}
+
+fn proto() -> Protocol {
+    ImitationProtocol::paper_default().into()
+}
+
+/// Run the experiment; `quick` shrinks sweeps and seeds.
+pub fn run(quick: bool) {
+    banner(
+        "C4",
+        "Theorem 7: rounds to (δ,ε,ν)-equilibrium = O(d/(ε²δ)·log(Φ0/Φ*))",
+    );
+    sweep_n(quick);
+    sweep_eps(quick);
+    sweep_delta(quick);
+    sweep_d(quick);
+}
+
+fn sweep_n(quick: bool) {
+    println!("\n-- C4a: population sweep (Braess, ε = 0.1, δ = 0.05) --");
+    let trials = if quick { 10 } else { 40 };
+    let ns: &[u64] = if quick {
+        &[128, 512, 2048, 8192]
+    } else {
+        &[128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
+    };
+    let mut table =
+        Table::new(vec!["n", "mean rounds", "±95%", "log(Φ0/Φ*)", "rounds/log(Φ0/Φ*)"]);
+    let mut pts = Vec::new();
+    for &n in ns {
+        let net = braess_network(n);
+        let start = geometric_spread(net.game());
+        let phi0 = congames_model::potential(net.game(), &start);
+        let phi_star = net.min_potential().expect("flow computes Φ*");
+        let nu = net.game().params().nu;
+        let eq = ApproxEquilibrium::new(0.05, 0.1, nu).expect("valid parameters");
+        let s = rounds_summary(
+            net.game(),
+            proto(),
+            &start,
+            &stop_for(eq, 500_000),
+            trials,
+            0xC4A + n,
+            default_threads(),
+        );
+        let log_ratio = (phi0 / phi_star).ln();
+        pts.push(((n as f64).ln(), s.mean()));
+        table.row(vec![
+            n.to_string(),
+            fmt_f(s.mean()),
+            fmt_f(s.ci95()),
+            fmt_f(log_ratio),
+            fmt_f(s.mean() / log_ratio),
+        ]);
+    }
+    println!("{table}");
+    let fit = linear_fit(&pts);
+    println!(
+        "rounds vs ln(n): slope {:.2} per e-fold (R² = {:.3}). For this family \
+         log(Φ0/Φ*) is n-independent, so Theorem 7 predicts rounds bounded by a \
+         CONSTANT in n — the measured saturation (see rounds/log column) confirms \
+         the logarithmic-or-better dependence.",
+        fit.slope, fit.r_squared
+    );
+}
+
+fn sweep_eps(quick: bool) {
+    println!("\n-- C4b: ε sweep (Braess, n = 4096, δ = 0.02) --");
+    let trials = if quick { 10 } else { 40 };
+    let epss: &[f64] = if quick {
+        &[0.2, 0.1, 0.05, 0.025]
+    } else {
+        &[0.2, 0.141, 0.1, 0.0707, 0.05, 0.0354, 0.025]
+    };
+    let n = 4096;
+    let net = braess_network(n);
+    let start = geometric_spread(net.game());
+    let nu = net.game().params().nu;
+    let mut table = Table::new(vec!["ε", "mean rounds", "±95%"]);
+    let mut pts = Vec::new();
+    for &eps in epss {
+        let eq = ApproxEquilibrium::new(0.02, eps, nu).expect("valid parameters");
+        let s = rounds_summary(
+            net.game(),
+            proto(),
+            &start,
+            &stop_for(eq, 2_000_000),
+            trials,
+            0xC4B,
+            default_threads(),
+        );
+        if s.mean() >= 1.0 {
+            pts.push((eps, s.mean()));
+        }
+        table.row(vec![fmt_f(eps), fmt_f(s.mean()), fmt_f(s.ci95())]);
+    }
+    println!("{table}");
+    if pts.len() >= 2 {
+        let fit = loglog_fit(&pts);
+        println!(
+            "log-log slope of rounds vs ε: {:.2} over the non-trivial points \
+             (theorem upper bound −2 ⇒ measured slope must be ≥ −2; R² = {:.3})",
+            fit.slope, fit.r_squared
+        );
+    }
+}
+
+fn sweep_delta(quick: bool) {
+    println!("\n-- C4c: δ sweep (32 linear links a_i = 1+i, n = 8192, uniform start, ε = 0.1) --");
+    let trials = if quick { 10 } else { 40 };
+    let deltas: &[f64] = if quick {
+        &[0.2, 0.05, 0.0125, 0.003125]
+    } else {
+        &[0.4, 0.2, 0.1, 0.05, 0.025, 0.0125, 0.00625, 0.003125]
+    };
+    // Many heterogeneous links + a uniform start: the expensive-link
+    // stragglers drain gradually, so the δ knob actually binds (on Braess
+    // the unsatisfied set empties in one collective transition).
+    let n = 8192u64;
+    let game = poly_links(32, 1, n);
+    let start = State::from_counts(&game, vec![n / 32; 32]).expect("uniform start");
+    let nu = game.params().nu;
+    let mut table = Table::new(vec!["δ", "mean rounds", "±95%"]);
+    let mut pts = Vec::new();
+    for &delta in deltas {
+        let eq = ApproxEquilibrium::new(delta, 0.1, nu).expect("valid parameters");
+        let s = rounds_summary(
+            &game,
+            proto(),
+            &start,
+            &stop_for(eq, 2_000_000),
+            trials,
+            0xC4C,
+            default_threads(),
+        );
+        if s.mean() >= 1.0 {
+            pts.push((delta, s.mean()));
+        }
+        table.row(vec![fmt_f(delta), fmt_f(s.mean()), fmt_f(s.ci95())]);
+    }
+    println!("{table}");
+    if pts.len() >= 2 {
+        let fit = loglog_fit(&pts);
+        println!(
+            "log-log slope of rounds vs δ: {:.2} over the non-trivial points \
+             (theorem upper bound −1 ⇒ measured slope must be ≥ −1; in practice \
+             the unsatisfied fraction decays geometrically, so the dependence is \
+             closer to log(1/δ); R² = {:.3})",
+            fit.slope, fit.r_squared
+        );
+    }
+}
+
+fn sweep_d(quick: bool) {
+    println!("\n-- C4d: elasticity sweep (8 monomial links a_i·x^d, n = 2048, ε = 0.1, δ = 0.05) --");
+    let trials = if quick { 10 } else { 40 };
+    let ds: &[u32] = if quick { &[1, 2, 4] } else { &[1, 2, 3, 4, 5, 6] };
+    let n = 2048;
+    let mut table =
+        Table::new(vec!["d", "ν", "mean rounds", "±95%", "rounds/d", "rounds/d²"]);
+    let mut pts = Vec::new();
+    for &d in ds {
+        let game = poly_links(8, d, n);
+        let start: State = skewed_two_hot(&game);
+        let nu = game.params().nu;
+        let eq = ApproxEquilibrium::new(0.05, 0.1, nu).expect("valid parameters");
+        let s = rounds_summary(
+            &game,
+            proto(),
+            &start,
+            &stop_for(eq, 2_000_000),
+            trials,
+            0xC4D,
+            default_threads(),
+        );
+        pts.push((d as f64, s.mean().max(0.5)));
+        table.row(vec![
+            d.to_string(),
+            fmt_f(nu),
+            fmt_f(s.mean()),
+            fmt_f(s.ci95()),
+            fmt_f(s.mean() / d as f64),
+            fmt_f(s.mean() / (d * d) as f64),
+        ]);
+    }
+    println!("{table}");
+    let fit = loglog_fit(&pts);
+    println!(
+        "log-log slope of rounds vs d: {:.2} (Corollary 8 upper bound: ~2 \
+         including the d·log n term; R² = {:.3})",
+        fit.slope, fit.r_squared
+    );
+}

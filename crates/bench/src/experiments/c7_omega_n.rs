@@ -1,0 +1,49 @@
+//! C7 (Section 4, end): no sampling protocol satisfies *all* agents quickly
+//! — on the `(3,1,2,…,2)` instance the unique improving move is found with
+//! probability `O(1/n)` per round, so the expected time until the last
+//! agent is satisfied is `Ω(n)`.
+
+use congames_analysis::{loglog_fit, Table};
+use congames_dynamics::{ImitationProtocol, NuRule, StopCondition, StopSpec};
+use congames_lowerbounds::omega_n_game;
+
+use crate::harness::{banner, default_threads, fmt_f, rounds_summary};
+
+/// Run the experiment; `quick` shrinks the sweep.
+pub fn run(quick: bool) {
+    banner("C7", "Ω(n) lower bound for satisfying all agents (δ = 0)");
+    let trials = if quick { 40 } else { 150 };
+    let ms: &[usize] = if quick { &[4, 16, 64] } else { &[4, 8, 16, 32, 64, 128, 256] };
+    println!("m identical linear links, loads (3,1,2,…,2), n = 2m players");
+
+    let mut table = Table::new(vec!["m", "n", "mean rounds", "±95%", "rounds/n"]);
+    let mut pts = Vec::new();
+    for &m in ms {
+        let (game, state) = omega_n_game(m).expect("valid instance");
+        let n = game.total_players();
+        // ν = 1 for identical unit-slope links would swallow the unique
+        // gain-1 move, so use the gain>0 rule (the bound is protocol-free).
+        let proto =
+            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+        let stop = StopSpec::new(vec![
+            StopCondition::ImitationStable,
+            StopCondition::MaxRounds(10_000_000),
+        ]);
+        let s = rounds_summary(&game, proto, &state, &stop, trials, 0xC7, default_threads());
+        pts.push((n as f64, s.mean().max(0.5)));
+        table.row(vec![
+            m.to_string(),
+            n.to_string(),
+            fmt_f(s.mean()),
+            fmt_f(s.ci95()),
+            format!("{:.2}", s.mean() / n as f64),
+        ]);
+    }
+    println!("{table}");
+    let fit = loglog_fit(&pts);
+    println!(
+        "log-log slope of rounds vs n: {:.2} (lower bound predicts ≥ 1, i.e. \
+         at least linear; R² = {:.3})",
+        fit.slope, fit.r_squared
+    );
+}

@@ -1,0 +1,73 @@
+//! C9 (Theorem 10): the Price of Imitation — the expected social cost of
+//! the imitation-stable state reached from a random start, relative to the
+//! fractional optimum `n/A_Γ` — is at most `3 + o(1)` in linear singleton
+//! games without useless resources.
+
+use congames_analysis::{run_trials, Summary, Table};
+use congames_dynamics::{ImitationProtocol, Simulation, StopCondition, StopSpec};
+use congames_model::LinearSingleton;
+use congames_sampling::seeded_rng;
+
+use crate::games::{random_linear_singleton, random_state};
+use crate::harness::{banner, default_threads, fmt_f};
+
+/// Run the experiment; `quick` shrinks trials and the sweep.
+pub fn run(quick: bool) {
+    banner("C9", "Theorem 10: Price of Imitation ≤ 3 + o(1) (linear singleton)");
+    let trials = if quick { 20 } else { 60 };
+    let ns: &[u64] = if quick { &[64, 512] } else { &[64, 256, 1024, 4096] };
+    let m = 8;
+    println!("{m} linear links, coefficients log-uniform in [1, 4]; random init");
+
+    let mut table = Table::new(vec![
+        "n",
+        "mean SC/opt",
+        "±95%",
+        "max SC/opt",
+        "stable runs",
+        "bound",
+    ]);
+    for &n in ns {
+        let ratios: Vec<(f64, bool)> =
+            run_trials(trials, 0xC9 + n, default_threads(), |seed| {
+                let mut rng = seeded_rng(seed, 0);
+                let game = random_linear_singleton(m, n, 4.0, &mut rng);
+                let ls = LinearSingleton::analyze(&game).expect("linear singleton");
+                let state = random_state(&game, &mut rng);
+                let mut sim = Simulation::new(
+                    &game,
+                    ImitationProtocol::paper_default().into(),
+                    state,
+                )
+                .expect("valid simulation");
+                let out = sim
+                    .run(
+                        &StopSpec::new(vec![
+                            StopCondition::ImitationStable,
+                            StopCondition::MaxRounds(500_000),
+                        ])
+                        .with_check_every(4),
+                        &mut rng,
+                    )
+                    .expect("run succeeds");
+                let ratio = ls.price_ratio(&game, sim.state());
+                (ratio, out.reason == congames_dynamics::StopReason::ImitationStable)
+            });
+        let rs: Vec<f64> = ratios.iter().map(|r| r.0).collect();
+        let stable = ratios.iter().filter(|r| r.1).count();
+        let s = Summary::of(&rs);
+        table.row(vec![
+            n.to_string(),
+            format!("{:.4}", s.mean()),
+            fmt_f(s.ci95()),
+            format!("{:.4}", s.max()),
+            format!("{stable}/{trials}"),
+            "3 + o(1)".into(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper's claim: the expected ratio stays below 3 + o(1); in practice \
+         imitation lands very close to the optimum (ratios ≈ 1)."
+    );
+}

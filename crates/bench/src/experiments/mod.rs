@@ -1,0 +1,33 @@
+//! One module per reproduced claim. See DESIGN.md §1 for the claim table
+//! and EXPERIMENTS.md for recorded results.
+
+pub mod ablation;
+pub mod c1_supermartingale;
+pub mod c2_lemma2;
+pub mod c3_pseudopoly;
+pub mod c4_main_theorem;
+pub mod c5_overshooting;
+pub mod c6_sequential;
+pub mod c7_omega_n;
+pub mod c8_extinction;
+pub mod c9_price_of_imitation;
+pub mod c10_singleton_convergence;
+pub mod c11_exploration;
+pub mod wardrop_limit;
+
+/// Run every experiment in order.
+pub fn run_all(quick: bool) {
+    c1_supermartingale::run(quick);
+    c2_lemma2::run(quick);
+    c3_pseudopoly::run(quick);
+    c4_main_theorem::run(quick);
+    c5_overshooting::run(quick);
+    c6_sequential::run(quick);
+    c7_omega_n::run(quick);
+    c8_extinction::run(quick);
+    c9_price_of_imitation::run(quick);
+    c10_singleton_convergence::run(quick);
+    c11_exploration::run(quick);
+    wardrop_limit::run(quick);
+    ablation::run(quick);
+}

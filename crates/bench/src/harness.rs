@@ -1,0 +1,92 @@
+//! Common measurement helpers for the experiment binaries.
+
+use congames_analysis::Summary;
+use congames_dynamics::{Protocol, RunOutcome, Simulation, StopSpec};
+use congames_model::{CongestionGame, State};
+use congames_sampling::seeded_rng;
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("\n=== {id} — {claim} ===");
+}
+
+/// Run one simulation from `state` until `stop` fires; returns the outcome.
+pub fn run_once(
+    game: &CongestionGame,
+    protocol: Protocol,
+    state: State,
+    stop: &StopSpec,
+    seed: u64,
+) -> RunOutcome {
+    let mut sim = Simulation::new(game, protocol, state).expect("valid simulation");
+    let mut rng = seeded_rng(seed, 0);
+    sim.run(stop, &mut rng).expect("simulation run succeeds")
+}
+
+/// Measure rounds-to-stop over `trials` seeds (parallel) and summarize.
+/// `threads` comes from [`default_threads`] in the binaries.
+pub fn rounds_summary(
+    game: &CongestionGame,
+    protocol: Protocol,
+    state: &State,
+    stop: &StopSpec,
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Summary {
+    let rounds = congames_analysis::run_trials(trials, base_seed, threads, |seed| {
+        run_once(game, protocol, state.clone(), stop, seed).rounds as f64
+    });
+    Summary::of(&rounds)
+}
+
+/// A conservative thread count for trial parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4)
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_dynamics::{ImitationProtocol, NuRule, StopCondition};
+    use congames_model::Affine;
+
+    #[test]
+    fn rounds_summary_is_deterministic() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            64,
+        )
+        .unwrap();
+        let state = State::from_counts(&game, vec![48, 16]).unwrap();
+        let proto: Protocol =
+            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+        let stop = StopSpec::new(vec![
+            StopCondition::ImitationStable,
+            StopCondition::MaxRounds(10_000),
+        ]);
+        let a = rounds_summary(&game, proto, &state, &stop, 8, 7, 2);
+        let b = rounds_summary(&game, proto, &state, &stop, 8, 7, 4);
+        assert_eq!(a.mean(), b.mean(), "thread count must not change results");
+        assert!(a.mean() > 0.0);
+    }
+
+    #[test]
+    fn fmt_f_ranges() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1.5), "1.500");
+        assert!(fmt_f(123456.0).contains('e'));
+        assert!(fmt_f(0.0001).contains('e'));
+    }
+}

@@ -1,0 +1,24 @@
+//! # congames-bench
+//!
+//! The experiment harness reproducing every claim of the paper (the paper
+//! is pure theory, so the "tables and figures" are the theorems; see
+//! DESIGN.md §1 and EXPERIMENTS.md for the claim ↔ experiment mapping).
+//!
+//! Each claim `C1..C11` plus the ablation suite lives in
+//! [`experiments`]; the `exp_*` binaries are thin wrappers, and `exp_all`
+//! runs everything. Pass `quick` as the first CLI argument (or set
+//! `CONGAMES_QUICK=1`) for reduced parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod games;
+pub mod harness;
+
+/// Whether the invoking binary asked for the reduced parameter set
+/// (first CLI argument `quick`, or `CONGAMES_QUICK=1`).
+pub fn quick_flag() -> bool {
+    std::env::args().nth(1).is_some_and(|a| a == "quick")
+        || std::env::var("CONGAMES_QUICK").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,820 @@
+//! Concurrent round engines.
+//!
+//! Both engines realize the same stochastic process — every player
+//! independently samples and decides per the protocol, all migrations apply
+//! simultaneously — but with different cost profiles:
+//!
+//! * [`EngineKind::PlayerLevel`] iterates players one by one (`O(n)` per
+//!   round). It mirrors a naive implementation and serves as ground truth.
+//! * [`EngineKind::Aggregate`] exploits anonymity: players on the same
+//!   origin strategy face identical probabilities, so the joint outcome per
+//!   origin is a multinomial over destinations, sampled in `O(S²)` per round
+//!   regardless of `n`.
+//!
+//! Statistical equivalence of the two engines is asserted in the crate's
+//! tests and in the integration suite.
+
+use congames_model::{
+    potential, potential_delta_for_load_change, CongestionGame, GameError, GameParams, Migration,
+    ResourceId, State, StrategyId,
+};
+use congames_sampling::multinomial_with_rest;
+use rand::Rng;
+
+use crate::error::DynamicsError;
+use crate::expectation::PairFlow;
+use crate::protocol::{Protocol, SelfSampling};
+use crate::stopping::{RunOutcome, StopCondition, StopReason, StopSpec};
+use crate::trajectory::{capture_record, RecordConfig, Trajectory};
+
+/// Which round engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Multinomial sampling per origin strategy; `O(S²)` per round.
+    #[default]
+    Aggregate,
+    /// Explicit per-player iteration; `O(n)` per round. Ground truth.
+    PlayerLevel,
+}
+
+/// Statistics of one executed round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Players that migrated.
+    pub migrations: u64,
+    /// Realized potential change `ΔΦ`.
+    pub delta_potential: f64,
+}
+
+/// A running simulation: a game, a protocol, and the evolving state.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug)]
+pub struct Simulation<'g> {
+    game: &'g CongestionGame,
+    protocol: Protocol,
+    params: GameParams,
+    state: State,
+    engine: EngineKind,
+    record: RecordConfig,
+    /// Explicit player array (player-level engine only), grouped by class:
+    /// `players[class_offsets[c] .. class_offsets[c+1]]` are class `c`.
+    players: Option<Vec<StrategyId>>,
+    class_offsets: Vec<usize>,
+    potential: f64,
+    round: u64,
+    /// Scratch buffers reused across rounds.
+    migrations_buf: Vec<Migration>,
+    old_loads_buf: Vec<u64>,
+}
+
+impl<'g> Simulation<'g> {
+    /// Create a simulation of `protocol` on `game` starting from `state`,
+    /// with the default (aggregate) engine and no recording.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the state does not belong to the game, or if the protocol's
+    /// virtual-agent setting disagrees with the state's base loads.
+    pub fn new(
+        game: &'g CongestionGame,
+        protocol: Protocol,
+        state: State,
+    ) -> Result<Self, DynamicsError> {
+        if state.counts().len() != game.num_strategies() {
+            return Err(GameError::WrongLength {
+                expected: game.num_strategies(),
+                found: state.counts().len(),
+            }
+            .into());
+        }
+        for (ci, class) in game.classes().iter().enumerate() {
+            let sum: u64 = class.strategy_range().map(|s| state.counts()[s as usize]).sum();
+            if sum != class.players() {
+                return Err(GameError::CountMismatch {
+                    class: ci,
+                    expected: class.players(),
+                    found: sum,
+                }
+                .into());
+            }
+        }
+        let wants_virtual = protocol.imitation().map_or(false, |p| p.virtual_agents());
+        if wants_virtual != state.has_virtual_agents() {
+            return Err(DynamicsError::InvalidParameter {
+                name: "state",
+                message: "virtual-agent protocols require State::with_virtual_agents (and vice versa)",
+            });
+        }
+        let params = game.params();
+        let mut class_offsets = Vec::with_capacity(game.classes().len() + 1);
+        let mut off = 0usize;
+        class_offsets.push(0);
+        for c in game.classes() {
+            off += c.players() as usize;
+            class_offsets.push(off);
+        }
+        let potential = potential(game, &state);
+        Ok(Simulation {
+            game,
+            protocol,
+            params,
+            state,
+            engine: EngineKind::Aggregate,
+            record: RecordConfig::disabled(),
+            players: None,
+            class_offsets,
+            potential,
+            round: 0,
+            migrations_buf: Vec::new(),
+            old_loads_buf: Vec::new(),
+        })
+    }
+
+    /// Select the round engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        if engine == EngineKind::PlayerLevel {
+            self.ensure_players();
+        }
+        self
+    }
+
+    /// Configure trajectory recording.
+    pub fn with_recording(mut self, record: RecordConfig) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// The game's protocol parameters (`d`, `ν`, `β`, `ℓ_min`).
+    pub fn params(&self) -> &GameParams {
+        &self.params
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// The protocol driving the dynamics.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// The current round index (number of executed rounds).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The current Rosenthal potential (maintained incrementally).
+    pub fn potential(&self) -> f64 {
+        self.potential
+    }
+
+    fn ensure_players(&mut self) {
+        if self.players.is_some() {
+            return;
+        }
+        let mut players = Vec::with_capacity(self.game.total_players() as usize);
+        for class in self.game.classes() {
+            for sid in class.strategy_ids() {
+                for _ in 0..self.state.counts()[sid.index()] {
+                    players.push(sid);
+                }
+            }
+        }
+        self.players = Some(players);
+    }
+
+    /// Iterate all `(from, to)` pairs with positive migration probability in
+    /// the *current* state, yielding the per-player probability (already
+    /// combining imitation sampling, exploration sampling, and the mixture
+    /// weight) and the anticipated latency gain.
+    pub(crate) fn for_each_pair(&self, mut f: impl FnMut(StrategyId, StrategyId, f64, f64)) {
+        let (explore_prob, imit, expl) = match &self.protocol {
+            Protocol::Imitation(p) => (0.0, Some(p), None),
+            Protocol::Exploration(p) => (1.0, None, Some(p)),
+            Protocol::Combined { imitation, exploration, explore_prob } => {
+                (*explore_prob, Some(imitation), Some(exploration))
+            }
+        };
+        let virtual_agents = imit.map_or(false, |p| p.virtual_agents());
+        for class in self.game.classes() {
+            let n_c = class.players();
+            if n_c == 0 {
+                continue;
+            }
+            let s_c = class.num_strategies();
+            for from_raw in class.strategy_range() {
+                let from = StrategyId::new(from_raw);
+                let x_from = self.state.counts()[from.index()];
+                if x_from == 0 {
+                    continue;
+                }
+                let l_from = self.state.strategy_latency(self.game, from);
+                for to_raw in class.strategy_range() {
+                    if to_raw == from_raw {
+                        continue;
+                    }
+                    let to = StrategyId::new(to_raw);
+                    let x_to = self.state.counts()[to.index()];
+                    let mut prob = 0.0;
+                    let l_to = self.state.latency_after_move(self.game, from, to);
+                    let gain = l_from - l_to;
+                    if let Some(p) = imit {
+                        if explore_prob < 1.0 {
+                            let w = x_to as f64 + if virtual_agents { 1.0 } else { 0.0 };
+                            let total = match p.self_sampling() {
+                                SelfSampling::Exclude => (n_c - 1) as f64,
+                                SelfSampling::Include => n_c as f64,
+                            } + if virtual_agents { s_c as f64 } else { 0.0 };
+                            if w > 0.0 && total > 0.0 {
+                                let mu = imitation_mu(p, &self.params, l_from, gain);
+                                prob += (1.0 - explore_prob) * (w / total) * mu;
+                            }
+                        }
+                    }
+                    if let Some(p) = expl {
+                        if explore_prob > 0.0 && s_c > 0 {
+                            let mu =
+                                exploration_mu(p, &self.params, l_from, gain, s_c, n_c);
+                            prob += explore_prob * mu / s_c as f64;
+                        }
+                    }
+                    if prob > 0.0 {
+                        f(from, to, prob, gain);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current migration matrix: one entry per `(from, to)` pair with
+    /// positive probability.
+    pub fn migration_matrix(&self) -> Vec<PairFlow> {
+        let mut out = Vec::new();
+        self.for_each_pair(|from, to, prob, gain| {
+            let movers = self.state.counts()[from.index()] as f64 * prob;
+            out.push(PairFlow { from, to, probability: prob, gain, expected_movers: movers });
+        });
+        out
+    }
+
+    /// The exact expected *virtual potential gain* of the next round,
+    /// `E[Σ_{P,Q} V_PQ] = Σ_{P,Q} x_P·p_PQ·(ℓ_Q(x+1_Q−1_P) − ℓ_P(x))`
+    /// (non-positive; see Lemma 2 and Theorem 7).
+    pub fn expected_virtual_gain(&self) -> f64 {
+        let mut total = 0.0;
+        self.for_each_pair(|from, _to, prob, gain| {
+            total -= self.state.counts()[from.index()] as f64 * prob * gain;
+        });
+        total
+    }
+
+    /// Execute one concurrent round.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal sampling/application failures (none occur for valid
+    /// simulations; the error path exists instead of panicking).
+    pub fn step(&mut self, rng: &mut impl Rng) -> Result<RoundStats, DynamicsError> {
+        let mut migrations = std::mem::take(&mut self.migrations_buf);
+        migrations.clear();
+        match self.engine {
+            EngineKind::Aggregate => self.aggregate_round(rng, &mut migrations)?,
+            EngineKind::PlayerLevel => self.player_round(rng, &mut migrations)?,
+        }
+        // Apply simultaneously and update the potential incrementally.
+        let mut old_loads = std::mem::take(&mut self.old_loads_buf);
+        old_loads.clear();
+        old_loads.extend_from_slice(self.state.loads());
+        self.state.apply_migrations(self.game, &migrations)?;
+        let mut delta = 0.0;
+        for (i, (&o, &n)) in old_loads.iter().zip(self.state.loads()).enumerate() {
+            if o != n {
+                let r = ResourceId::new(i as u32);
+                let base = self.state.effective_load(r) - self.state.load(r);
+                delta += potential_delta_for_load_change(self.game, r, base, o, n);
+            }
+        }
+        self.potential += delta;
+        self.round += 1;
+        let moved: u64 = migrations.iter().map(|m| m.count).sum();
+        self.migrations_buf = migrations;
+        self.old_loads_buf = old_loads;
+        Ok(RoundStats { migrations: moved, delta_potential: delta })
+    }
+
+    fn aggregate_round(
+        &mut self,
+        rng: &mut impl Rng,
+        migrations: &mut Vec<Migration>,
+    ) -> Result<(), DynamicsError> {
+        // Group the pair probabilities by origin, then draw one multinomial
+        // per origin. `for_each_pair` visits origins contiguously.
+        let mut pending: Vec<(StrategyId, Vec<(StrategyId, f64)>)> = Vec::new();
+        self.for_each_pair(|from, to, prob, _gain| {
+            match pending.last_mut() {
+                Some((f, v)) if *f == from => v.push((to, prob)),
+                _ => pending.push((from, vec![(to, prob)])),
+            }
+        });
+        for (from, dests) in pending {
+            let x_from = self.state.counts()[from.index()];
+            let probs: Vec<f64> = dests.iter().map(|(_, p)| *p).collect();
+            let (counts, _stay) = multinomial_with_rest(rng, x_from, &probs)?;
+            for ((to, _), k) in dests.into_iter().zip(counts) {
+                if k > 0 {
+                    migrations.push(Migration::new(from, to, k));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn player_round(
+        &mut self,
+        rng: &mut impl Rng,
+        migrations: &mut Vec<Migration>,
+    ) -> Result<(), DynamicsError> {
+        self.ensure_players();
+        let (explore_prob, imit, expl) = match &self.protocol {
+            Protocol::Imitation(p) => (0.0, Some(*p), None),
+            Protocol::Exploration(p) => (1.0, None, Some(*p)),
+            Protocol::Combined { imitation, exploration, explore_prob } => {
+                (*explore_prob, Some(*imitation), Some(*exploration))
+            }
+        };
+        let virtual_agents = imit.map_or(false, |p| p.virtual_agents());
+        // Cache ℓ_P and pairwise μ for the round (decisions all use the
+        // pre-round state).
+        let s_total = self.game.num_strategies();
+        let mut l_cache: Vec<f64> = vec![f64::NAN; s_total];
+        let mut mu_cache: std::collections::HashMap<(u32, u32, bool), f64> =
+            std::collections::HashMap::new();
+        let players = self.players.as_ref().expect("ensure_players ran");
+        let mut moves: Vec<(usize, StrategyId)> = Vec::new();
+        for (ci, class) in self.game.classes().iter().enumerate() {
+            let n_c = class.players();
+            if n_c == 0 {
+                continue;
+            }
+            let s_c = class.num_strategies();
+            let start = self.class_offsets[ci];
+            let my_range = class.strategy_range();
+            for local in 0..n_c as usize {
+                let idx = start + local;
+                let from = players[idx];
+                let explore = explore_prob > 0.0 && rng.gen::<f64>() < explore_prob;
+                let to: StrategyId;
+                let is_explore: bool;
+                if explore {
+                    let pick = rng.gen_range(0..s_c) as u32 + my_range.start;
+                    to = StrategyId::new(pick);
+                    is_explore = true;
+                } else {
+                    let p = match imit {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    // Sample another agent uniformly (optionally self /
+                    // virtual agents).
+                    let real_pool = match p.self_sampling() {
+                        SelfSampling::Exclude => n_c - 1,
+                        SelfSampling::Include => n_c,
+                    };
+                    let pool = real_pool + if virtual_agents { s_c as u64 } else { 0 };
+                    if pool == 0 {
+                        continue;
+                    }
+                    let draw = rng.gen_range(0..pool);
+                    if draw < real_pool {
+                        let mut j = draw as usize;
+                        if p.self_sampling() == SelfSampling::Exclude && j >= local {
+                            j += 1;
+                        }
+                        to = players[start + j];
+                    } else {
+                        to = StrategyId::new(my_range.start + (draw - real_pool) as u32);
+                    }
+                    is_explore = false;
+                }
+                if to == from {
+                    continue;
+                }
+                let mu = *mu_cache.entry((from.raw(), to.raw(), is_explore)).or_insert_with(|| {
+                    let l_from = if l_cache[from.index()].is_nan() {
+                        let v = self.state.strategy_latency(self.game, from);
+                        l_cache[from.index()] = v;
+                        v
+                    } else {
+                        l_cache[from.index()]
+                    };
+                    let l_to = self.state.latency_after_move(self.game, from, to);
+                    let gain = l_from - l_to;
+                    if is_explore {
+                        exploration_mu(
+                            &expl.expect("explore implies protocol"),
+                            &self.params,
+                            l_from,
+                            gain,
+                            s_c,
+                            n_c,
+                        )
+                    } else {
+                        imitation_mu(&imit.expect("imitate implies protocol"), &self.params, l_from, gain)
+                    }
+                });
+                if mu > 0.0 && rng.gen::<f64>() < mu {
+                    moves.push((idx, to));
+                }
+            }
+        }
+        // Commit: update the player array and aggregate into migrations.
+        let players = self.players.as_mut().expect("ensure_players ran");
+        let mut agg: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+        for (idx, to) in moves {
+            let from = players[idx];
+            players[idx] = to;
+            *agg.entry((from.raw(), to.raw())).or_insert(0) += 1;
+        }
+        for ((f, t), k) in agg {
+            migrations.push(Migration::new(StrategyId::new(f), StrategyId::new(t), k));
+        }
+        Ok(())
+    }
+
+    /// Run until a stop condition fires.
+    ///
+    /// Conditions are evaluated on the state *before* each round (so a
+    /// satisfied initial state reports `rounds = 0`); expensive checks run
+    /// at the spec's cadence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::step`] failures.
+    pub fn run(
+        &mut self,
+        stop: &StopSpec,
+        rng: &mut impl Rng,
+    ) -> Result<RunOutcome, DynamicsError> {
+        let mut trajectory = Trajectory::new();
+        let mut last_migrations = 0u64;
+        loop {
+            let recording = self.record.every > 0
+                && (self.round % self.record.every == 0);
+            if recording {
+                trajectory.push(capture_record(
+                    self.game,
+                    &self.state,
+                    self.round,
+                    self.potential,
+                    last_migrations,
+                    self.record.approx.as_ref(),
+                ));
+            }
+            if let Some(reason) = self.check_stop(stop) {
+                if self.record.every > 0 && !recording {
+                    trajectory.push(capture_record(
+                        self.game,
+                        &self.state,
+                        self.round,
+                        self.potential,
+                        last_migrations,
+                        self.record.approx.as_ref(),
+                    ));
+                }
+                return Ok(RunOutcome {
+                    reason,
+                    rounds: self.round,
+                    potential: self.potential,
+                    trajectory,
+                });
+            }
+            let stats = self.step(rng)?;
+            last_migrations = stats.migrations;
+        }
+    }
+
+    fn check_stop(&self, stop: &StopSpec) -> Option<StopReason> {
+        let expensive_due = self.round % stop.check_every() == 0;
+        for cond in stop.conditions() {
+            match cond {
+                StopCondition::MaxRounds(r) => {
+                    if self.round >= *r {
+                        return Some(StopReason::MaxRounds);
+                    }
+                }
+                StopCondition::PotentialAtMost(v) => {
+                    if self.potential <= *v {
+                        return Some(StopReason::PotentialReached);
+                    }
+                }
+                StopCondition::ImitationStable if expensive_due => {
+                    let nu = self.protocol.stability_threshold(&self.params);
+                    if congames_model::is_imitation_stable(self.game, &self.state, nu) {
+                        return Some(StopReason::ImitationStable);
+                    }
+                }
+                StopCondition::ApproxEquilibrium(eq) if expensive_due => {
+                    if eq.is_satisfied(self.game, &self.state) {
+                        return Some(StopReason::ApproxEquilibrium);
+                    }
+                }
+                StopCondition::NashEquilibrium { tol } if expensive_due => {
+                    if congames_model::is_nash_equilibrium(self.game, &self.state, *tol) {
+                        return Some(StopReason::NashEquilibrium);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+fn imitation_mu(
+    p: &crate::protocol::ImitationProtocol,
+    params: &GameParams,
+    l_from: f64,
+    gain: f64,
+) -> f64 {
+    if l_from <= 0.0 || gain <= p.gain_threshold(params) {
+        return 0.0;
+    }
+    (p.lambda() / p.damping_factor(params) * gain / l_from).clamp(0.0, 1.0)
+}
+
+fn exploration_mu(
+    p: &crate::protocol::ExplorationProtocol,
+    params: &GameParams,
+    l_from: f64,
+    gain: f64,
+    class_strategies: usize,
+    class_players: u64,
+) -> f64 {
+    if l_from <= 0.0 || gain <= 0.0 || class_players == 0 {
+        return 0.0;
+    }
+    let beta = params.beta.max(f64::MIN_POSITIVE);
+    let scale = class_strategies as f64 * params.ell_min / (beta * class_players as f64);
+    (p.lambda() * scale * gain / l_from).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Damping, ExplorationProtocol, ImitationProtocol, NuRule};
+    use congames_model::Affine;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_links(n: u64) -> CongestionGame {
+        CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            n,
+        )
+        .unwrap()
+    }
+
+    fn imit() -> Protocol {
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into()
+    }
+
+    #[test]
+    fn new_validates_state() {
+        let game = two_links(4);
+        let other = two_links(6);
+        let state = State::from_counts(&other, vec![3, 3]).unwrap();
+        assert!(Simulation::new(&game, imit(), state).is_err());
+    }
+
+    #[test]
+    fn virtual_agent_mismatch_is_rejected() {
+        let game = two_links(4);
+        let state = State::from_counts(&game, vec![4, 0]).unwrap();
+        let p: Protocol = ImitationProtocol::paper_default().with_virtual_agents(true).into();
+        assert!(Simulation::new(&game, p, state).is_err());
+        let state2 =
+            State::from_counts(&game, vec![4, 0]).unwrap().with_virtual_agents(&game);
+        assert!(Simulation::new(&game, p, state2).is_ok());
+    }
+
+    #[test]
+    fn potential_tracks_incrementally() {
+        let game = two_links(100);
+        let state = State::from_counts(&game, vec![75, 25]).unwrap();
+        let mut sim = Simulation::new(&game, imit(), state).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            sim.step(&mut rng).unwrap();
+            let exact = potential(&game, sim.state());
+            assert!(
+                (sim.potential() - exact).abs() < 1e-6,
+                "incremental potential drifted: {} vs {exact}",
+                sim.potential()
+            );
+        }
+        assert!(sim.state().loads_consistent(&game));
+    }
+
+    #[test]
+    fn imbalanced_state_converges_to_balance() {
+        let game = two_links(1000);
+        let state = State::from_counts(&game, vec![900, 100]).unwrap();
+        let mut sim = Simulation::new(&game, imit(), state).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let out = sim
+            .run(
+                &StopSpec::new(vec![
+                    StopCondition::ImitationStable,
+                    StopCondition::MaxRounds(10_000),
+                ]),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.reason, StopReason::ImitationStable);
+        // Imitation-stable on two identical linear links = balanced ± ν.
+        let c0 = sim.state().count(StrategyId::new(0));
+        assert!((499..=501).contains(&c0), "counts {c0}");
+    }
+
+    #[test]
+    fn player_level_engine_matches_aggregate_in_distribution() {
+        // Compare the mean one-round outflow of the two engines over many
+        // replays from the same initial state.
+        let game = two_links(64);
+        let initial = State::from_counts(&game, vec![48, 16]).unwrap();
+        let reps = 4000;
+        let mut mean = [0.0f64; 2];
+        for (ei, engine) in [EngineKind::Aggregate, EngineKind::PlayerLevel]
+            .into_iter()
+            .enumerate()
+        {
+            let mut sum = 0.0;
+            for rep in 0..reps {
+                let mut sim = Simulation::new(&game, imit(), initial.clone())
+                    .unwrap()
+                    .with_engine(engine);
+                let mut rng = SmallRng::seed_from_u64(1000 + rep);
+                sim.step(&mut rng).unwrap();
+                sum += sim.state().count(StrategyId::new(0)) as f64;
+            }
+            mean[ei] = sum / reps as f64;
+        }
+        // Same distribution ⇒ same mean; tolerate 5σ of the empirical SEM
+        // (counts move by a handful of players here, SEM ≪ 0.2).
+        assert!(
+            (mean[0] - mean[1]).abs() < 0.5,
+            "engine means diverge: {} vs {}",
+            mean[0],
+            mean[1]
+        );
+    }
+
+    #[test]
+    fn expected_virtual_gain_is_nonpositive_and_zero_at_stability() {
+        let game = two_links(50);
+        let state = State::from_counts(&game, vec![40, 10]).unwrap();
+        let sim = Simulation::new(&game, imit(), state).unwrap();
+        assert!(sim.expected_virtual_gain() < 0.0);
+        let balanced = State::from_counts(&game, vec![25, 25]).unwrap();
+        let sim2 = Simulation::new(&game, imit(), balanced).unwrap();
+        assert_eq!(sim2.expected_virtual_gain(), 0.0);
+        assert!(sim2.migration_matrix().is_empty());
+    }
+
+    #[test]
+    fn expected_movers_match_empirical_mean() {
+        let game = two_links(64);
+        let initial = State::from_counts(&game, vec![48, 16]).unwrap();
+        let sim = Simulation::new(&game, imit(), initial.clone()).unwrap();
+        let matrix = sim.migration_matrix();
+        assert_eq!(matrix.len(), 1);
+        let expect = matrix[0].expected_movers;
+        let reps = 4000;
+        let mut sum = 0.0;
+        for rep in 0..reps {
+            let mut s = Simulation::new(&game, imit(), initial.clone()).unwrap();
+            let mut rng = SmallRng::seed_from_u64(rep);
+            let stats = s.step(&mut rng).unwrap();
+            sum += stats.migrations as f64;
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - expect).abs() < 0.2,
+            "empirical movers {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn run_stops_at_zero_rounds_for_stable_start() {
+        let game = two_links(10);
+        let state = State::from_counts(&game, vec![5, 5]).unwrap();
+        let mut sim = Simulation::new(&game, imit(), state).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = sim
+            .run(&StopSpec::new(vec![StopCondition::ImitationStable]), &mut rng)
+            .unwrap();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.reason, StopReason::ImitationStable);
+    }
+
+    #[test]
+    fn recording_captures_series() {
+        let game = two_links(100);
+        let state = State::from_counts(&game, vec![80, 20]).unwrap();
+        let mut sim = Simulation::new(&game, imit(), state)
+            .unwrap()
+            .with_recording(RecordConfig::every_round());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = sim.run(&StopSpec::max_rounds(10), &mut rng).unwrap();
+        assert_eq!(out.reason, StopReason::MaxRounds);
+        assert_eq!(out.trajectory.records().len(), 11); // rounds 0..=10
+        assert_eq!(out.trajectory.records()[0].round, 0);
+        assert!(out.trajectory.records()[0].potential >= out.trajectory.records()[10].potential);
+    }
+
+    #[test]
+    fn exploration_discovers_unused_strategies() {
+        // All players on link 0; imitation alone is stuck, exploration finds
+        // link 1.
+        let game = two_links(100);
+        let state = State::from_counts(&game, vec![100, 0]).unwrap();
+        let p: Protocol = ExplorationProtocol::paper_default().into();
+        let mut sim = Simulation::new(&game, p, state).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let out = sim
+            .run(
+                &StopSpec::new(vec![
+                    StopCondition::NashEquilibrium { tol: 1.0 },
+                    StopCondition::MaxRounds(200_000),
+                ]),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.reason, StopReason::NashEquilibrium);
+        assert!(sim.state().count(StrategyId::new(1)) > 0);
+    }
+
+    #[test]
+    fn combined_protocol_also_converges_to_nash() {
+        let game = two_links(100);
+        let state = State::from_counts(&game, vec![100, 0]).unwrap();
+        let mut sim =
+            Simulation::new(&game, Protocol::combined_default(), state).unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let out = sim
+            .run(
+                &StopSpec::new(vec![
+                    StopCondition::NashEquilibrium { tol: 1.0 },
+                    StopCondition::MaxRounds(200_000),
+                ]),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.reason, StopReason::NashEquilibrium);
+    }
+
+    #[test]
+    fn undamped_overshoots_on_polynomial_links() {
+        // Section 2.3's instance: ℓ1 = c (constant), ℓ2 = x^d. Start with
+        // everyone on link 1. One undamped round overshoots link 2 beyond
+        // its balanced load; the damped protocol does not (in expectation).
+        use congames_model::{Constant, Monomial};
+        let d = 6u32;
+        let n = 4096u64;
+        let c = 1000.0;
+        let game = CongestionGame::singleton(
+            vec![Constant::new(c).into(), Monomial::new(1.0, d).into()],
+            n,
+        )
+        .unwrap();
+        // Balanced load: x with x^d = c ⇒ x ≈ c^(1/d) ≈ 3.16 ⇒ tiny. Start
+        // with a few players on link 2 so it can be sampled.
+        let start = State::from_counts(&game, vec![n - 2, 2]).unwrap();
+        let reps = 200;
+        let mut mean_load = [0.0f64; 2];
+        for (i, damping) in [Damping::Elasticity, Damping::None].into_iter().enumerate() {
+            let proto: Protocol = ImitationProtocol::new(0.9)
+                .unwrap()
+                .with_damping(damping)
+                .with_nu_rule(NuRule::None)
+                .into();
+            let mut sum = 0.0;
+            for rep in 0..reps {
+                let mut sim = Simulation::new(&game, proto, start.clone()).unwrap();
+                let mut rng = SmallRng::seed_from_u64(500 + rep);
+                sim.step(&mut rng).unwrap();
+                sum += sim.state().count(StrategyId::new(1)) as f64;
+            }
+            mean_load[i] = sum / reps as f64;
+        }
+        // Undamped inflow should be ≈ d times the damped inflow.
+        let ratio = (mean_load[1] - 2.0) / (mean_load[0] - 2.0).max(1e-9);
+        assert!(
+            ratio > (d as f64) * 0.5,
+            "undamped/damped inflow ratio {ratio}, means {mean_load:?}"
+        );
+    }
+}

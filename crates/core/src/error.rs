@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use congames_model::GameError;
+use congames_sampling::SamplingError;
+
+/// Error type for configuring and running dynamics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DynamicsError {
+    /// A protocol parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: &'static str,
+    },
+    /// An underlying game/state operation failed.
+    Game(GameError),
+    /// An underlying sampling operation failed (indicates an internal
+    /// probability computation bug; surfaced rather than panicking).
+    Sampling(SamplingError),
+}
+
+impl fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            DynamicsError::Game(e) => write!(f, "game error: {e}"),
+            DynamicsError::Sampling(e) => write!(f, "sampling error: {e}"),
+        }
+    }
+}
+
+impl Error for DynamicsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DynamicsError::InvalidParameter { .. } => None,
+            DynamicsError::Game(e) => Some(e),
+            DynamicsError::Sampling(e) => Some(e),
+        }
+    }
+}
+
+impl From<GameError> for DynamicsError {
+    fn from(e: GameError) -> Self {
+        DynamicsError::Game(e)
+    }
+}
+
+impl From<SamplingError> for DynamicsError {
+    fn from(e: SamplingError) -> Self {
+        DynamicsError::Sampling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = DynamicsError::InvalidParameter { name: "lambda", message: "must be in (0,1]" };
+        assert!(e.to_string().contains("lambda"));
+        assert!(e.source().is_none());
+        let g: DynamicsError = GameError::EmptyStrategy.into();
+        assert!(g.source().is_some());
+        let s: DynamicsError = SamplingError::InvalidProbability { name: "p" }.into();
+        assert!(s.to_string().contains("sampling"));
+    }
+}

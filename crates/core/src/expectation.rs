@@ -1,0 +1,51 @@
+//! Closed-form per-round expectations.
+//!
+//! The analysis of the paper revolves around the *virtual potential gain*
+//! `V_PQ = x_PQ·(ℓ_Q(x+1_Q−1_P) − ℓ_P(x))` (Section 3.1). The engine can
+//! compute `E[Σ V_PQ]` exactly from the current state, which lets the C2
+//! experiment check Lemma 2 quantitatively:
+//! `E[ΔΦ] ≤ ½·E[Σ V_PQ]`.
+
+use congames_model::StrategyId;
+
+/// One entry of the migration matrix: the flow of players from one strategy
+/// to another implied by the protocol in the current state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairFlow {
+    /// Origin strategy.
+    pub from: StrategyId,
+    /// Destination strategy.
+    pub to: StrategyId,
+    /// Per-player migration probability (sampling × acceptance, including
+    /// the mixture weight for combined protocols).
+    pub probability: f64,
+    /// Anticipated latency gain `ℓ_P(x) − ℓ_Q(x+1_Q−1_P)` of the move.
+    pub gain: f64,
+    /// Expected number of migrating players `x_P · probability`.
+    pub expected_movers: f64,
+}
+
+impl PairFlow {
+    /// This pair's contribution to the expected virtual potential gain
+    /// (non-positive for improving moves).
+    pub fn expected_virtual_gain(&self) -> f64 {
+        -self.expected_movers * self.gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_gain_sign() {
+        let f = PairFlow {
+            from: StrategyId::new(0),
+            to: StrategyId::new(1),
+            probability: 0.25,
+            gain: 4.0,
+            expected_movers: 2.0,
+        };
+        assert_eq!(f.expected_virtual_gain(), -8.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! # congames-dynamics
+//!
+//! The core contribution of *"Concurrent Imitation Dynamics in Congestion
+//! Games"* (Ackermann, Berenbrink, Fischer, Hoefer; PODC 2009): concurrent,
+//! round-based revision protocols for atomic congestion games, plus the
+//! machinery to simulate and measure them.
+//!
+//! * [`ImitationProtocol`] — Protocol 1 of the paper. Each round, every
+//!   player samples another player uniformly at random and adopts the sampled
+//!   strategy with probability `λ/d · (ℓ_P − ℓ_Q(x+1_Q−1_P))/ℓ_P`, provided
+//!   the anticipated gain exceeds `ν`. The `1/d` elasticity damping prevents
+//!   overshooting (Section 2.3); both the damping and the `ν` rule are
+//!   configurable so the paper's ablations (undamped dynamics, the Section 6
+//!   variants) can be reproduced.
+//! * [`ExplorationProtocol`] — Protocol 2 (Section 6): sample a *strategy*
+//!   uniformly instead of a player; guarantees convergence to Nash
+//!   equilibria at the price of much heavier damping.
+//! * [`Protocol::combined`] — the 50/50 mixture discussed in Section 6.
+//!
+//! Rounds are simulated by either of two statistically identical engines
+//! (see [`EngineKind`]): a ground-truth *player-level* engine that iterates
+//! players individually, and an *aggregate* engine that draws per-origin
+//! multinomials in `O(S²)` time per round independent of the number of
+//! players.
+//!
+//! # Example
+//!
+//! ```
+//! use congames_dynamics::{ImitationProtocol, Simulation, StopCondition, StopSpec};
+//! use congames_model::{ApproxEquilibrium, CongestionGame, Affine, State};
+//! use rand::SeedableRng;
+//!
+//! let game = CongestionGame::singleton(
+//!     (0..4).map(|i| Affine::linear((i + 1) as f64).into()).collect(),
+//!     1000,
+//! )?;
+//! let start = State::all_on_first(&game);
+//! let protocol = ImitationProtocol::paper_default().into();
+//! let mut sim = Simulation::new(&game, protocol, start)?;
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let eq = ApproxEquilibrium::new(0.05, 0.1, sim.params().nu)?;
+//! let outcome = sim.run(
+//!     &StopSpec::new(vec![
+//!         StopCondition::ApproxEquilibrium(eq),
+//!         StopCondition::MaxRounds(100_000),
+//!     ]),
+//!     &mut rng,
+//! )?;
+//! assert!(outcome.rounds < 100_000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod error;
+mod expectation;
+mod protocol;
+pub mod sequential;
+mod stopping;
+mod trajectory;
+
+pub use engine::{EngineKind, RoundStats, Simulation};
+pub use error::DynamicsError;
+pub use expectation::PairFlow;
+pub use protocol::{
+    Damping, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, SelfSampling,
+};
+pub use sequential::{PivotRule, SequentialOutcome};
+pub use stopping::{RunOutcome, StopCondition, StopReason, StopSpec};
+pub use trajectory::{RecordConfig, RoundRecord, Trajectory};

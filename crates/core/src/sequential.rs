@@ -1,0 +1,351 @@
+//! Sequential (one-player-per-step) dynamics: best response, better
+//! response, and sequential imitation.
+//!
+//! These serve two purposes: they are the classical baselines the paper
+//! discusses (Rosenthal's convergence, the exponential lower bounds of
+//! Section 3.2), and best-response descent doubles as a local potential
+//! minimizer for general games where `Φ*` is PLS-hard.
+
+use congames_model::{best_deviation, BestDeviation, CongestionGame, State, StrategyId};
+use rand::Rng;
+
+use crate::error::DynamicsError;
+
+/// How the moving player/deviation is selected each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Apply the deviation with the largest latency gain.
+    #[default]
+    BestGain,
+    /// Apply the first improving deviation in scan order.
+    FirstFound,
+    /// Apply an improving deviation chosen uniformly at random.
+    Random,
+}
+
+/// Outcome of a sequential dynamics run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialOutcome {
+    /// Improvement steps performed.
+    pub steps: u64,
+    /// Whether a stable state was reached (vs. the step budget running out).
+    pub converged: bool,
+    /// Final potential.
+    pub potential: f64,
+}
+
+/// Run sequential *better/best-response* dynamics: while some player can
+/// improve by more than `tol` (over the full strategy space of its class),
+/// move one player per the pivot rule. Returns after `max_steps` regardless.
+///
+/// With `PivotRule::BestGain` this is best-response dynamics; Rosenthal's
+/// potential argument guarantees termination.
+///
+/// # Errors
+///
+/// Surfaces state-application failures (none for valid inputs).
+pub fn best_response_dynamics(
+    game: &CongestionGame,
+    state: &mut State,
+    tol: f64,
+    max_steps: u64,
+    rule: PivotRule,
+    rng: &mut impl Rng,
+) -> Result<SequentialOutcome, DynamicsError> {
+    run_sequential(game, state, tol, max_steps, rule, rng, false)
+}
+
+/// Run sequential *imitation* dynamics: like
+/// [`best_response_dynamics`] but deviations are restricted to the current
+/// support (a player may only adopt a strategy some other player uses).
+/// This is the model of Section 3.2 and Theorem 6.
+///
+/// # Errors
+///
+/// Surfaces state-application failures (none for valid inputs).
+pub fn sequential_imitation(
+    game: &CongestionGame,
+    state: &mut State,
+    tol: f64,
+    max_steps: u64,
+    rule: PivotRule,
+    rng: &mut impl Rng,
+) -> Result<SequentialOutcome, DynamicsError> {
+    run_sequential(game, state, tol, max_steps, rule, rng, true)
+}
+
+fn run_sequential(
+    game: &CongestionGame,
+    state: &mut State,
+    tol: f64,
+    max_steps: u64,
+    rule: PivotRule,
+    rng: &mut impl Rng,
+    support_only: bool,
+) -> Result<SequentialOutcome, DynamicsError> {
+    let mut steps = 0u64;
+    while steps < max_steps {
+        let deviation = match rule {
+            PivotRule::BestGain => best_deviation(game, state, support_only)
+                .filter(|b| b.gain > tol),
+            PivotRule::FirstFound => {
+                first_improving(game, state, tol, support_only, None)
+            }
+            PivotRule::Random => {
+                let all = improving_deviations(game, state, tol, support_only);
+                if all.is_empty() {
+                    None
+                } else {
+                    Some(all[rng.gen_range(0..all.len())])
+                }
+            }
+        };
+        match deviation {
+            Some(b) => {
+                state.apply_move(game, b.from, b.to)?;
+                steps += 1;
+            }
+            None => {
+                return Ok(SequentialOutcome {
+                    steps,
+                    converged: true,
+                    potential: congames_model::potential(game, state),
+                });
+            }
+        }
+    }
+    Ok(SequentialOutcome {
+        steps,
+        converged: false,
+        potential: congames_model::potential(game, state),
+    })
+}
+
+/// All deviations improving by more than `tol` (with `support_only`, the
+/// moves available to sequential imitation).
+pub fn improving_deviations(
+    game: &CongestionGame,
+    state: &State,
+    tol: f64,
+    support_only: bool,
+) -> Vec<BestDeviation> {
+    let mut out = Vec::new();
+    let _ = first_improving(game, state, tol, support_only, Some(&mut out));
+    out
+}
+
+/// Scan deviations in class/strategy order. If `collect` is provided, every
+/// improving deviation is pushed (and the scan completes); otherwise the
+/// first one is returned.
+fn first_improving(
+    game: &CongestionGame,
+    state: &State,
+    tol: f64,
+    support_only: bool,
+    mut collect: Option<&mut Vec<BestDeviation>>,
+) -> Option<BestDeviation> {
+    for class in game.classes() {
+        for from_raw in class.strategy_range() {
+            let from = StrategyId::new(from_raw);
+            if state.count(from) == 0 {
+                continue;
+            }
+            let l_from = state.strategy_latency(game, from);
+            for to_raw in class.strategy_range() {
+                if to_raw == from_raw {
+                    continue;
+                }
+                let to = StrategyId::new(to_raw);
+                if support_only && state.count(to) == 0 {
+                    continue;
+                }
+                let gain = l_from - state.latency_after_move(game, from, to);
+                if gain > tol {
+                    let dev = BestDeviation { from, to, gain };
+                    match collect.as_deref_mut() {
+                        Some(v) => v.push(dev),
+                        None => return Some(dev),
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_model::{Affine, Constant};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sid(i: u32) -> StrategyId {
+        StrategyId::new(i)
+    }
+
+    #[test]
+    fn best_response_balances_identical_links() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            10,
+        )
+        .unwrap();
+        let mut state = State::from_counts(&game, vec![10, 0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = best_response_dynamics(
+            &game,
+            &mut state,
+            0.0,
+            1000,
+            PivotRule::BestGain,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert_eq!(state.count(sid(0)), 5);
+        assert_eq!(out.steps, 5);
+    }
+
+    #[test]
+    fn potential_decreases_monotonically() {
+        let game = CongestionGame::singleton(
+            vec![
+                Affine::linear(1.0).into(),
+                Affine::linear(2.0).into(),
+                Affine::linear(3.0).into(),
+            ],
+            12,
+        )
+        .unwrap();
+        let mut state = State::from_counts(&game, vec![12, 0, 0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut phi = congames_model::potential(&game, &state);
+        loop {
+            let out = best_response_dynamics(
+                &game,
+                &mut state,
+                0.0,
+                1,
+                PivotRule::Random,
+                &mut rng,
+            )
+            .unwrap();
+            let next = congames_model::potential(&game, &state);
+            assert!(next <= phi + 1e-12);
+            phi = next;
+            if out.converged {
+                break;
+            }
+        }
+        assert!(congames_model::is_nash_equilibrium(&game, &state, 1e-12));
+    }
+
+    #[test]
+    fn sequential_imitation_cannot_leave_support() {
+        // All players on an expensive constant link; the cheap link is
+        // unused. Imitation is stuck; best response escapes.
+        let game = CongestionGame::singleton(
+            vec![Constant::new(10.0).into(), Constant::new(1.0).into()],
+            4,
+        )
+        .unwrap();
+        let mut s1 = State::from_counts(&game, vec![4, 0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let imi = sequential_imitation(&game, &mut s1, 0.0, 100, PivotRule::BestGain, &mut rng)
+            .unwrap();
+        assert!(imi.converged);
+        assert_eq!(imi.steps, 0);
+        assert_eq!(s1.count(sid(0)), 4);
+
+        let mut s2 = State::from_counts(&game, vec![4, 0]).unwrap();
+        let br = best_response_dynamics(&game, &mut s2, 0.0, 100, PivotRule::BestGain, &mut rng)
+            .unwrap();
+        assert!(br.converged);
+        assert_eq!(s2.count(sid(1)), 4);
+    }
+
+    #[test]
+    fn pivot_rules_agree_on_convergence_point_potential() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()],
+            9,
+        )
+        .unwrap();
+        let mut potentials = Vec::new();
+        for rule in [PivotRule::BestGain, PivotRule::FirstFound, PivotRule::Random] {
+            let mut state = State::from_counts(&game, vec![9, 0]).unwrap();
+            let mut rng = SmallRng::seed_from_u64(4);
+            let out =
+                best_response_dynamics(&game, &mut state, 0.0, 1000, rule, &mut rng).unwrap();
+            assert!(out.converged);
+            potentials.push(out.potential);
+        }
+        // Two-link linear games have a unique equilibrium potential.
+        assert!((potentials[0] - potentials[1]).abs() < 1e-12);
+        assert!((potentials[0] - potentials[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_budget_is_respected() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            100,
+        )
+        .unwrap();
+        let mut state = State::from_counts(&game, vec![100, 0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = best_response_dynamics(
+            &game,
+            &mut state,
+            0.0,
+            3,
+            PivotRule::BestGain,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.steps, 3);
+    }
+
+    #[test]
+    fn tolerance_blocks_small_gains() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            10,
+        )
+        .unwrap();
+        // (6,4): best gain = 6 − 5 = 1; tol = 1 blocks it.
+        let mut state = State::from_counts(&game, vec![6, 4]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = best_response_dynamics(
+            &game,
+            &mut state,
+            1.0,
+            100,
+            PivotRule::BestGain,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn improving_deviations_enumerates_all() {
+        let game = CongestionGame::singleton(
+            vec![
+                Affine::linear(1.0).into(),
+                Affine::linear(1.0).into(),
+                Affine::linear(1.0).into(),
+            ],
+            9,
+        )
+        .unwrap();
+        let state = State::from_counts(&game, vec![7, 1, 1]).unwrap();
+        let devs = improving_deviations(&game, &state, 0.0, false);
+        // From link 0 (latency 7) to link 1 or 2 (after-move latency 2).
+        assert_eq!(devs.len(), 2);
+        assert!(devs.iter().all(|d| d.from == sid(0) && d.gain == 5.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Stopping conditions for simulation runs.
+
+use congames_model::ApproxEquilibrium;
+
+use crate::trajectory::Trajectory;
+
+/// A condition that ends a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum StopCondition {
+    /// Stop after this many rounds.
+    MaxRounds(u64),
+    /// Stop when the state is imitation-stable (no player can gain more than
+    /// the protocol's effective `ν` by imitating within the support). For
+    /// innovative protocols prefer [`StopCondition::NashEquilibrium`].
+    ImitationStable,
+    /// Stop when the state is a (δ,ε,ν)-equilibrium (Definition 1).
+    ApproxEquilibrium(ApproxEquilibrium),
+    /// Stop when the state is an `ε`-Nash equilibrium with additive
+    /// tolerance `tol` over the *full* strategy space.
+    NashEquilibrium {
+        /// Additive tolerance (0 = exact Nash).
+        tol: f64,
+    },
+    /// Stop when the potential is at most this value (e.g. `(1+ε)·Φ*`).
+    PotentialAtMost(f64),
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StopReason {
+    /// The round budget was exhausted.
+    MaxRounds,
+    /// An imitation-stable state was reached.
+    ImitationStable,
+    /// A (δ,ε,ν)-equilibrium was reached.
+    ApproxEquilibrium,
+    /// An (approximate) Nash equilibrium was reached.
+    NashEquilibrium,
+    /// The potential target was reached.
+    PotentialReached,
+}
+
+/// A set of stop conditions plus a check cadence.
+///
+/// Equilibrium checks cost `O(S²·k)`; `check_every` trades detection latency
+/// against per-round overhead (cheap conditions — round budget, potential
+/// target — are always checked every round).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopSpec {
+    conditions: Vec<StopCondition>,
+    check_every: u64,
+}
+
+impl StopSpec {
+    /// Create a spec checking the expensive conditions every round.
+    pub fn new(conditions: Vec<StopCondition>) -> Self {
+        StopSpec { conditions, check_every: 1 }
+    }
+
+    /// Only bound the number of rounds.
+    pub fn max_rounds(rounds: u64) -> Self {
+        StopSpec::new(vec![StopCondition::MaxRounds(rounds)])
+    }
+
+    /// Check expensive conditions every `every` rounds (≥ 1).
+    pub fn with_check_every(mut self, every: u64) -> Self {
+        self.check_every = every.max(1);
+        self
+    }
+
+    /// The configured conditions.
+    pub fn conditions(&self) -> &[StopCondition] {
+        &self.conditions
+    }
+
+    /// The expensive-check cadence.
+    pub fn check_every(&self) -> u64 {
+        self.check_every
+    }
+}
+
+/// The result of a run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Which condition fired.
+    pub reason: StopReason,
+    /// Rounds executed (the stop condition was detected after this many).
+    pub rounds: u64,
+    /// Final potential.
+    pub potential: f64,
+    /// Recorded metrics (empty if recording was disabled).
+    pub trajectory: Trajectory,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders() {
+        let s = StopSpec::max_rounds(10);
+        assert_eq!(s.conditions().len(), 1);
+        assert_eq!(s.check_every(), 1);
+        let s2 = StopSpec::new(vec![StopCondition::ImitationStable]).with_check_every(0);
+        assert_eq!(s2.check_every(), 1, "cadence is clamped to at least 1");
+        let s3 = s2.with_check_every(16);
+        assert_eq!(s3.check_every(), 16);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-round metrics recording.
+
+use congames_model::{ApproxEquilibrium, CongestionGame, State};
+
+/// Metrics of one recorded round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Round index (0 = initial state, before any migration).
+    pub round: u64,
+    /// Rosenthal potential `Φ`.
+    pub potential: f64,
+    /// Average latency `L_av`.
+    pub l_av: f64,
+    /// Average ex-post latency `L+_av`.
+    pub l_av_plus: f64,
+    /// Maximum latency of a used strategy.
+    pub max_latency: f64,
+    /// Number of players that migrated in the round ending here (0 for the
+    /// initial record).
+    pub migrations: u64,
+    /// Number of strategies in use.
+    pub support: usize,
+    /// Fraction of players on expensive/cheap strategies per Definition 1,
+    /// when an [`ApproxEquilibrium`] was configured.
+    pub unsatisfied_fraction: Option<f64>,
+}
+
+/// What to record along a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecordConfig {
+    /// Record every `every` rounds (0 disables recording entirely). The
+    /// initial state and the final state are always recorded when non-zero.
+    pub every: u64,
+    /// Also track the unsatisfied fraction against this test.
+    pub approx: Option<ApproxEquilibrium>,
+}
+
+impl RecordConfig {
+    /// Record every round.
+    pub fn every_round() -> Self {
+        RecordConfig { every: 1, approx: None }
+    }
+
+    /// Record every round, including the unsatisfied fraction of `approx`.
+    pub fn with_approx(approx: ApproxEquilibrium) -> Self {
+        RecordConfig { every: 1, approx: Some(approx) }
+    }
+
+    /// Disable recording.
+    pub fn disabled() -> Self {
+        RecordConfig { every: 0, approx: None }
+    }
+}
+
+/// The recorded time series of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    records: Vec<RoundRecord>,
+}
+
+impl Trajectory {
+    pub(crate) fn new() -> Self {
+        Trajectory { records: Vec::new() }
+    }
+
+    pub(crate) fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// The recorded rounds, in order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// The potential series `(round, Φ)`.
+    pub fn potential_series(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.records.iter().map(|r| (r.round, r.potential))
+    }
+
+    /// Whether the recorded potentials are non-increasing within `slack`
+    /// (diagnostic used by the super-martingale experiments — individual
+    /// runs may fluctuate, averages must not).
+    pub fn potential_monotone_within(&self, slack: f64) -> bool {
+        self.records.windows(2).all(|w| w[1].potential <= w[0].potential + slack)
+    }
+}
+
+pub(crate) fn capture_record(
+    game: &CongestionGame,
+    state: &State,
+    round: u64,
+    potential: f64,
+    migrations: u64,
+    approx: Option<&ApproxEquilibrium>,
+) -> RoundRecord {
+    let l_av = congames_model::average_latency(game, state);
+    let l_av_plus = congames_model::average_latency_plus(game, state);
+    let max_latency = congames_model::makespan(game, state);
+    let unsatisfied_fraction = approx.map(|a| a.status(game, state).unsatisfied_fraction());
+    RoundRecord {
+        round,
+        potential,
+        l_av,
+        l_av_plus,
+        max_latency,
+        migrations,
+        support: state.support_size(),
+        unsatisfied_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: u64, potential: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            potential,
+            l_av: 0.0,
+            l_av_plus: 0.0,
+            max_latency: 0.0,
+            migrations: 0,
+            support: 1,
+            unsatisfied_fraction: None,
+        }
+    }
+
+    #[test]
+    fn monotone_check() {
+        let mut t = Trajectory::new();
+        t.push(rec(0, 10.0));
+        t.push(rec(1, 8.0));
+        t.push(rec(2, 8.0));
+        assert!(t.potential_monotone_within(0.0));
+        t.push(rec(3, 9.0));
+        assert!(!t.potential_monotone_within(0.5));
+        assert!(t.potential_monotone_within(1.0));
+        assert_eq!(t.records().len(), 4);
+        let series: Vec<_> = t.potential_series().collect();
+        assert_eq!(series[1], (1, 8.0));
+    }
+
+    #[test]
+    fn record_config_constructors() {
+        assert_eq!(RecordConfig::every_round().every, 1);
+        assert_eq!(RecordConfig::disabled().every, 0);
+        let approx = ApproxEquilibrium::new(0.1, 0.1, 0.0).unwrap();
+        assert!(RecordConfig::with_approx(approx).approx.is_some());
+    }
+}

@@ -1,0 +1,138 @@
+//! The paper's inline counter-example instances.
+
+use congames_model::{Affine, CongestionGame, Constant, GameError, Monomial, State};
+
+/// The Section 2.3 overshooting instance: two parallel links with
+/// `ℓ_1(x) = c` (constant) and `ℓ_2(x) = x^d`, `n` players.
+///
+/// Starting with almost everyone on link 1, the *undamped* protocol's
+/// expected inflow to link 2 overshoots the balanced point by a factor
+/// `Θ(d)`; the elasticity-damped protocol does not. Returns the game and the
+/// canonical start state with `seed_on_fast` players already on link 2 (they
+/// must exist for imitation to discover it).
+///
+/// # Errors
+///
+/// Propagates construction errors (e.g. `seed_on_fast > n`).
+pub fn overshooting_game(
+    c: f64,
+    d: u32,
+    n: u64,
+    seed_on_fast: u64,
+) -> Result<(CongestionGame, State), GameError> {
+    if seed_on_fast > n {
+        return Err(GameError::InvalidParameter {
+            name: "seed_on_fast",
+            message: "cannot exceed the number of players",
+        });
+    }
+    let game = CongestionGame::singleton(
+        vec![Constant::new(c).into(), Monomial::new(1.0, d).into()],
+        n,
+    )?;
+    let state = State::from_counts(&game, vec![n - seed_on_fast, seed_on_fast])?;
+    Ok((game, state))
+}
+
+/// The Ω(n) lower-bound instance from the end of Section 4: `n = 2m`
+/// players on `m` identical linear links, with loads `(3, 1, 2, 2, …, 2)`.
+///
+/// The unique improving move is a player on link 1 sampling the single
+/// player on link 2 — which happens with probability `O(1/n)` per round, so
+/// *any* sampling protocol needs expected `Ω(n)` rounds before every player
+/// is within a constant factor of the average latency.
+///
+/// # Errors
+///
+/// Fails if `m < 2`.
+pub fn omega_n_game(m: usize) -> Result<(CongestionGame, State), GameError> {
+    if m < 2 {
+        return Err(GameError::InvalidParameter {
+            name: "m",
+            message: "needs at least two links",
+        });
+    }
+    let game = CongestionGame::singleton(
+        (0..m).map(|_| Affine::linear(1.0).into()).collect(),
+        2 * m as u64,
+    )?;
+    let mut counts = vec![2u64; m];
+    counts[0] = 3;
+    counts[1] = 1;
+    let state = State::from_counts(&game, counts)?;
+    Ok((game, state))
+}
+
+/// A single-improver instance with a tunable gain (Theorem 4's
+/// pseudopolynomial wait): two constant links `c` and `c − gain`, with one
+/// player on the expensive link and `n − 1` on the cheap one.
+///
+/// The lone player's migration probability is `λ·gain/c` per sampled
+/// cheap-side player, so the hitting time scales as `1/gain` — single steps
+/// can take pseudopolynomially long.
+///
+/// # Errors
+///
+/// Fails unless `0 < gain < c` and `n ≥ 2`.
+pub fn gap_game(c: f64, gain: f64, n: u64) -> Result<(CongestionGame, State), GameError> {
+    if !(gain > 0.0 && gain < c) {
+        return Err(GameError::InvalidParameter {
+            name: "gain",
+            message: "must satisfy 0 < gain < c",
+        });
+    }
+    if n < 2 {
+        return Err(GameError::InvalidParameter {
+            name: "n",
+            message: "needs at least two players",
+        });
+    }
+    let game = CongestionGame::singleton(
+        vec![Constant::new(c).into(), Constant::new(c - gain).into()],
+        n,
+    )?;
+    let state = State::from_counts(&game, vec![1, n - 1])?;
+    Ok((game, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_model::{best_deviation, StrategyId};
+
+    #[test]
+    fn overshooting_shape() {
+        let (game, state) = overshooting_game(1000.0, 4, 256, 2).unwrap();
+        assert_eq!(game.num_resources(), 2);
+        assert_eq!(state.count(StrategyId::new(1)), 2);
+        let p = game.params();
+        assert!((p.d - 4.0).abs() < 1e-12);
+        assert!(overshooting_game(1.0, 2, 4, 5).is_err());
+    }
+
+    #[test]
+    fn omega_n_has_exactly_one_improving_move() {
+        let (game, state) = omega_n_game(6).unwrap();
+        assert_eq!(game.total_players(), 12);
+        let dev = best_deviation(&game, &state, true).unwrap();
+        // From link 0 (latency 3) to link 1 (after-move latency 2).
+        assert_eq!(dev.from, StrategyId::new(0));
+        assert_eq!(dev.to, StrategyId::new(1));
+        assert!((dev.gain - 1.0).abs() < 1e-12);
+        // No other strategy offers an improvement.
+        let all =
+            congames_dynamics::sequential::improving_deviations(&game, &state, 0.0, true);
+        assert_eq!(all.len(), 1);
+        assert!(omega_n_game(1).is_err());
+    }
+
+    #[test]
+    fn gap_game_single_improver() {
+        let (game, state) = gap_game(10.0, 0.5, 8).unwrap();
+        let dev = best_deviation(&game, &state, true).unwrap();
+        assert!((dev.gain - 0.5).abs() < 1e-12);
+        assert_eq!(state.count(StrategyId::new(0)), 1);
+        assert!(gap_game(1.0, 2.0, 8).is_err());
+        assert!(gap_game(1.0, 0.5, 1).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # congames-lowerbounds
+//!
+//! Lower-bound constructions and counter-example instances from the paper:
+//!
+//! * [`maxcut`] — weighted MaxCut instances and their local search, the root
+//!   of the PLS machinery behind Section 3.2.
+//! * [`threshold`] — (quadratic) threshold games: two-strategy congestion
+//!   games whose best-response dynamics are exactly MaxCut local search.
+//! * [`tripled`] — the Theorem 6 construction: every player is replaced by
+//!   three clones so that *imitation* (which needs someone to imitate)
+//!   embeds the threshold game's improvement structure.
+//! * [`seqgraph`] — exhaustive analysis of the improvement graph of small
+//!   games: exact longest and shortest improving sequences, used to measure
+//!   the sequential lower bound of Theorem 6.
+//! * [`examples`] — the paper's inline instances: the Section 2.3
+//!   overshooting game, the Ω(n) instance from the end of Section 4, and a
+//!   single-improver instance exhibiting the pseudopolynomial wait of
+//!   Theorem 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod examples;
+pub mod maxcut;
+pub mod seqgraph;
+pub mod threshold;
+pub mod tripled;
+
+pub use examples::{gap_game, omega_n_game, overshooting_game};
+pub use maxcut::MaxCutInstance;
+pub use seqgraph::ImprovementGraph;
+pub use threshold::{quadratic_threshold_game, state_from_cut};
+pub use tripled::{tripled_initial_state, tripled_threshold_game};

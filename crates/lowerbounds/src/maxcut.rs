@@ -1,0 +1,220 @@
+//! Weighted MaxCut instances and local search.
+//!
+//! The local-search version of MaxCut ("flip one node to the other side if
+//! it increases the cut weight") is the canonical PLS-complete problem
+//! behind the lower-bound constructions of Section 3.2: quadratic threshold
+//! games embed it exactly (see [`crate::threshold`]).
+
+use rand::Rng;
+
+/// A complete weighted graph on `n` nodes for MaxCut local search.
+///
+/// A *cut* is a bitmask over nodes (bit set = node on the IN side); its
+/// value is the total weight of edges crossing the partition.
+///
+/// # Example
+///
+/// ```
+/// use congames_lowerbounds::MaxCutInstance;
+/// let mc = MaxCutInstance::from_weights(3, |i, j| ((i + j) % 3 + 1) as f64);
+/// let best = (0u64..8).max_by(|a, b| {
+///     mc.cut_value(*a).partial_cmp(&mc.cut_value(*b)).unwrap()
+/// }).unwrap();
+/// assert!(mc.is_local_optimum(best));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxCutInstance {
+    n: usize,
+    /// Upper-triangular weights, `weights[idx(i,j)]` for `i < j`.
+    weights: Vec<f64>,
+}
+
+impl MaxCutInstance {
+    /// Build an instance from a weight function over unordered pairs
+    /// (`w(i, j)` with `i < j`; weights must be non-negative and finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, or if a weight is negative or non-finite.
+    pub fn from_weights(n: usize, mut w: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(n >= 2, "MaxCut needs at least two nodes");
+        assert!(n <= 64, "cuts are represented as u64 bitmasks");
+        let mut weights = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                let wij = w(i, j);
+                assert!(wij.is_finite() && wij >= 0.0, "weights must be finite and non-negative");
+                weights.push(wij);
+            }
+        }
+        MaxCutInstance { n, weights }
+    }
+
+    /// A random instance with integer weights in `1..=max_weight`.
+    pub fn random(n: usize, max_weight: u64, rng: &mut impl Rng) -> Self {
+        MaxCutInstance::from_weights(n, |_, _| rng.gen_range(1..=max_weight) as f64)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn tri_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // Offset of row i in the upper triangle, plus the column offset.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// The weight of the unordered pair `{i, j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        assert!(i != j, "no self-edges");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.weights[self.tri_index(a, b)]
+    }
+
+    /// Total incident weight `W_i = Σ_{j≠i} w_ij` of node `i`.
+    pub fn incident_weight(&self, i: usize) -> f64 {
+        (0..self.n).filter(|&j| j != i).map(|j| self.weight(i, j)).sum()
+    }
+
+    /// The cut value of the bitmask `cut`.
+    pub fn cut_value(&self, cut: u64) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                if ((cut >> i) & 1) != ((cut >> j) & 1) {
+                    total += self.weight(i, j);
+                }
+            }
+        }
+        total
+    }
+
+    /// The cut-value change if node `i` flips sides.
+    pub fn flip_delta(&self, cut: u64, i: usize) -> f64 {
+        let side_i = (cut >> i) & 1;
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        for j in 0..self.n {
+            if j == i {
+                continue;
+            }
+            if (cut >> j) & 1 == side_i {
+                same += self.weight(i, j);
+            } else {
+                cross += self.weight(i, j);
+            }
+        }
+        same - cross
+    }
+
+    /// Whether no single flip improves the cut (a local optimum).
+    pub fn is_local_optimum(&self, cut: u64) -> bool {
+        (0..self.n).all(|i| self.flip_delta(cut, i) <= 0.0)
+    }
+
+    /// Run local search from `cut`, flipping the best-improving node each
+    /// step; returns `(local_optimum, steps)`.
+    pub fn local_search(&self, mut cut: u64, max_steps: u64) -> (u64, u64) {
+        let mut steps = 0;
+        while steps < max_steps {
+            let best = (0..self.n)
+                .map(|i| (i, self.flip_delta(cut, i)))
+                .filter(|(_, d)| *d > 0.0)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"));
+            match best {
+                Some((i, _)) => {
+                    cut ^= 1 << i;
+                    steps += 1;
+                }
+                None => break,
+            }
+        }
+        (cut, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Triangle with weights w(0,1)=1, w(0,2)=2, w(1,2)=3.
+    fn triangle() -> MaxCutInstance {
+        MaxCutInstance::from_weights(3, |i, j| match (i, j) {
+            (0, 1) => 1.0,
+            (0, 2) => 2.0,
+            (1, 2) => 3.0,
+            _ => unreachable!(),
+        })
+    }
+
+    #[test]
+    fn cut_values() {
+        let mc = triangle();
+        assert_eq!(mc.cut_value(0b000), 0.0);
+        assert_eq!(mc.cut_value(0b001), 3.0); // edges 0-1, 0-2 cross
+        assert_eq!(mc.cut_value(0b010), 4.0); // 0-1, 1-2
+        assert_eq!(mc.cut_value(0b100), 5.0); // 0-2, 1-2
+        assert_eq!(mc.cut_value(0b110), 3.0); // complement of 001
+        assert_eq!(mc.weight(2, 0), 2.0);
+        assert_eq!(mc.incident_weight(0), 3.0);
+    }
+
+    #[test]
+    fn flip_delta_matches_cut_difference() {
+        let mc = triangle();
+        for cut in 0u64..8 {
+            for i in 0..3 {
+                let flipped = cut ^ (1 << i);
+                let expect = mc.cut_value(flipped) - mc.cut_value(cut);
+                assert!((mc.flip_delta(cut, i) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_reaches_local_optimum() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for seed in 0..10u64 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let mc = MaxCutInstance::random(8, 50, &mut r);
+            let start = rng.gen::<u64>() & 0xFF;
+            let (opt, steps) = mc.local_search(start, 10_000);
+            assert!(mc.is_local_optimum(opt), "not optimal after {steps} steps");
+            assert!(mc.cut_value(opt) >= mc.cut_value(start) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_optimum_of_triangle() {
+        let mc = triangle();
+        // Global max 0b100 (value 5) is locally optimal.
+        assert!(mc.is_local_optimum(0b100));
+        assert!(!mc.is_local_optimum(0b000));
+    }
+
+    #[test]
+    fn random_instance_weights_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mc = MaxCutInstance::random(6, 10, &mut rng);
+        for i in 0..6 {
+            for j in i + 1..6 {
+                let w = mc.weight(i, j);
+                assert!((1.0..=10.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_instance_rejected() {
+        let _ = MaxCutInstance::from_weights(1, |_, _| 1.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Exhaustive analysis of the improvement graph of small games.
+//!
+//! For games whose state space is small (e.g. tripled threshold games with
+//! `4^n` states), we can answer the Theorem 6 questions *exactly*:
+//!
+//! * the length of the **longest** improving sequence from a state, and
+//! * the length of the **shortest** improving sequence from a state to any
+//!   stable state (Theorem 6 asserts a family where even this is
+//!   exponential).
+//!
+//! Improving moves strictly decrease Rosenthal's potential, so the
+//! improvement graph is a DAG and the longest path is well-defined.
+
+use std::collections::HashMap;
+
+use congames_model::{CongestionGame, GameError, State, StrategyId};
+
+/// The improvement graph of a game: nodes are states, edges are
+/// single-player moves improving by more than `tol` (optionally restricted
+/// to the support, i.e. imitation moves).
+///
+/// States are indexed densely by mixed-radix composition indices; the graph
+/// is never materialized — successors are computed on demand.
+#[derive(Debug)]
+pub struct ImprovementGraph<'g> {
+    game: &'g CongestionGame,
+    tol: f64,
+    support_only: bool,
+    /// Per class: all compositions of its players over its strategies.
+    comps: Vec<Vec<Vec<u64>>>,
+    /// Per class: composition → index lookup.
+    comp_index: Vec<HashMap<Vec<u64>, u64>>,
+    /// Mixed-radix strides per class.
+    strides: Vec<u64>,
+    num_states: u64,
+}
+
+impl<'g> ImprovementGraph<'g> {
+    /// Build the improvement graph handle for `game`.
+    ///
+    /// `support_only = true` restricts moves to imitation (the destination
+    /// must already be in use); `tol` is the minimum improvement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] if the state space exceeds
+    /// `max_states`.
+    pub fn new(
+        game: &'g CongestionGame,
+        tol: f64,
+        support_only: bool,
+        max_states: u64,
+    ) -> Result<Self, GameError> {
+        let mut comps = Vec::with_capacity(game.classes().len());
+        let mut comp_index = Vec::with_capacity(game.classes().len());
+        let mut num_states: u64 = 1;
+        for class in game.classes() {
+            let list = compositions(class.players(), class.num_strategies());
+            num_states = num_states.saturating_mul(list.len() as u64);
+            if num_states > max_states {
+                return Err(GameError::InvalidParameter {
+                    name: "game",
+                    message: "state space exceeds the configured max_states",
+                });
+            }
+            let mut idx = HashMap::with_capacity(list.len());
+            for (k, c) in list.iter().enumerate() {
+                idx.insert(c.clone(), k as u64);
+            }
+            comps.push(list);
+            comp_index.push(idx);
+        }
+        let mut strides = vec![0u64; comps.len()];
+        let mut acc = 1u64;
+        for (i, list) in comps.iter().enumerate() {
+            strides[i] = acc;
+            acc *= list.len() as u64;
+        }
+        Ok(ImprovementGraph { game, tol, support_only, comps, comp_index, strides, num_states })
+    }
+
+    /// Total number of states.
+    pub fn num_states(&self) -> u64 {
+        self.num_states
+    }
+
+    /// The dense index of a state.
+    pub fn index_of(&self, state: &State) -> u64 {
+        let mut idx = 0u64;
+        for (ci, class) in self.game.classes().iter().enumerate() {
+            let counts: Vec<u64> =
+                class.strategy_range().map(|s| state.counts()[s as usize]).collect();
+            let k = self.comp_index[ci][&counts];
+            idx += k * self.strides[ci];
+        }
+        idx
+    }
+
+    /// The state with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx ≥ num_states()`.
+    pub fn state_of(&self, idx: u64) -> State {
+        assert!(idx < self.num_states, "state index out of range");
+        let mut counts = vec![0u64; self.game.num_strategies()];
+        for (ci, class) in self.game.classes().iter().enumerate() {
+            let k = (idx / self.strides[ci]) % self.comps[ci].len() as u64;
+            let comp = &self.comps[ci][k as usize];
+            for (off, s) in class.strategy_range().enumerate() {
+                counts[s as usize] = comp[off];
+            }
+        }
+        State::from_counts(self.game, counts).expect("composition indices are consistent")
+    }
+
+    /// Successor state indices via single improving moves.
+    pub fn successors(&self, idx: u64) -> Vec<u64> {
+        let state = self.state_of(idx);
+        let mut out = Vec::new();
+        for (ci, class) in self.game.classes().iter().enumerate() {
+            for from_raw in class.strategy_range() {
+                let from = StrategyId::new(from_raw);
+                if state.count(from) == 0 {
+                    continue;
+                }
+                let l_from = state.strategy_latency(self.game, from);
+                for to_raw in class.strategy_range() {
+                    if to_raw == from_raw {
+                        continue;
+                    }
+                    let to = StrategyId::new(to_raw);
+                    if self.support_only && state.count(to) == 0 {
+                        continue;
+                    }
+                    let gain = l_from - state.latency_after_move(self.game, from, to);
+                    if gain > self.tol {
+                        out.push(self.neighbor_index(idx, ci, class, &state, from, to));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn neighbor_index(
+        &self,
+        idx: u64,
+        ci: usize,
+        class: &congames_model::PlayerClass,
+        state: &State,
+        from: StrategyId,
+        to: StrategyId,
+    ) -> u64 {
+        let mut comp: Vec<u64> =
+            class.strategy_range().map(|s| state.counts()[s as usize]).collect();
+        let base = class.strategy_range().start;
+        comp[(from.raw() - base) as usize] -= 1;
+        comp[(to.raw() - base) as usize] += 1;
+        let new_k = self.comp_index[ci][&comp];
+        let old_k = (idx / self.strides[ci]) % self.comps[ci].len() as u64;
+        let delta = (new_k as i128 - old_k as i128) * self.strides[ci] as i128;
+        u64::try_from(idx as i128 + delta).expect("neighbor index stays in range")
+    }
+
+    /// Whether no improving move leaves this state (stability w.r.t. the
+    /// configured move set).
+    pub fn is_sink(&self, idx: u64) -> bool {
+        self.successors(idx).is_empty()
+    }
+
+    /// The length of the longest improving sequence starting at `idx`
+    /// (exact, via memoized DFS over the reachable DAG).
+    pub fn longest_path_from(&self, idx: u64) -> u64 {
+        let mut memo: HashMap<u64, u64> = HashMap::new();
+        // Iterative post-order DFS: (state, successors, next_child).
+        let mut stack: Vec<(u64, Vec<u64>, usize)> = vec![(idx, self.successors(idx), 0)];
+        while let Some((s, succs, child)) = stack.last().cloned() {
+            if memo.contains_key(&s) {
+                stack.pop();
+                continue;
+            }
+            if child < succs.len() {
+                stack.last_mut().expect("nonempty").2 += 1;
+                let c = succs[child];
+                if !memo.contains_key(&c) {
+                    stack.push((c, self.successors(c), 0));
+                }
+            } else {
+                let best = succs.iter().map(|c| memo[c] + 1).max().unwrap_or(0);
+                memo.insert(s, best);
+                stack.pop();
+            }
+        }
+        memo[&idx]
+    }
+
+    /// The length of the shortest improving sequence from `idx` to any sink
+    /// (BFS). A sink start returns 0.
+    pub fn shortest_path_to_sink(&self, idx: u64) -> u64 {
+        let mut dist: HashMap<u64, u64> = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        dist.insert(idx, 0);
+        queue.push_back(idx);
+        while let Some(s) = queue.pop_front() {
+            let d = dist[&s];
+            let succs = self.successors(s);
+            if succs.is_empty() {
+                return d;
+            }
+            for c in succs {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(c) {
+                    e.insert(d + 1);
+                    queue.push_back(c);
+                }
+            }
+        }
+        unreachable!("a finite DAG always reaches a sink")
+    }
+
+    /// Number of states reachable from `idx` (including itself).
+    pub fn reachable_count(&self, idx: u64) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![idx];
+        seen.insert(idx);
+        while let Some(s) = stack.pop() {
+            for c in self.successors(s) {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        seen.len() as u64
+    }
+}
+
+/// All compositions of `total` into `parts` non-negative summands.
+fn compositions(total: u64, parts: usize) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut current = vec![0u64; parts];
+    fill(total, 0, &mut current, &mut out);
+    out
+}
+
+fn fill(remaining: u64, pos: usize, current: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
+    if pos == current.len() - 1 {
+        current[pos] = remaining;
+        out.push(current.clone());
+        return;
+    }
+    for v in 0..=remaining {
+        current[pos] = v;
+        fill(remaining - v, pos + 1, current, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_model::Affine;
+
+    fn two_links(n: u64) -> CongestionGame {
+        CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            n,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compositions_count_is_binomial() {
+        // C(n + k − 1, k − 1): 4 players, 3 parts → C(6,2) = 15.
+        assert_eq!(compositions(4, 3).len(), 15);
+        assert_eq!(compositions(0, 2).len(), 1);
+        assert_eq!(compositions(3, 1), vec![vec![3]]);
+        for c in compositions(4, 3) {
+            assert_eq!(c.iter().sum::<u64>(), 4);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let game = two_links(5);
+        let g = ImprovementGraph::new(&game, 0.0, false, 1_000).unwrap();
+        assert_eq!(g.num_states(), 6);
+        for idx in 0..g.num_states() {
+            let s = g.state_of(idx);
+            assert_eq!(g.index_of(&s), idx);
+        }
+    }
+
+    #[test]
+    fn successors_of_two_link_game() {
+        // counts (5,0): best response moves one player → (4,1).
+        let game = two_links(5);
+        let g = ImprovementGraph::new(&game, 0.0, false, 1_000).unwrap();
+        let s50 = State::from_counts(&game, vec![5, 0]).unwrap();
+        let idx = g.index_of(&s50);
+        let succ = g.successors(idx);
+        assert_eq!(succ.len(), 1);
+        let next = g.state_of(succ[0]);
+        assert_eq!(next.counts(), &[4, 1]);
+        // Balanced-ish (3,2) is a sink: gain = 3 − 3 = 0.
+        let s32 = State::from_counts(&game, vec![3, 2]).unwrap();
+        assert!(g.is_sink(g.index_of(&s32)));
+    }
+
+    #[test]
+    fn support_restriction_blocks_empty_targets() {
+        let game = two_links(5);
+        let br = ImprovementGraph::new(&game, 0.0, false, 1_000).unwrap();
+        let imi = ImprovementGraph::new(&game, 0.0, true, 1_000).unwrap();
+        let s = State::from_counts(&game, vec![5, 0]).unwrap();
+        assert!(!br.is_sink(br.index_of(&s)));
+        assert!(imi.is_sink(imi.index_of(&s)), "imitation cannot reach the empty link");
+    }
+
+    #[test]
+    fn longest_and_shortest_paths_on_two_links() {
+        // From (5,0) under best response: the only trajectory is
+        // (5,0)→(4,1)→(3,2), length 2.
+        let game = two_links(5);
+        let g = ImprovementGraph::new(&game, 0.0, false, 1_000).unwrap();
+        let idx = g.index_of(&State::from_counts(&game, vec![5, 0]).unwrap());
+        assert_eq!(g.longest_path_from(idx), 2);
+        assert_eq!(g.shortest_path_to_sink(idx), 2);
+        assert_eq!(g.reachable_count(idx), 3);
+    }
+
+    #[test]
+    fn state_space_cap_is_enforced() {
+        let game = two_links(1000);
+        assert!(ImprovementGraph::new(&game, 0.0, false, 10).is_err());
+    }
+
+    #[test]
+    fn longest_path_handles_branching() {
+        // Three identical links, 3 players, from (3,0,0): branching
+        // trajectories but all reach (1,1,1); longest = shortest = 2.
+        let game = CongestionGame::singleton(
+            vec![
+                Affine::linear(1.0).into(),
+                Affine::linear(1.0).into(),
+                Affine::linear(1.0).into(),
+            ],
+            3,
+        )
+        .unwrap();
+        let g = ImprovementGraph::new(&game, 0.0, false, 1_000).unwrap();
+        let idx = g.index_of(&State::from_counts(&game, vec![3, 0, 0]).unwrap());
+        assert_eq!(g.longest_path_from(idx), 2);
+        assert_eq!(g.shortest_path_to_sink(idx), 2);
+    }
+}

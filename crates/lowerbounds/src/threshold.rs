@@ -1,0 +1,228 @@
+//! Quadratic threshold games (Section 3.2).
+//!
+//! A threshold game gives every player `i` exactly two strategies: a private
+//! resource `r_i` of fixed cost (the *threshold* `T_i`), or a shared bundle
+//! `S_in_i ⊆ R_in`. In the *quadratic* variant, `R_in` holds one resource
+//! `r_ij` per unordered player pair with latency `a_ij·x`, and
+//! `S_in_i = {r_ij : j ≠ i}`.
+//!
+//! With the threshold `T_i = (3/2)·W_i` (where `W_i = Σ_j a_ij`), a player
+//! prefers `S_in` exactly when its weight to the IN-side is less than half
+//! its incident weight — which makes best-response dynamics *identical* to
+//! MaxCut local search, with latency gains equal to half the cut
+//! improvement. This is the embedding the PLS reductions of \[1\] build on.
+//!
+//! > Note: the paper's recap states `ℓ_ri(x) = ½·Σ a_ij·x`; with that
+//! > constant the private resource always dominates and the game is inert.
+//! > We use the `3/2` factor consistent with the MaxCut correspondence of
+//! > \[1\] (the tripled construction in [`crate::tripled`] then re-derives its
+//! > offset from first principles and verifies the Theorem 6 invariant
+//! > computationally). See DESIGN.md.
+
+use congames_model::{Affine, CongestionGame, GameError, ResourceId, State, Strategy};
+
+use crate::maxcut::MaxCutInstance;
+
+/// Index of the pair resource `r_ij` (with `i < j`) in the game's resource
+/// list: pair resources come first (row-major upper triangle), then the `n`
+/// private resources.
+pub(crate) fn pair_resource(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Index of the private (threshold) resource of player `i`.
+pub(crate) fn private_resource(n: usize, i: usize) -> usize {
+    n * (n - 1) / 2 + i
+}
+
+/// Strategy id layout: player `i` owns strategies `2i` (= `S_out_i`, the
+/// private resource) and `2i + 1` (= `S_in_i`).
+pub(crate) const IN: u32 = 1;
+
+/// Build the quadratic threshold game of `instance`: one single-player class
+/// per node, strategies `[S_out, S_in]` in that order.
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for valid instances).
+pub fn quadratic_threshold_game(
+    instance: &MaxCutInstance,
+) -> Result<CongestionGame, GameError> {
+    build_threshold_game(instance, 1, 0.0)
+}
+
+/// Shared builder: `clones` players per class; the private resource gets
+/// latency `T_i·x + offset_factor·W_i`.
+pub(crate) fn build_threshold_game(
+    instance: &MaxCutInstance,
+    clones: u64,
+    offset_factor: f64,
+) -> Result<CongestionGame, GameError> {
+    let n = instance.num_nodes();
+    let mut b = CongestionGame::builder();
+    // Pair resources r_ij, i < j.
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_named_resource(
+                format!("r_{i}_{j}"),
+                Affine::linear(instance.weight(i, j)).into(),
+            );
+        }
+    }
+    // Private resources r_i with threshold slope 3/2·W_i.
+    for i in 0..n {
+        let w = instance.incident_weight(i);
+        b.add_named_resource(
+            format!("r_{i}"),
+            Affine::new(1.5 * w, offset_factor * w).into(),
+        );
+    }
+    for i in 0..n {
+        let out = Strategy::singleton(ResourceId::new(private_resource(n, i) as u32));
+        let in_resources: Vec<ResourceId> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let (a, bb) = if i < j { (i, j) } else { (j, i) };
+                ResourceId::new(pair_resource(n, a, bb) as u32)
+            })
+            .collect();
+        let s_in = Strategy::new(in_resources)?;
+        b.add_class(format!("player-{i}"), clones, vec![out, s_in])?;
+    }
+    b.build()
+}
+
+/// The state of the quadratic threshold game corresponding to a MaxCut
+/// bitmask (`bit i` set = player `i` plays `S_in`).
+///
+/// # Errors
+///
+/// Propagates state-construction errors (none for in-range cuts).
+pub fn state_from_cut(game: &CongestionGame, cut: u64) -> Result<State, GameError> {
+    let n = game.classes().len();
+    let mut counts = vec![0u64; game.num_strategies()];
+    for i in 0..n {
+        let side = (cut >> i) & 1;
+        counts[2 * i + side as usize] = 1;
+    }
+    State::from_counts(game, counts)
+}
+
+/// Recover the cut bitmask from a single-clone threshold-game state.
+pub fn cut_from_state(game: &CongestionGame, state: &State) -> u64 {
+    let n = game.classes().len();
+    let mut cut = 0u64;
+    for i in 0..n {
+        if state.counts()[2 * i + IN as usize] == 1 {
+            cut |= 1 << i;
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_model::{best_deviation, is_nash_equilibrium, StrategyId};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn resource_indexing_is_dense_and_disjoint() {
+        let n = 5;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                assert!(seen.insert(pair_resource(n, i, j)));
+            }
+        }
+        for i in 0..n {
+            assert!(seen.insert(private_resource(n, i)));
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2 + n);
+        assert_eq!(*seen.iter().max().unwrap(), n * (n - 1) / 2 + n - 1);
+    }
+
+    #[test]
+    fn game_shape() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mc = MaxCutInstance::random(4, 10, &mut rng);
+        let game = quadratic_threshold_game(&mc).unwrap();
+        assert_eq!(game.num_resources(), 6 + 4);
+        assert_eq!(game.num_strategies(), 8);
+        assert_eq!(game.classes().len(), 4);
+        assert_eq!(game.total_players(), 4);
+    }
+
+    #[test]
+    fn cut_state_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mc = MaxCutInstance::random(5, 10, &mut rng);
+        let game = quadratic_threshold_game(&mc).unwrap();
+        for cut in [0u64, 0b10101, 0b11111, 0b01010] {
+            let state = state_from_cut(&game, cut).unwrap();
+            assert_eq!(cut_from_state(&game, &state), cut);
+        }
+    }
+
+    /// The heart of the Section 3.2 embedding: a player's best-response gain
+    /// equals half the MaxCut flip improvement, for every player and cut.
+    #[test]
+    fn latency_gain_is_half_cut_improvement() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for seed in 0..5u64 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let mc = MaxCutInstance::random(6, 20, &mut r);
+            let game = quadratic_threshold_game(&mc).unwrap();
+            for _ in 0..20 {
+                let cut = rng.gen::<u64>() & 0x3F;
+                let state = state_from_cut(&game, cut).unwrap();
+                for i in 0..6usize {
+                    let side = ((cut >> i) & 1) as u32;
+                    let from = StrategyId::new(2 * i as u32 + side);
+                    let to = StrategyId::new(2 * i as u32 + (1 - side));
+                    let gain = state.strategy_latency(&game, from)
+                        - state.latency_after_move(&game, from, to);
+                    let cut_delta = mc.flip_delta(cut, i);
+                    assert!(
+                        (gain - cut_delta / 2.0).abs() < 1e-9,
+                        "player {i}, cut {cut:#b}: latency gain {gain} vs cut Δ/2 {}",
+                        cut_delta / 2.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nash_equilibria_are_exactly_local_optima() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let mc = MaxCutInstance::random(5, 15, &mut r);
+        let game = quadratic_threshold_game(&mc).unwrap();
+        for cut in 0u64..32 {
+            let state = state_from_cut(&game, cut).unwrap();
+            assert_eq!(
+                is_nash_equilibrium(&game, &state, 0.0),
+                mc.is_local_optimum(cut),
+                "cut {cut:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_deviation_matches_best_flip() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mc = MaxCutInstance::random(5, 15, &mut r);
+        let game = quadratic_threshold_game(&mc).unwrap();
+        let cut = 0b00110u64;
+        let state = state_from_cut(&game, cut).unwrap();
+        let best_flip = (0..5)
+            .map(|i| mc.flip_delta(cut, i))
+            .fold(f64::NEG_INFINITY, f64::max);
+        match best_deviation(&game, &state, false) {
+            Some(dev) => assert!((dev.gain - best_flip / 2.0).abs() < 1e-9),
+            None => assert!(best_flip <= 0.0),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The Theorem 6 construction: tripled quadratic threshold games.
+//!
+//! Imitation requires someone to imitate, so single-player classes are inert
+//! under imitation dynamics. Theorem 6 therefore replaces every player `i`
+//! of a quadratic threshold game by three clones `i1, i2, i3` sharing the
+//! strategy pair `{S_out_i, S_in_i}`, and offsets the private resource so
+//! that, inductively, one clone stays on `S_out`, one stays on `S_in`, and
+//! the third mirrors the original player's improvement dynamics. The key
+//! invariant (proved in the paper and verified by property test here) is
+//! that the three clones never all use the same strategy — so the imitation
+//! options never collapse.
+//!
+//! With the base threshold `T_i = (3/2)·W_i` (see [`crate::threshold`]), the
+//! matching offset works out as follows: with clones `i2` (on `S_in`) and
+//! `j2` pinned, each pair resource `r_ij` carries a base congestion of 2 and
+//! the private `r_i` a base congestion of 1 (from `i1`), so the mirroring
+//! clone `i3` compares `Σ a_ij(3 + [j3 in])` against
+//! `ℓ_ri(2) = 3·W_i + offset`: it prefers `S_in` iff
+//! `Σ_{j3 in} a_ij < offset`. Choosing `offset = W_i/2` makes this the
+//! original threshold condition `C_i^IN < W_i/2` — i.e. MaxCut local search.
+
+use congames_model::{CongestionGame, GameError, State};
+
+use crate::maxcut::MaxCutInstance;
+use crate::threshold::build_threshold_game;
+
+/// Build the tripled quadratic threshold game of `instance`: one class of
+/// three clones per node, strategies `[S_out, S_in]` per class, and private
+/// latency `ℓ_ri(x) = (3/2)W_i·x + W_i/2`.
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for valid instances).
+pub fn tripled_threshold_game(
+    instance: &MaxCutInstance,
+) -> Result<CongestionGame, GameError> {
+    build_threshold_game(instance, 3, 0.5)
+}
+
+/// The canonical initial state for the tripled game given the original
+/// game's initial cut: clone 1 on `S_out`, clone 2 on `S_in`, clone 3 on the
+/// original player's side (`bit i` of `cut` set = `S_in`).
+///
+/// # Errors
+///
+/// Propagates state-construction errors (none for in-range cuts).
+pub fn tripled_initial_state(game: &CongestionGame, cut: u64) -> Result<State, GameError> {
+    let n = game.classes().len();
+    let mut counts = vec![0u64; game.num_strategies()];
+    for i in 0..n {
+        let side = ((cut >> i) & 1) as usize;
+        counts[2 * i] += 1; // clone 1: S_out
+        counts[2 * i + 1] += 1; // clone 2: S_in
+        counts[2 * i + side] += 1; // clone 3: mirrors the cut
+    }
+    State::from_counts(game, counts)
+}
+
+/// Whether any class has all three clones on one strategy (the collapse the
+/// Theorem 6 invariant rules out along improving imitation sequences).
+pub fn has_collapsed_class(game: &CongestionGame, state: &State) -> bool {
+    (0..game.classes().len())
+        .any(|i| state.counts()[2 * i] == 3 || state.counts()[2 * i + 1] == 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_dynamics::sequential::sequential_imitation;
+    use congames_dynamics::PivotRule;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn shape_and_initial_state() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mc = MaxCutInstance::random(4, 10, &mut rng);
+        let game = tripled_threshold_game(&mc).unwrap();
+        assert_eq!(game.total_players(), 12);
+        assert_eq!(game.classes().len(), 4);
+        let s = tripled_initial_state(&game, 0b1010).unwrap();
+        // Class 0 (bit 0 = 0): clone3 on out → counts (2, 1).
+        assert_eq!(s.counts()[0], 2);
+        assert_eq!(s.counts()[1], 1);
+        // Class 1 (bit 1 = 1): counts (1, 2).
+        assert_eq!(s.counts()[2], 1);
+        assert_eq!(s.counts()[3], 2);
+        assert!(!has_collapsed_class(&game, &s));
+    }
+
+    /// The Theorem 6 invariant: along any improving sequential-imitation
+    /// sequence from a canonical start, no class ever collapses onto a
+    /// single strategy.
+    #[test]
+    fn clones_never_collapse_along_improving_sequences() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mc = MaxCutInstance::random(5, 20, &mut rng);
+            let game = tripled_threshold_game(&mc).unwrap();
+            let cut = rng.gen::<u64>() & 0x1F;
+            let mut state = tripled_initial_state(&game, cut).unwrap();
+            // Walk improving imitation moves one at a time, checking the
+            // invariant after every step.
+            for _ in 0..200 {
+                let before = state.clone();
+                let out = sequential_imitation(
+                    &game,
+                    &mut state,
+                    0.0,
+                    1,
+                    PivotRule::Random,
+                    &mut rng,
+                )
+                .unwrap();
+                assert!(
+                    !has_collapsed_class(&game, &state),
+                    "collapse from {:?} (seed {seed})",
+                    before.counts()
+                );
+                if out.converged {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The mirroring clone's incentive matches the original game: from the
+    /// canonical state, an improving imitation move exists in class `i` iff
+    /// flipping node `i` improves the cut.
+    #[test]
+    fn mirror_incentives_match_maxcut() {
+        use congames_model::StrategyId;
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(100 + seed);
+            let mc = MaxCutInstance::random(5, 20, &mut rng);
+            let game = tripled_threshold_game(&mc).unwrap();
+            let cut = rng.gen::<u64>() & 0x1F;
+            let state = tripled_initial_state(&game, cut).unwrap();
+            for i in 0..5usize {
+                let side = ((cut >> i) & 1) as u32;
+                let from = StrategyId::new(2 * i as u32 + side);
+                let to = StrategyId::new(2 * i as u32 + (1 - side));
+                let gain = state.strategy_latency(&game, from)
+                    - state.latency_after_move(&game, from, to);
+                let cut_delta = mc.flip_delta(cut, i);
+                assert_eq!(
+                    gain > 1e-9,
+                    cut_delta > 1e-9,
+                    "player {i}: gain {gain}, cut Δ {cut_delta} (cut {cut:#b}, seed {seed})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Congestion games: resources, strategies, and player classes.
+
+use std::ops::Range;
+
+use crate::error::GameError;
+use crate::latency::LatencyFn;
+use crate::resource::{Resource, ResourceId};
+use crate::strategy::{Strategy, StrategyId};
+
+/// A group of interchangeable players sharing one strategy set.
+///
+/// A *symmetric* congestion game has a single class. Asymmetric games (such
+/// as the threshold games of Section 3.2) have one class per player or per
+/// player type; imitation then samples only within one's own class, as the
+/// paper notes after Corollary 5.
+#[derive(Debug, Clone)]
+pub struct PlayerClass {
+    name: String,
+    strategies: Range<u32>,
+    players: u64,
+}
+
+impl PlayerClass {
+    /// The class's (diagnostic) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The contiguous range of global strategy ids available to this class.
+    pub fn strategy_range(&self) -> Range<u32> {
+        self.strategies.clone()
+    }
+
+    /// Iterate over the strategy ids available to this class.
+    pub fn strategy_ids(&self) -> impl Iterator<Item = StrategyId> {
+        self.strategies.clone().map(StrategyId::new)
+    }
+
+    /// Number of strategies available to this class.
+    pub fn num_strategies(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// Number of players in this class.
+    pub fn players(&self) -> u64 {
+        self.players
+    }
+}
+
+/// An atomic congestion game with player classes.
+///
+/// Construct games with [`CongestionGame::singleton`],
+/// [`CongestionGame::symmetric`], or the incremental [`SymmetricBuilder`] /
+/// [`CongestionGame::builder`] APIs.
+///
+/// # Example
+///
+/// ```
+/// use congames_model::{CongestionGame, Monomial};
+///
+/// // Four parallel links with latency x², 100 players.
+/// let game = CongestionGame::singleton(
+///     (0..4).map(|_| Monomial::new(1.0, 2).into()).collect(),
+///     100,
+/// )?;
+/// assert_eq!(game.num_resources(), 4);
+/// assert_eq!(game.num_strategies(), 4);
+/// assert_eq!(game.total_players(), 100);
+/// # Ok::<(), congames_model::GameError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CongestionGame {
+    resources: Vec<Resource>,
+    strategies: Vec<Strategy>,
+    /// Class index of every strategy (parallel to `strategies`).
+    strategy_class: Vec<u32>,
+    classes: Vec<PlayerClass>,
+}
+
+impl CongestionGame {
+    /// Build a *singleton* (parallel-links) game: one strategy per resource,
+    /// a single symmetric class of `players`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::NoResources`] if `latencies` is empty.
+    pub fn singleton(latencies: Vec<LatencyFn>, players: u64) -> Result<Self, GameError> {
+        if latencies.is_empty() {
+            return Err(GameError::NoResources);
+        }
+        let resources: Vec<Resource> = latencies.into_iter().map(Resource::new).collect();
+        let strategies: Vec<Strategy> = (0..resources.len())
+            .map(|i| Strategy::singleton(ResourceId::new(i as u32)))
+            .collect();
+        Self::from_parts(resources, vec![("players".to_string(), strategies, players)])
+    }
+
+    /// Build a symmetric game: all `players` share the given strategy set.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `resources` or `strategies` is empty, or if a strategy
+    /// references an out-of-range resource.
+    pub fn symmetric(
+        resources: Vec<Resource>,
+        strategies: Vec<Strategy>,
+        players: u64,
+    ) -> Result<Self, GameError> {
+        Self::from_parts(resources, vec![("players".to_string(), strategies, players)])
+    }
+
+    /// Start building a game with explicit resources and (possibly several)
+    /// player classes.
+    pub fn builder() -> SymmetricBuilder {
+        SymmetricBuilder::new()
+    }
+
+    fn from_parts(
+        resources: Vec<Resource>,
+        classes: Vec<(String, Vec<Strategy>, u64)>,
+    ) -> Result<Self, GameError> {
+        if resources.is_empty() {
+            return Err(GameError::NoResources);
+        }
+        if classes.is_empty() {
+            return Err(GameError::NoClasses);
+        }
+        let mut strategies = Vec::new();
+        let mut strategy_class = Vec::new();
+        let mut class_list = Vec::new();
+        for (ci, (name, strats, players)) in classes.into_iter().enumerate() {
+            if strats.is_empty() {
+                return Err(GameError::EmptyClass);
+            }
+            let start = strategies.len() as u32;
+            for s in strats {
+                for &r in s.resources() {
+                    if r.index() >= resources.len() {
+                        return Err(GameError::UnknownResource {
+                            resource: r.raw(),
+                            resources: resources.len(),
+                        });
+                    }
+                }
+                strategies.push(s);
+                strategy_class.push(ci as u32);
+            }
+            let end = strategies.len() as u32;
+            class_list.push(PlayerClass { name, strategies: start..end, players });
+        }
+        Ok(CongestionGame { resources, strategies, strategy_class, classes: class_list })
+    }
+
+    /// The game's resources.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Number of resources (`m`).
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// The global strategy list.
+    pub fn strategies(&self) -> &[Strategy] {
+        &self.strategies
+    }
+
+    /// Number of strategies across all classes (`|P|`).
+    pub fn num_strategies(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// The player classes.
+    pub fn classes(&self) -> &[PlayerClass] {
+        &self.classes
+    }
+
+    /// Total players over all classes (`n`).
+    pub fn total_players(&self) -> u64 {
+        self.classes.iter().map(|c| c.players).sum()
+    }
+
+    /// The resource with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn resource(&self, r: ResourceId) -> &Resource {
+        &self.resources[r.index()]
+    }
+
+    /// The strategy with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn strategy(&self, s: StrategyId) -> &Strategy {
+        &self.strategies[s.index()]
+    }
+
+    /// The class index owning strategy `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn class_of(&self, s: StrategyId) -> usize {
+        self.strategy_class[s.index()] as usize
+    }
+
+    /// Validate that `s` is a known strategy id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::UnknownStrategy`] otherwise.
+    pub fn check_strategy(&self, s: StrategyId) -> Result<(), GameError> {
+        if s.index() < self.strategies.len() {
+            Ok(())
+        } else {
+            Err(GameError::UnknownStrategy { strategy: s.raw(), strategies: self.strategies.len() })
+        }
+    }
+
+    /// Latency of resource `r` at congestion `load`.
+    pub fn latency(&self, r: ResourceId, load: u64) -> f64 {
+        self.resources[r.index()].latency_at(load)
+    }
+
+    /// Maximum number of resources in any strategy (`k = max_P |P|`).
+    pub fn max_strategy_len(&self) -> usize {
+        self.strategies.iter().map(Strategy::len).max().unwrap_or(0)
+    }
+
+    /// Compute the protocol parameters (`d`, `ν`, `β`, `ℓ_min`) of this game.
+    ///
+    /// This scans all resources and strategies once; cache the result.
+    pub fn params(&self) -> GameParams {
+        GameParams::of(self)
+    }
+}
+
+/// Protocol-relevant analytic parameters of a game (Section 2.2 and 6).
+///
+/// * `d` — upper bound on the elasticity of all latency functions,
+/// * `nu` — `ν ≥ max_P ν_P` with `ν_P = Σ_{e∈P} ν_e` and
+///   `ν_e = max_{x ∈ 1..⌈max(d,1)⌉} ℓ_e(x) − ℓ_e(x−1)`,
+/// * `beta` — upper bound on the maximum slope of any latency over the full
+///   load range (used by the EXPLORATION PROTOCOL),
+/// * `ell_min` — `min_e ℓ_e(1)`, the minimum latency of an occupied resource.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameParams {
+    /// Elasticity upper bound `d`.
+    pub d: f64,
+    /// Slope bound `ν` over almost-empty strategies.
+    pub nu: f64,
+    /// Maximum slope `β` of any latency function up to full load.
+    pub beta: f64,
+    /// Minimum latency `ℓ_min = min_e ℓ_e(1)` of a singly-occupied resource.
+    pub ell_min: f64,
+}
+
+impl GameParams {
+    /// Compute the parameters of `game` (see type docs).
+    pub fn of(game: &CongestionGame) -> GameParams {
+        let n = game.total_players().max(1);
+        let mut d = 0.0_f64;
+        for r in game.resources() {
+            d = d.max(r.latency().elasticity_bound(n));
+        }
+        // ν_e uses the slope on loads 1..⌈d⌉ (at least 1).
+        let d_ceil = (d.ceil() as u64).max(1);
+        let nu_e: Vec<f64> =
+            game.resources().iter().map(|r| r.latency().max_step(0, d_ceil)).collect();
+        let mut nu = 0.0_f64;
+        for s in game.strategies() {
+            let nu_p: f64 = s.resources().iter().map(|r| nu_e[r.index()]).sum();
+            nu = nu.max(nu_p);
+        }
+        let mut beta = 0.0_f64;
+        let mut ell_min = f64::INFINITY;
+        for r in game.resources() {
+            beta = beta.max(r.latency().max_step(0, n));
+            ell_min = ell_min.min(r.latency_at(1));
+        }
+        GameParams { d, nu, beta, ell_min }
+    }
+
+    /// The damping denominator used by the IMITATION PROTOCOL: `max(d, 1)`.
+    ///
+    /// The paper's probability `λ/d · gain/ℓ_P` is stated for `d ≥ 1`; for
+    /// games whose latencies all have elasticity below one (e.g. constants)
+    /// no damping is needed, so the protocol clamps the denominator at 1.
+    pub fn damping(&self) -> f64 {
+        self.d.max(1.0)
+    }
+}
+
+/// Incremental builder for congestion games with explicit resources and one
+/// or more player classes.
+///
+/// # Example
+///
+/// ```
+/// use congames_model::{CongestionGame, Affine, Strategy, ResourceId};
+///
+/// let mut b = CongestionGame::builder();
+/// let r0 = b.add_resource(Affine::linear(1.0).into());
+/// let r1 = b.add_resource(Affine::linear(2.0).into());
+/// let r2 = b.add_resource(Affine::new(1.0, 1.0).into());
+/// b.add_class("commuters", 10, vec![
+///     Strategy::new(vec![r0, r2])?,
+///     Strategy::new(vec![r1])?,
+/// ])?;
+/// let game = b.build()?;
+/// assert_eq!(game.num_strategies(), 2);
+/// # Ok::<(), congames_model::GameError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SymmetricBuilder {
+    resources: Vec<Resource>,
+    classes: Vec<(String, Vec<Strategy>, u64)>,
+}
+
+impl SymmetricBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        SymmetricBuilder::default()
+    }
+
+    /// Add a resource; returns its id.
+    pub fn add_resource(&mut self, latency: LatencyFn) -> ResourceId {
+        self.resources.push(Resource::new(latency));
+        ResourceId::new((self.resources.len() - 1) as u32)
+    }
+
+    /// Add a named resource; returns its id.
+    pub fn add_named_resource(
+        &mut self,
+        name: impl Into<String>,
+        latency: LatencyFn,
+    ) -> ResourceId {
+        self.resources.push(Resource::named(name, latency));
+        ResourceId::new((self.resources.len() - 1) as u32)
+    }
+
+    /// Add a player class with its strategy set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::EmptyClass`] if `strategies` is empty.
+    pub fn add_class(
+        &mut self,
+        name: impl Into<String>,
+        players: u64,
+        strategies: Vec<Strategy>,
+    ) -> Result<&mut Self, GameError> {
+        if strategies.is_empty() {
+            return Err(GameError::EmptyClass);
+        }
+        self.classes.push((name.into(), strategies, players));
+        Ok(self)
+    }
+
+    /// Finish building the game.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no resources / classes were added or if a strategy references
+    /// an unknown resource.
+    pub fn build(self) -> Result<CongestionGame, GameError> {
+        CongestionGame::from_parts(self.resources, self.classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{Affine, Monomial};
+
+    #[test]
+    fn singleton_game_shape() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()],
+            5,
+        )
+        .unwrap();
+        assert_eq!(game.num_resources(), 2);
+        assert_eq!(game.num_strategies(), 2);
+        assert_eq!(game.total_players(), 5);
+        assert_eq!(game.classes().len(), 1);
+        assert_eq!(game.classes()[0].players(), 5);
+        assert_eq!(game.max_strategy_len(), 1);
+        assert_eq!(game.class_of(StrategyId::new(1)), 0);
+        assert_eq!(game.strategy(StrategyId::new(0)).resources(), &[ResourceId::new(0)]);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(matches!(CongestionGame::singleton(vec![], 5), Err(GameError::NoResources)));
+        let r: Vec<Resource> = vec![Resource::new(Affine::linear(1.0).into())];
+        assert!(matches!(
+            CongestionGame::symmetric(r, vec![], 5),
+            Err(GameError::EmptyClass) | Err(GameError::NoClasses)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_resource_is_rejected() {
+        let r = vec![Resource::new(Affine::linear(1.0).into())];
+        let s = vec![Strategy::new(vec![ResourceId::new(3)]).unwrap()];
+        assert!(matches!(
+            CongestionGame::symmetric(r, s, 2),
+            Err(GameError::UnknownResource { resource: 3, resources: 1 })
+        ));
+    }
+
+    #[test]
+    fn builder_multi_class() {
+        let mut b = CongestionGame::builder();
+        let r0 = b.add_resource(Affine::linear(1.0).into());
+        let r1 = b.add_named_resource("fast", Affine::linear(2.0).into());
+        b.add_class("a", 3, vec![Strategy::singleton(r0)]).unwrap();
+        b.add_class("b", 4, vec![Strategy::singleton(r0), Strategy::singleton(r1)]).unwrap();
+        let game = b.build().unwrap();
+        assert_eq!(game.classes().len(), 2);
+        assert_eq!(game.total_players(), 7);
+        assert_eq!(game.class_of(StrategyId::new(0)), 0);
+        assert_eq!(game.class_of(StrategyId::new(1)), 1);
+        assert_eq!(game.class_of(StrategyId::new(2)), 1);
+        assert_eq!(game.classes()[1].num_strategies(), 2);
+        assert_eq!(game.resource(r1).name(), Some("fast"));
+        let ids: Vec<_> = game.classes()[1].strategy_ids().collect();
+        assert_eq!(ids, vec![StrategyId::new(1), StrategyId::new(2)]);
+    }
+
+    #[test]
+    fn check_strategy_bounds() {
+        let game = CongestionGame::singleton(vec![Affine::linear(1.0).into()], 1).unwrap();
+        assert!(game.check_strategy(StrategyId::new(0)).is_ok());
+        assert!(matches!(
+            game.check_strategy(StrategyId::new(9)),
+            Err(GameError::UnknownStrategy { .. })
+        ));
+    }
+
+    #[test]
+    fn params_linear_game() {
+        // Two linear links a=1, a=3: d = 1, ν = max slope on loads ≤ 1 = 3,
+        // β = 3, ℓ_min = 1.
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(3.0).into()],
+            10,
+        )
+        .unwrap();
+        let p = game.params();
+        assert!((p.d - 1.0).abs() < 1e-12);
+        assert!((p.nu - 3.0).abs() < 1e-12);
+        assert!((p.beta - 3.0).abs() < 1e-12);
+        assert!((p.ell_min - 1.0).abs() < 1e-12);
+        assert!((p.damping() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_polynomial_game() {
+        // x³ on both links, 10 players: d = 3, ν_e over x ∈ 1..3 = 3³-2³ = 19,
+        // β = 10³ - 9³ = 271.
+        let game = CongestionGame::singleton(
+            vec![Monomial::new(1.0, 3).into(), Monomial::new(1.0, 3).into()],
+            10,
+        )
+        .unwrap();
+        let p = game.params();
+        assert!((p.d - 3.0).abs() < 1e-12);
+        assert!((p.nu - 19.0).abs() < 1e-12);
+        assert!((p.beta - 271.0).abs() < 1e-12);
+        assert!((p.damping() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_nu_sums_over_path() {
+        // A two-edge path with slopes 1 and 2 ⇒ ν_P = 3.
+        let mut b = CongestionGame::builder();
+        let r0 = b.add_resource(Affine::linear(1.0).into());
+        let r1 = b.add_resource(Affine::linear(2.0).into());
+        b.add_class("c", 2, vec![Strategy::new(vec![r0, r1]).unwrap()]).unwrap();
+        let game = b.build().unwrap();
+        assert!((game.params().nu - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn game_is_clone_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<CongestionGame>();
+    }
+}

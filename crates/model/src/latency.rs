@@ -1,0 +1,801 @@
+//! Latency functions and their analytic bounds.
+//!
+//! The paper works with non-decreasing, differentiable latency functions
+//! `ℓ_e : R≥0 → R≥0` with `ℓ_e(x) > 0` for `x > 0`. Three derived quantities
+//! drive the protocols:
+//!
+//! * the **elasticity** `d ≥ sup_x ℓ'(x)·x / ℓ(x)` (Section 2.2), which damps
+//!   the imitation migration probability (`μ = λ/d · gain/ℓ_P`),
+//! * the **slope on almost-empty resources**
+//!   `ν_e = max_{x ∈ 1..⌈d⌉} ℓ(x) − ℓ(x−1)`, which bounds probabilistic
+//!   effects on lightly loaded resources and defines the `ν` threshold of the
+//!   IMITATION PROTOCOL,
+//! * the **maximum slope** `β ≥ max_x ℓ(x) − ℓ(x−1)`, used by the
+//!   EXPLORATION PROTOCOL (Section 6).
+//!
+//! Each standard family implements these analytically ([`Constant`],
+//! [`Affine`], [`Monomial`], [`Polynomial`], the traffic-engineering
+//! [`Bpr`] function); [`FnLatency`] wraps a closure and estimates them
+//! numerically.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A non-decreasing latency function evaluated at integer congestion values.
+///
+/// Implementations must be non-decreasing and non-negative; the protocols in
+/// `congames-dynamics` additionally assume `value(x) > 0` for `x > 0`
+/// (as the paper does). All implementations in this module satisfy both when
+/// constructed with non-negative parameters.
+///
+/// # Example
+///
+/// ```
+/// use congames_model::{Latency, Monomial};
+/// let l = Monomial::new(2.0, 3); // 2·x³
+/// assert_eq!(l.value(2), 16.0);
+/// assert_eq!(l.elasticity_bound(100), 3.0);
+/// ```
+pub trait Latency: fmt::Debug + Send + Sync {
+    /// Latency at integer congestion `load`.
+    fn value(&self, load: u64) -> f64;
+
+    /// An upper bound on the elasticity `ℓ'(x)·x / ℓ(x)` over `(0, max_load]`.
+    ///
+    /// The default implementation estimates the bound numerically from the
+    /// integer samples `value(0..=max_load)` using forward differences; exact
+    /// families override it.
+    fn elasticity_bound(&self, max_load: u64) -> f64 {
+        estimate_elasticity(&|x| self.value(x), max_load)
+    }
+
+    /// The maximum increment `value(x) − value(x−1)` over `x ∈ lo+1 ..= hi`.
+    ///
+    /// Used for the `ν_e` bound (with `hi = ⌈d⌉`) and the `β` bound (with
+    /// `hi = n`). The default implementation scans the range; convex families
+    /// override with the closed form `value(hi) − value(hi−1)`.
+    fn max_step(&self, lo: u64, hi: u64) -> f64 {
+        let mut best = 0.0_f64;
+        let mut prev = self.value(lo);
+        for x in lo + 1..=hi {
+            let v = self.value(x);
+            best = best.max(v - prev);
+            prev = v;
+        }
+        best
+    }
+
+    /// Latency at a *fractional* congestion (non-atomic / Wardrop model).
+    ///
+    /// The default linearly interpolates between the neighbouring integer
+    /// values; analytic families override with the exact formula.
+    fn value_at(&self, load: f64) -> f64 {
+        debug_assert!(load >= 0.0 && load.is_finite(), "fractional load must be ≥ 0");
+        let lo = load.floor();
+        let frac = load - lo;
+        let v_lo = self.value(lo as u64);
+        if frac == 0.0 {
+            return v_lo;
+        }
+        let v_hi = self.value(lo as u64 + 1);
+        v_lo + frac * (v_hi - v_lo)
+    }
+
+    /// The primitive `∫_0^load ℓ(u) du` (the Beckmann / continuous Rosenthal
+    /// potential contribution of one resource).
+    ///
+    /// The default integrates the interpolated [`Latency::value_at`] by the
+    /// trapezoid rule over unit intervals (exact for the default
+    /// interpolation); analytic families override with closed forms.
+    fn integral_to(&self, load: f64) -> f64 {
+        debug_assert!(load >= 0.0 && load.is_finite(), "fractional load must be ≥ 0");
+        let whole = load.floor() as u64;
+        let mut acc = 0.0;
+        let mut prev = self.value(0);
+        for x in 1..=whole {
+            let v = self.value(x);
+            acc += 0.5 * (prev + v);
+            prev = v;
+        }
+        let frac = load - whole as f64;
+        if frac > 0.0 {
+            acc += 0.5 * frac * (prev + self.value_at(load));
+        }
+        acc
+    }
+}
+
+/// Numerically estimate an elasticity upper bound from integer samples.
+///
+/// For a differentiable non-decreasing `ℓ`, the elasticity at `x` is
+/// `ℓ'(x)·x/ℓ(x)`; we bound `ℓ'` on `[x, x+1]` by the forward difference and
+/// evaluate at the right end, adding a small safety margin. This is a *bound
+/// estimate*, not an exact supremum; standard families use closed forms.
+pub fn estimate_elasticity(f: &dyn Fn(u64) -> f64, max_load: u64) -> f64 {
+    let mut best = 0.0_f64;
+    let mut prev = f(0);
+    for x in 1..=max_load.max(1) {
+        let v = f(x);
+        if v > 0.0 {
+            // slope on [x-1, x] by forward difference, evaluated at (x, f(x)).
+            let slope = v - prev;
+            best = best.max(slope * x as f64 / v);
+        }
+        prev = v;
+    }
+    best
+}
+
+/// A shared, type-erased latency function.
+///
+/// `CongestionGame` stores latencies as `LatencyFn` so games are cheap to
+/// clone and can mix families.
+pub type LatencyFn = Arc<dyn Latency>;
+
+/// A constant latency `ℓ(x) = c`.
+///
+/// Elasticity 0, slope 0. Useful for modeling fixed-delay links (e.g. the
+/// constant link of the overshooting instance in Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    c: f64,
+}
+
+impl Constant {
+    /// Create the constant latency `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative or not finite.
+    pub fn new(c: f64) -> Self {
+        assert!(c.is_finite() && c >= 0.0, "constant latency must be finite and non-negative");
+        Constant { c }
+    }
+
+    /// The constant value.
+    pub fn value_const(&self) -> f64 {
+        self.c
+    }
+}
+
+impl Latency for Constant {
+    fn value(&self, _load: u64) -> f64 {
+        self.c
+    }
+
+    fn elasticity_bound(&self, _max_load: u64) -> f64 {
+        0.0
+    }
+
+    fn max_step(&self, _lo: u64, _hi: u64) -> f64 {
+        0.0
+    }
+
+    fn value_at(&self, _load: f64) -> f64 {
+        self.c
+    }
+
+    fn integral_to(&self, load: f64) -> f64 {
+        self.c * load
+    }
+}
+
+impl From<Constant> for LatencyFn {
+    fn from(l: Constant) -> LatencyFn {
+        Arc::new(l)
+    }
+}
+
+/// An affine latency `ℓ(x) = a·x + b` with `a, b ≥ 0`.
+///
+/// Elasticity `a·x/(a·x+b) ≤ 1`; slope `a` everywhere. The linear case
+/// (`b = 0`) is the setting of the Price-of-Imitation analysis (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    a: f64,
+    b: f64,
+}
+
+impl Affine {
+    /// Create `ℓ(x) = a·x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is negative or not finite.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a.is_finite() && a >= 0.0, "affine coefficient must be finite and non-negative");
+        assert!(b.is_finite() && b >= 0.0, "affine offset must be finite and non-negative");
+        Affine { a, b }
+    }
+
+    /// Create the linear latency `ℓ(x) = a·x` (no offset).
+    pub fn linear(a: f64) -> Self {
+        Affine::new(a, 0.0)
+    }
+
+    /// The slope `a`.
+    pub fn slope(&self) -> f64 {
+        self.a
+    }
+
+    /// The offset `b`.
+    pub fn offset(&self) -> f64 {
+        self.b
+    }
+
+    /// The player-normalized version `ℓ(x/n) = (a/n)·x + b` used by
+    /// Theorem 9 (players of weight `1/n`).
+    pub fn scaled_by_players(&self, n: u64) -> Affine {
+        assert!(n > 0, "scaling requires at least one player");
+        Affine::new(self.a / n as f64, self.b)
+    }
+}
+
+impl Latency for Affine {
+    fn value(&self, load: u64) -> f64 {
+        self.a * load as f64 + self.b
+    }
+
+    fn elasticity_bound(&self, max_load: u64) -> f64 {
+        if self.a == 0.0 {
+            return 0.0;
+        }
+        if self.b == 0.0 {
+            return 1.0;
+        }
+        let x = max_load.max(1) as f64;
+        self.a * x / (self.a * x + self.b)
+    }
+
+    fn max_step(&self, lo: u64, hi: u64) -> f64 {
+        if hi > lo {
+            self.a
+        } else {
+            0.0
+        }
+    }
+
+    fn value_at(&self, load: f64) -> f64 {
+        self.a * load + self.b
+    }
+
+    fn integral_to(&self, load: f64) -> f64 {
+        0.5 * self.a * load * load + self.b * load
+    }
+}
+
+impl From<Affine> for LatencyFn {
+    fn from(l: Affine) -> LatencyFn {
+        Arc::new(l)
+    }
+}
+
+/// A monomial latency `ℓ(x) = a·x^k` with `a ≥ 0`, integer degree `k ≥ 1`.
+///
+/// Elasticity exactly `k` — the canonical example from Section 2.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Monomial {
+    a: f64,
+    k: u32,
+}
+
+impl Monomial {
+    /// Create `ℓ(x) = a·x^k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is negative or not finite, or if `k == 0` (use
+    /// [`Constant`] for degree zero).
+    pub fn new(a: f64, k: u32) -> Self {
+        assert!(a.is_finite() && a >= 0.0, "monomial coefficient must be finite and non-negative");
+        assert!(k >= 1, "monomial degree must be at least 1; use Constant for degree 0");
+        Monomial { a, k }
+    }
+
+    /// The coefficient `a`.
+    pub fn coefficient(&self) -> f64 {
+        self.a
+    }
+
+    /// The degree `k`.
+    pub fn degree(&self) -> u32 {
+        self.k
+    }
+
+    /// The player-normalized version `ℓ(x/n) = (a/n^k)·x^k` (Theorem 9).
+    pub fn scaled_by_players(&self, n: u64) -> Monomial {
+        assert!(n > 0, "scaling requires at least one player");
+        Monomial::new(self.a / (n as f64).powi(self.k as i32), self.k)
+    }
+}
+
+impl Latency for Monomial {
+    fn value(&self, load: u64) -> f64 {
+        self.a * (load as f64).powi(self.k as i32)
+    }
+
+    fn elasticity_bound(&self, _max_load: u64) -> f64 {
+        if self.a == 0.0 {
+            0.0
+        } else {
+            self.k as f64
+        }
+    }
+
+    fn max_step(&self, lo: u64, hi: u64) -> f64 {
+        // x^k is convex for k ≥ 1, so the largest step is the last one.
+        if hi > lo {
+            self.value(hi) - self.value(hi - 1)
+        } else {
+            0.0
+        }
+    }
+
+    fn value_at(&self, load: f64) -> f64 {
+        self.a * load.powi(self.k as i32)
+    }
+
+    fn integral_to(&self, load: f64) -> f64 {
+        self.a * load.powi(self.k as i32 + 1) / (self.k as f64 + 1.0)
+    }
+}
+
+impl From<Monomial> for LatencyFn {
+    fn from(l: Monomial) -> LatencyFn {
+        Arc::new(l)
+    }
+}
+
+/// A polynomial latency `ℓ(x) = Σ_k a_k·x^k` with non-negative coefficients.
+///
+/// With non-negative coefficients the elasticity is bounded by the maximum
+/// degree with a non-zero coefficient, and the function is convex, so both
+/// bounds have closed forms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    /// `coeffs[k]` is the coefficient of `x^k`.
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Create a polynomial from coefficients (`coeffs[k]` multiplies `x^k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative or not finite, or if all
+    /// coefficients are zero.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(
+            coeffs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "polynomial coefficients must be finite and non-negative"
+        );
+        assert!(coeffs.iter().any(|c| *c > 0.0), "polynomial must have a positive coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Coefficients (`[k]` multiplies `x^k`).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Highest degree with a non-zero coefficient.
+    pub fn degree(&self) -> u32 {
+        self.coeffs.iter().rposition(|c| *c > 0.0).unwrap_or(0) as u32
+    }
+
+    /// The player-normalized version `ℓ(x/n)` (coefficient of `x^k` divided
+    /// by `n^k`), as used by Theorem 9.
+    pub fn scaled_by_players(&self, n: u64) -> Polynomial {
+        assert!(n > 0, "scaling requires at least one player");
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, a)| a / (n as f64).powi(k as i32))
+            .collect();
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Latency for Polynomial {
+    fn value(&self, load: u64) -> f64 {
+        let x = load as f64;
+        // Horner's rule.
+        self.coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
+    }
+
+    fn elasticity_bound(&self, _max_load: u64) -> f64 {
+        // For Σ a_k x^k with a_k ≥ 0: ℓ'(x)·x = Σ k·a_k·x^k ≤ d·ℓ(x).
+        self.degree() as f64
+    }
+
+    fn max_step(&self, lo: u64, hi: u64) -> f64 {
+        // Convex (non-negative coefficients) ⇒ the last step is the largest.
+        if hi > lo {
+            self.value(hi) - self.value(hi - 1)
+        } else {
+            0.0
+        }
+    }
+
+    fn value_at(&self, load: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, c| acc * load + c)
+    }
+
+    fn integral_to(&self, load: f64) -> f64 {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, a)| a * load.powi(k as i32 + 1) / (k as f64 + 1.0))
+            .sum()
+    }
+}
+
+impl From<Polynomial> for LatencyFn {
+    fn from(l: Polynomial) -> LatencyFn {
+        Arc::new(l)
+    }
+}
+
+/// The Bureau of Public Roads (BPR) travel-time function
+/// `ℓ(x) = t0·(1 + α·(x/c)^k)`: free-flow time `t0`, practical capacity
+/// `c`, and the classic parameters `α = 0.15`, `k = 4`.
+///
+/// The standard of traffic-assignment practice; a polynomial with positive
+/// offset, so its elasticity is strictly below `k` and the protocols damp
+/// less than for pure monomials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bpr {
+    t0: f64,
+    alpha: f64,
+    capacity: f64,
+    k: u32,
+}
+
+impl Bpr {
+    /// Create a BPR latency with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t0 > 0`, `α ≥ 0`, `capacity > 0`, `k ≥ 1` (all
+    /// finite).
+    pub fn new(t0: f64, alpha: f64, capacity: f64, k: u32) -> Self {
+        assert!(t0.is_finite() && t0 > 0.0, "free-flow time must be positive");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(k >= 1, "BPR exponent must be at least 1");
+        Bpr { t0, alpha, capacity, k }
+    }
+
+    /// The standard parametrization `α = 0.15`, `k = 4`.
+    pub fn standard(t0: f64, capacity: f64) -> Self {
+        Bpr::new(t0, 0.15, capacity, 4)
+    }
+
+    /// Free-flow travel time `t0`.
+    pub fn free_flow(&self) -> f64 {
+        self.t0
+    }
+
+    /// Practical capacity `c`.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+impl Latency for Bpr {
+    fn value(&self, load: u64) -> f64 {
+        self.value_at(load as f64)
+    }
+
+    fn value_at(&self, load: f64) -> f64 {
+        self.t0 * (1.0 + self.alpha * (load / self.capacity).powi(self.k as i32))
+    }
+
+    fn elasticity_bound(&self, _max_load: u64) -> f64 {
+        // ℓ'(x)·x/ℓ(x) = k·α·r^k/(1 + α·r^k) < k with r = x/c.
+        self.k as f64
+    }
+
+    fn max_step(&self, lo: u64, hi: u64) -> f64 {
+        // Convex for k ≥ 1 ⇒ last step is largest.
+        if hi > lo {
+            self.value(hi) - self.value(hi - 1)
+        } else {
+            0.0
+        }
+    }
+
+    fn integral_to(&self, load: f64) -> f64 {
+        let r = load / self.capacity;
+        self.t0 * (load + self.alpha * self.capacity * r.powi(self.k as i32 + 1)
+            / (self.k as f64 + 1.0))
+    }
+}
+
+impl From<Bpr> for LatencyFn {
+    fn from(l: Bpr) -> LatencyFn {
+        Arc::new(l)
+    }
+}
+
+/// A latency defined by an arbitrary closure, with user-supplied or
+/// numerically estimated bounds.
+///
+/// Prefer the analytic families when possible; this type exists for custom
+/// experiments (e.g. piecewise or capped latencies).
+#[derive(Clone)]
+pub struct FnLatency {
+    f: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
+    elasticity: Option<f64>,
+    label: &'static str,
+}
+
+impl FnLatency {
+    /// Wrap a closure, estimating the elasticity numerically on demand.
+    ///
+    /// The closure must be non-decreasing and non-negative; this is the
+    /// caller's responsibility (checked only in debug builds, lazily).
+    pub fn new(label: &'static str, f: impl Fn(u64) -> f64 + Send + Sync + 'static) -> Self {
+        FnLatency { f: Arc::new(f), elasticity: None, label }
+    }
+
+    /// Wrap a closure with a known elasticity upper bound.
+    pub fn with_elasticity(
+        label: &'static str,
+        elasticity: f64,
+        f: impl Fn(u64) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        assert!(elasticity.is_finite() && elasticity >= 0.0, "elasticity bound must be ≥ 0");
+        FnLatency { f: Arc::new(f), elasticity: Some(elasticity), label }
+    }
+}
+
+impl fmt::Debug for FnLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnLatency")
+            .field("label", &self.label)
+            .field("elasticity", &self.elasticity)
+            .finish()
+    }
+}
+
+impl Latency for FnLatency {
+    fn value(&self, load: u64) -> f64 {
+        (self.f)(load)
+    }
+
+    fn elasticity_bound(&self, max_load: u64) -> f64 {
+        match self.elasticity {
+            Some(d) => d,
+            None => estimate_elasticity(&|x| (self.f)(x), max_load),
+        }
+    }
+}
+
+impl From<FnLatency> for LatencyFn {
+    fn from(l: FnLatency) -> LatencyFn {
+        Arc::new(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn constant_basics() {
+        let c = Constant::new(4.5);
+        assert_close(c.value(0), 4.5);
+        assert_close(c.value(100), 4.5);
+        assert_close(c.elasticity_bound(100), 0.0);
+        assert_close(c.max_step(0, 10), 0.0);
+        assert_close(c.value_const(), 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn constant_rejects_negative() {
+        let _ = Constant::new(-1.0);
+    }
+
+    #[test]
+    fn affine_values_and_bounds() {
+        let l = Affine::new(2.0, 3.0);
+        assert_close(l.value(0), 3.0);
+        assert_close(l.value(5), 13.0);
+        assert_close(l.max_step(0, 7), 2.0);
+        assert!(l.elasticity_bound(10) < 1.0);
+        let lin = Affine::linear(2.0);
+        assert_close(lin.elasticity_bound(10), 1.0);
+        assert_close(lin.value(4), 8.0);
+    }
+
+    #[test]
+    fn affine_elasticity_monotone_in_load() {
+        let l = Affine::new(1.0, 10.0);
+        assert!(l.elasticity_bound(2) < l.elasticity_bound(100));
+        assert!(l.elasticity_bound(100) < 1.0);
+    }
+
+    #[test]
+    fn affine_scaling_divides_slope() {
+        let l = Affine::new(3.0, 1.0).scaled_by_players(3);
+        assert_close(l.value(3), 4.0); // 1·3 + 1
+        assert_close(l.offset(), 1.0);
+        assert_close(l.slope(), 1.0);
+    }
+
+    #[test]
+    fn monomial_elasticity_is_degree() {
+        for k in 1..6 {
+            let l = Monomial::new(1.5, k);
+            assert_close(l.elasticity_bound(1000), k as f64);
+        }
+    }
+
+    #[test]
+    fn monomial_max_step_is_last_step() {
+        let l = Monomial::new(1.0, 3);
+        // steps: 1, 7, 19, 37 for x = 1..4
+        assert_close(l.max_step(0, 4), 37.0);
+        assert_close(l.max_step(0, 1), 1.0);
+        assert_close(l.max_step(2, 2), 0.0);
+    }
+
+    #[test]
+    fn monomial_scaled_matches_continuous_form() {
+        // ℓ(x) = 2 x², n = 4 ⇒ ℓⁿ(x) = 2 (x/4)² = x²/8
+        let l = Monomial::new(2.0, 2).scaled_by_players(4);
+        assert_close(l.value(4), 2.0);
+        assert_close(l.value(8), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn monomial_rejects_degree_zero() {
+        let _ = Monomial::new(1.0, 0);
+    }
+
+    #[test]
+    fn polynomial_horner_matches_naive() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 4.0]);
+        for x in 0..10u64 {
+            let xf = x as f64;
+            let naive = 1.0 + 2.0 * xf + 4.0 * xf.powi(3);
+            assert_close(p.value(x), naive);
+        }
+    }
+
+    #[test]
+    fn polynomial_degree_ignores_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_close(p.elasticity_bound(100), 1.0);
+    }
+
+    #[test]
+    fn polynomial_elasticity_bound_dominates_numeric_estimate() {
+        let p = Polynomial::new(vec![0.5, 1.0, 2.0, 3.0]);
+        let analytic = p.elasticity_bound(50);
+        let numeric = estimate_elasticity(&|x| p.value(x), 50);
+        // The analytic degree bound must dominate the numeric estimate
+        // (forward differences over-estimate slope slightly on convex
+        // functions, so allow a small margin).
+        assert!(numeric <= analytic + 0.51, "numeric {numeric} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn polynomial_scaling() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]).scaled_by_players(2);
+        // 1 + 2(x/2) + 3(x/2)^2 = 1 + x + 0.75 x²
+        assert_close(p.value(2), 1.0 + 2.0 + 3.0);
+    }
+
+    #[test]
+    fn fn_latency_numeric_elasticity_close_to_true() {
+        // ℓ(x) = x² has elasticity 2.
+        let l = FnLatency::new("square", |x| (x as f64).powi(2));
+        let e = l.elasticity_bound(200);
+        assert!(e >= 1.9 && e <= 2.6, "estimated elasticity {e}");
+    }
+
+    #[test]
+    fn fn_latency_with_declared_elasticity() {
+        let l = FnLatency::with_elasticity("cube", 3.0, |x| (x as f64).powi(3));
+        assert_close(l.elasticity_bound(10), 3.0);
+        assert!(format!("{l:?}").contains("cube"));
+    }
+
+    #[test]
+    fn max_step_default_scans_range() {
+        // A concave-ish step function: steps 5, 1, 1, ...
+        let l = FnLatency::new("steps", |x| if x == 0 { 0.0 } else { 4.0 + x as f64 });
+        assert_close(l.max_step(0, 5), 5.0);
+        assert_close(l.max_step(1, 5), 1.0);
+    }
+
+    #[test]
+    fn fractional_values_match_analytic_forms() {
+        let a = Affine::new(2.0, 1.0);
+        assert_close(a.value_at(2.5), 6.0);
+        assert_close(a.integral_to(2.0), 6.0); // x² + x at 2
+        let m = Monomial::new(3.0, 2);
+        assert_close(m.value_at(0.5), 0.75);
+        assert_close(m.integral_to(2.0), 8.0); // x³ at 2
+        let p = Polynomial::new(vec![1.0, 0.0, 3.0]);
+        assert_close(p.value_at(1.5), 1.0 + 3.0 * 2.25);
+        assert_close(p.integral_to(1.0), 1.0 + 1.0); // x + x³ at 1
+        let c = Constant::new(4.0);
+        assert_close(c.value_at(3.7), 4.0);
+        assert_close(c.integral_to(2.5), 10.0);
+    }
+
+    #[test]
+    fn default_interpolation_and_integral_are_consistent() {
+        // FnLatency uses the trait defaults: interpolation is piecewise
+        // linear, and the trapezoid integral is exact for it.
+        let l = FnLatency::new("square", |x| (x as f64).powi(2));
+        assert_close(l.value_at(2.0), 4.0);
+        assert_close(l.value_at(2.5), 6.5); // midpoint of 4 and 9
+        // ∫ of the interpolant over [0,3]: 0.5(0+1) + 0.5(1+4) + 0.5(4+9)
+        assert_close(l.integral_to(3.0), 9.5);
+        // Partial interval: ∫_0^2.5 = 0.5(0+1) + 0.5(1+4) + 0.5·0.5·(4+6.5)
+        assert_close(l.integral_to(2.5), 3.0 + 2.625);
+    }
+
+    #[test]
+    fn integral_is_monotone_and_superadditive_for_convex() {
+        let m = Monomial::new(1.0, 3);
+        let mut prev = 0.0;
+        for i in 1..10 {
+            let x = i as f64 * 0.7;
+            let v = m.integral_to(x);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bpr_values_and_bounds() {
+        let l = Bpr::standard(10.0, 100.0);
+        assert_close(l.value(0), 10.0);
+        // At capacity: t0·(1 + 0.15) = 11.5.
+        assert_close(l.value(100), 11.5);
+        assert_close(l.elasticity_bound(1000), 4.0);
+        assert!(l.max_step(0, 200) > l.max_step(0, 100));
+        assert_close(l.free_flow(), 10.0);
+        assert_close(l.capacity(), 100.0);
+    }
+
+    #[test]
+    fn bpr_integral_matches_closed_form() {
+        let l = Bpr::new(2.0, 0.5, 10.0, 2);
+        // ∫ 2(1 + 0.5(x/10)²) = 2x + x³/300
+        let x = 20.0;
+        assert_close(l.integral_to(x), 2.0 * x + x.powi(3) / 300.0);
+    }
+
+    #[test]
+    fn bpr_elasticity_below_exponent_numerically() {
+        let l = Bpr::standard(5.0, 50.0);
+        let est = estimate_elasticity(&|x| l.value(x), 500);
+        assert!(est < 4.0, "numeric elasticity {est} should be below k = 4");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn bpr_rejects_zero_capacity() {
+        let _ = Bpr::standard(1.0, 0.0);
+    }
+
+    #[test]
+    fn latency_fn_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LatencyFn>();
+    }
+}

@@ -1,0 +1,70 @@
+//! # congames-model
+//!
+//! The congestion-game substrate for the `congames` project: a faithful
+//! implementation of the model of *"Concurrent Imitation Dynamics in
+//! Congestion Games"* (Ackermann, Berenbrink, Fischer, Hoefer; PODC 2009).
+//!
+//! A congestion game consists of a set of [`Resource`]s, each equipped with a
+//! non-decreasing [`Latency`] function, and a set of [`Strategy`]s (subsets of
+//! resources). Players are anonymous and grouped into [`PlayerClass`]es; a
+//! *symmetric* game has a single class whose strategy set is shared by all
+//! players. A [`State`] records how many players use each strategy and,
+//! derived from that, the *congestion* (load) of every resource.
+//!
+//! The crate provides:
+//!
+//! * latency families with analytic *elasticity* and *slope* bounds
+//!   ([`latency`]),
+//! * Rosenthal's potential function, both from scratch and incrementally
+//!   ([`potential()`]),
+//! * the average latencies `L_av` and `L+_av` and the social-cost measures
+//!   used throughout the paper ([`metrics`], [`social`]),
+//! * the solution concepts: Nash equilibria, imitation-stable states, and
+//!   (δ,ε,ν)-equilibria of Definition 1 ([`equilibrium`]).
+//!
+//! # Example
+//!
+//! ```
+//! use congames_model::{CongestionGame, Affine, State};
+//!
+//! // Two parallel links with latencies x and 2x, shared by 12 players.
+//! let game = CongestionGame::singleton(
+//!     vec![Affine::new(1.0, 0.0).into(), Affine::new(2.0, 0.0).into()],
+//!     12,
+//! )?;
+//! // All players start on the slow link.
+//! let state = State::from_counts(&game, vec![0, 12])?;
+//! assert_eq!(state.load(congames_model::ResourceId::new(1)), 12);
+//! let phi = congames_model::potential(&game, &state);
+//! assert!(phi > 0.0);
+//! # Ok::<(), congames_model::GameError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod equilibrium;
+mod error;
+pub mod game;
+pub mod latency;
+pub mod metrics;
+pub mod potential;
+mod resource;
+pub mod social;
+mod state;
+mod strategy;
+
+pub use equilibrium::{
+    best_deviation, is_imitation_stable, is_nash_equilibrium, ApproxEquilibrium, ApproxStatus,
+    BestDeviation,
+};
+pub use error::GameError;
+pub use game::{CongestionGame, GameParams, PlayerClass, SymmetricBuilder};
+pub use latency::{Affine, Bpr, Constant, FnLatency, Latency, LatencyFn, Monomial, Polynomial};
+pub use metrics::{average_latency, average_latency_plus, makespan, ClassMetrics};
+pub use potential::{potential, potential_delta_for_load_change, potential_of_loads};
+pub use resource::{Resource, ResourceId};
+pub use social::{average_social_cost, total_latency, LinearSingleton};
+pub use state::{Migration, State};
+pub use strategy::{Strategy, StrategyId};

@@ -1,0 +1,179 @@
+//! Average latencies and per-class aggregates.
+//!
+//! The paper's approximate-equilibrium notion (Definition 1) compares player
+//! latencies against the averages
+//!
+//! * `L_av(x) = Σ_P (x_P/n) · ℓ_P(x)` and
+//! * `L+_av(x) = Σ_P (x_P/n) · ℓ_P(x + 1_P)`
+//!
+//! where the latter accounts for the latency increase a migrating player
+//! inflicts on its destination.
+
+use crate::game::CongestionGame;
+use crate::state::State;
+use crate::strategy::StrategyId;
+
+/// Aggregate latency statistics of one player class in a state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMetrics {
+    /// Players in the class.
+    pub players: u64,
+    /// Average latency `L_av` over the class's players.
+    pub l_av: f64,
+    /// Average ex-post latency `L+_av` over the class's players.
+    pub l_av_plus: f64,
+    /// Maximum latency among used strategies.
+    pub max_latency: f64,
+    /// Minimum latency among used strategies.
+    pub min_latency: f64,
+}
+
+impl ClassMetrics {
+    /// Compute the metrics of class `class` of `game` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range. Classes with zero players report
+    /// zero averages and an empty min/max (`max_latency = 0`,
+    /// `min_latency = +∞` is avoided by reporting 0 for both).
+    pub fn of(game: &CongestionGame, state: &State, class: usize) -> ClassMetrics {
+        let cl = &game.classes()[class];
+        let n = cl.players();
+        if n == 0 {
+            return ClassMetrics {
+                players: 0,
+                l_av: 0.0,
+                l_av_plus: 0.0,
+                max_latency: 0.0,
+                min_latency: 0.0,
+            };
+        }
+        let mut sum = 0.0;
+        let mut sum_plus = 0.0;
+        let mut max_l = f64::NEG_INFINITY;
+        let mut min_l = f64::INFINITY;
+        for sid in cl.strategy_ids() {
+            let c = state.count(sid);
+            if c == 0 {
+                continue;
+            }
+            let l = state.strategy_latency(game, sid);
+            let lp = state.strategy_latency_plus(game, sid);
+            let w = c as f64;
+            sum += w * l;
+            sum_plus += w * lp;
+            max_l = max_l.max(l);
+            min_l = min_l.min(l);
+        }
+        let nf = n as f64;
+        ClassMetrics {
+            players: n,
+            l_av: sum / nf,
+            l_av_plus: sum_plus / nf,
+            max_latency: max_l,
+            min_latency: min_l,
+        }
+    }
+}
+
+/// Average latency `L_av(x)` over *all* players of the game.
+pub fn average_latency(game: &CongestionGame, state: &State) -> f64 {
+    weighted_average(game, state, |s| state.strategy_latency(game, s))
+}
+
+/// Average ex-post latency `L+_av(x)` over all players of the game.
+pub fn average_latency_plus(game: &CongestionGame, state: &State) -> f64 {
+    weighted_average(game, state, |s| state.strategy_latency_plus(game, s))
+}
+
+/// Maximum latency sustained by any player (the *makespan*).
+///
+/// Returns 0 for games without players.
+pub fn makespan(game: &CongestionGame, state: &State) -> f64 {
+    let mut max_l = 0.0_f64;
+    for (i, &c) in state.counts().iter().enumerate() {
+        if c > 0 {
+            max_l = max_l.max(state.strategy_latency(game, StrategyId::new(i as u32)));
+        }
+    }
+    max_l
+}
+
+fn weighted_average(
+    game: &CongestionGame,
+    state: &State,
+    f: impl Fn(StrategyId) -> f64,
+) -> f64 {
+    let n = game.total_players();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (i, &c) in state.counts().iter().enumerate() {
+        if c > 0 {
+            sum += c as f64 * f(StrategyId::new(i as u32));
+        }
+    }
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Affine;
+
+    #[test]
+    fn averages_on_two_links() {
+        // ℓ1 = x, ℓ2 = 2x; counts (3, 1):
+        // latencies 3 and 2 ⇒ L_av = (3·3 + 1·2)/4 = 11/4.
+        // L+ = (3·4 + 1·4)/4 = 4.
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()],
+            4,
+        )
+        .unwrap();
+        let s = State::from_counts(&game, vec![3, 1]).unwrap();
+        assert!((average_latency(&game, &s) - 2.75).abs() < 1e-12);
+        assert!((average_latency_plus(&game, &s) - 4.0).abs() < 1e-12);
+        assert!((makespan(&game, &s) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_metrics_match_global_for_single_class() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()],
+            4,
+        )
+        .unwrap();
+        let s = State::from_counts(&game, vec![3, 1]).unwrap();
+        let m = ClassMetrics::of(&game, &s, 0);
+        assert!((m.l_av - average_latency(&game, &s)).abs() < 1e-12);
+        assert!((m.l_av_plus - average_latency_plus(&game, &s)).abs() < 1e-12);
+        assert!((m.max_latency - 3.0).abs() < 1e-12);
+        assert!((m.min_latency - 2.0).abs() < 1e-12);
+        assert_eq!(m.players, 4);
+    }
+
+    #[test]
+    fn unused_strategies_do_not_contribute() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::new(0.0, 1000.0).into()],
+            2,
+        )
+        .unwrap();
+        let s = State::from_counts(&game, vec![2, 0]).unwrap();
+        assert!((average_latency(&game, &s) - 2.0).abs() < 1e-12);
+        assert!((makespan(&game, &s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_is_all_zero() {
+        let game = CongestionGame::singleton(vec![Affine::linear(1.0).into()], 0).unwrap();
+        let s = State::from_counts(&game, vec![0]).unwrap();
+        let m = ClassMetrics::of(&game, &s, 0);
+        assert_eq!(m.players, 0);
+        assert_eq!(m.l_av, 0.0);
+        assert_eq!(average_latency(&game, &s), 0.0);
+        assert_eq!(makespan(&game, &s), 0.0);
+    }
+}

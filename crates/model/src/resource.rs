@@ -1,0 +1,104 @@
+use std::fmt;
+
+use crate::latency::LatencyFn;
+
+/// Identifier of a resource (edge/link) within a [`CongestionGame`].
+///
+/// Resource ids index the game's resource list and are assigned densely from
+/// zero in construction order.
+///
+/// [`CongestionGame`]: crate::CongestionGame
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// Create a resource id from a raw index.
+    pub fn new(index: u32) -> Self {
+        ResourceId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw index as `u32`.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for ResourceId {
+    fn from(index: u32) -> Self {
+        ResourceId(index)
+    }
+}
+
+/// A resource of a congestion game: a name and a latency function.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: Option<String>,
+    latency: LatencyFn,
+}
+
+impl Resource {
+    /// Create an anonymous resource with the given latency.
+    pub fn new(latency: LatencyFn) -> Self {
+        Resource { name: None, latency }
+    }
+
+    /// Create a named resource (names show up in diagnostics only).
+    pub fn named(name: impl Into<String>, latency: LatencyFn) -> Self {
+        Resource { name: Some(name.into()), latency }
+    }
+
+    /// The resource's latency function.
+    pub fn latency(&self) -> &LatencyFn {
+        &self.latency
+    }
+
+    /// Latency at congestion `load` (convenience for `latency().value(load)`).
+    pub fn latency_at(&self, load: u64) -> f64 {
+        self.latency.value(load)
+    }
+
+    /// The resource's name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Affine;
+
+    #[test]
+    fn id_roundtrip() {
+        let id = ResourceId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(ResourceId::from(7u32), id);
+        assert_eq!(id.to_string(), "r7");
+    }
+
+    #[test]
+    fn resource_accessors() {
+        let r = Resource::named("uplink", Affine::new(1.0, 2.0).into());
+        assert_eq!(r.name(), Some("uplink"));
+        assert_eq!(r.latency_at(3), 5.0);
+        let anon = Resource::new(Affine::linear(1.0).into());
+        assert_eq!(anon.name(), None);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ResourceId::new(1) < ResourceId::new(2));
+    }
+}

@@ -1,0 +1,210 @@
+//! Social cost measures and the fractional optimum of linear singleton games
+//! (Section 5.1, "The Price of Imitation").
+
+use crate::error::GameError;
+use crate::game::CongestionGame;
+use crate::latency::Affine;
+use crate::metrics::average_latency;
+use crate::state::State;
+
+/// The paper's social cost `SC(x) = Σ_e (x_e/n)·ℓ_e(x_e)`, i.e. the average
+/// latency over players. Identical to [`average_latency`] and re-exported
+/// under the social-cost name used in Section 5.1.
+pub fn average_social_cost(game: &CongestionGame, state: &State) -> f64 {
+    average_latency(game, state)
+}
+
+/// Total latency `Σ_P x_P·ℓ_P(x)` (the un-normalized social cost).
+pub fn total_latency(game: &CongestionGame, state: &State) -> f64 {
+    average_latency(game, state) * game.total_players() as f64
+}
+
+/// Analysis of a linear singleton game `ℓ_e(x) = a_e·x`, following
+/// Section 5.1.
+///
+/// For such games the optimal *fractional* assignment puts
+/// `x̃_e = n/(A_Γ·a_e)` players on link `e`, where `A_Γ = Σ_e 1/a_e`; every
+/// link then has latency `n/A_Γ`, which is the optimal average social cost
+/// and a lower bound for integral assignments. A resource is *useless* if
+/// `x̃_e < 1`.
+///
+/// # Example
+///
+/// ```
+/// use congames_model::{CongestionGame, Affine, LinearSingleton};
+/// let game = CongestionGame::singleton(
+///     vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+///     10,
+/// )?;
+/// let ls = LinearSingleton::analyze(&game)?;
+/// assert_eq!(ls.fractional_optimum_cost(), 5.0);
+/// assert!(!ls.has_useless_resources());
+/// # Ok::<(), congames_model::GameError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSingleton {
+    coefficients: Vec<f64>,
+    players: u64,
+    a_gamma: f64,
+}
+
+impl LinearSingleton {
+    /// Analyze `game`, verifying it is a singleton game with linear
+    /// (offset-free, positive-slope) latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] if the game is not a linear
+    /// singleton game.
+    pub fn analyze(game: &CongestionGame) -> Result<Self, GameError> {
+        if game.classes().len() != 1 {
+            return Err(GameError::InvalidParameter {
+                name: "game",
+                message: "linear-singleton analysis requires a single player class",
+            });
+        }
+        let mut coefficients = Vec::with_capacity(game.num_resources());
+        for (i, s) in game.strategies().iter().enumerate() {
+            if s.len() != 1 || s.resources()[0].index() != i {
+                return Err(GameError::InvalidParameter {
+                    name: "game",
+                    message: "strategies must be the singletons {e} in resource order",
+                });
+            }
+        }
+        if game.num_strategies() != game.num_resources() {
+            return Err(GameError::InvalidParameter {
+                name: "game",
+                message: "singleton games need exactly one strategy per resource",
+            });
+        }
+        for r in game.resources() {
+            // Verify linearity by sampling: ℓ(0)=0 and ℓ(2)=2ℓ(1).
+            let l0 = r.latency_at(0);
+            let l1 = r.latency_at(1);
+            let l2 = r.latency_at(2);
+            if l0 != 0.0 || (l2 - 2.0 * l1).abs() > 1e-9 * l1.max(1.0) || l1 <= 0.0 {
+                return Err(GameError::InvalidParameter {
+                    name: "game",
+                    message: "latencies must be of the form a·x with a > 0",
+                });
+            }
+            coefficients.push(l1);
+        }
+        let a_gamma = coefficients.iter().map(|a| 1.0 / a).sum();
+        Ok(LinearSingleton { coefficients, players: game.total_players(), a_gamma })
+    }
+
+    /// The coefficients `a_e`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// `A_Γ = Σ_e 1/a_e`.
+    pub fn a_gamma(&self) -> f64 {
+        self.a_gamma
+    }
+
+    /// The optimal fractional load `x̃_e = n/(A_Γ·a_e)` of resource `e`.
+    pub fn fractional_load(&self, resource: usize) -> f64 {
+        self.players as f64 / (self.a_gamma * self.coefficients[resource])
+    }
+
+    /// The fractional-optimum average social cost `n/A_Γ` (Lemma 11's lower
+    /// bound).
+    pub fn fractional_optimum_cost(&self) -> f64 {
+        self.players as f64 / self.a_gamma
+    }
+
+    /// Whether resource `e` is *useless* (`x̃_e < 1`).
+    pub fn is_useless(&self, resource: usize) -> bool {
+        self.fractional_load(resource) < 1.0
+    }
+
+    /// Whether any resource is useless.
+    pub fn has_useless_resources(&self) -> bool {
+        (0..self.coefficients.len()).any(|e| self.is_useless(e))
+    }
+
+    /// The *Price of Imitation* ratio of a state: `SC(x) / (n/A_Γ)`.
+    ///
+    /// Theorem 10 bounds the expectation of this ratio over the protocol's
+    /// randomness by `3 + o(1)` when `x̃_e = Ω(log n)`.
+    pub fn price_ratio(&self, game: &CongestionGame, state: &State) -> f64 {
+        average_social_cost(game, state) / self.fractional_optimum_cost()
+    }
+
+    /// Build a linear singleton game from coefficients (helper mirror of
+    /// [`CongestionGame::singleton`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `coefficients` is empty.
+    pub fn build_game(coefficients: &[f64], players: u64) -> Result<CongestionGame, GameError> {
+        CongestionGame::singleton(
+            coefficients.iter().map(|&a| Affine::linear(a).into()).collect(),
+            players,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{Constant, Monomial};
+
+    #[test]
+    fn fractional_optimum_equalizes_latencies() {
+        let game = LinearSingleton::build_game(&[1.0, 2.0, 4.0], 14).unwrap();
+        let ls = LinearSingleton::analyze(&game).unwrap();
+        // A_Γ = 1 + 0.5 + 0.25 = 1.75; opt cost = 14/1.75 = 8.
+        assert!((ls.a_gamma() - 1.75).abs() < 1e-12);
+        assert!((ls.fractional_optimum_cost() - 8.0).abs() < 1e-12);
+        // Each link's fractional latency a_e·x̃_e equals the optimum cost.
+        for e in 0..3 {
+            let lat = ls.coefficients()[e] * ls.fractional_load(e);
+            assert!((lat - 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn useless_resource_detection() {
+        // a = (1, 1000) with few players: the slow link gets x̃ < 1.
+        let game = LinearSingleton::build_game(&[1.0, 1000.0], 2).unwrap();
+        let ls = LinearSingleton::analyze(&game).unwrap();
+        assert!(ls.is_useless(1));
+        assert!(!ls.is_useless(0));
+        assert!(ls.has_useless_resources());
+    }
+
+    #[test]
+    fn price_ratio_of_optimal_integral_state() {
+        let game = LinearSingleton::build_game(&[1.0, 1.0], 10).unwrap();
+        let ls = LinearSingleton::analyze(&game).unwrap();
+        let s = State::from_counts(&game, vec![5, 5]).unwrap();
+        assert!((ls.price_ratio(&game, &s) - 1.0).abs() < 1e-12);
+        let bad = State::from_counts(&game, vec![10, 0]).unwrap();
+        assert!((ls.price_ratio(&game, &bad) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analyze_rejects_nonlinear_or_nonsingleton() {
+        let game = CongestionGame::singleton(
+            vec![Monomial::new(1.0, 2).into(), Affine::linear(1.0).into()],
+            4,
+        )
+        .unwrap();
+        assert!(LinearSingleton::analyze(&game).is_err());
+        let game2 =
+            CongestionGame::singleton(vec![Constant::new(1.0).into()], 4).unwrap();
+        assert!(LinearSingleton::analyze(&game2).is_err());
+    }
+
+    #[test]
+    fn social_cost_names_agree() {
+        let game = LinearSingleton::build_game(&[1.0, 3.0], 4).unwrap();
+        let s = State::from_counts(&game, vec![3, 1]).unwrap();
+        assert_eq!(average_social_cost(&game, &s), average_latency(&game, &s));
+        assert!((total_latency(&game, &s) - 4.0 * average_latency(&game, &s)).abs() < 1e-12);
+    }
+}

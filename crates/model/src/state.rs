@@ -1,0 +1,522 @@
+//! Game states: strategy counts and derived resource loads.
+
+use crate::error::GameError;
+use crate::game::CongestionGame;
+use crate::resource::ResourceId;
+use crate::strategy::StrategyId;
+
+/// A batch of players moving from one strategy to another.
+///
+/// Rounds of the concurrent protocols produce vectors of migrations that are
+/// applied simultaneously via [`State::apply_migrations`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Origin strategy.
+    pub from: StrategyId,
+    /// Destination strategy (same player class as `from`).
+    pub to: StrategyId,
+    /// Number of players moving.
+    pub count: u64,
+}
+
+impl Migration {
+    /// Create a migration of `count` players from `from` to `to`.
+    pub fn new(from: StrategyId, to: StrategyId, count: u64) -> Self {
+        Migration { from, to, count }
+    }
+}
+
+/// A state `x` of a congestion game: the number of players on every strategy
+/// (`x_P`) plus the derived congestion of every resource (`x_e`).
+///
+/// The two views are kept consistent by construction; resource loads are
+/// updated incrementally as migrations are applied.
+///
+/// # Example
+///
+/// ```
+/// use congames_model::{CongestionGame, Affine, State, StrategyId};
+///
+/// let game = CongestionGame::singleton(
+///     vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+///     4,
+/// )?;
+/// let mut state = State::from_counts(&game, vec![4, 0])?;
+/// state.apply_move(&game, StrategyId::new(0), StrategyId::new(1))?;
+/// assert_eq!(state.count(StrategyId::new(0)), 3);
+/// assert_eq!(state.count(StrategyId::new(1)), 1);
+/// # Ok::<(), congames_model::GameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    counts: Vec<u64>,
+    loads: Vec<u64>,
+    /// Optional base load per resource (virtual agents, Section 6). These are
+    /// added to the player-induced congestion before evaluating latencies.
+    base_loads: Option<Vec<u64>>,
+}
+
+impl State {
+    /// Create a state from per-strategy player counts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the vector length does not match the number of strategies or
+    /// a class's counts do not sum to its player count.
+    pub fn from_counts(game: &CongestionGame, counts: Vec<u64>) -> Result<Self, GameError> {
+        if counts.len() != game.num_strategies() {
+            return Err(GameError::WrongLength {
+                expected: game.num_strategies(),
+                found: counts.len(),
+            });
+        }
+        for (ci, class) in game.classes().iter().enumerate() {
+            let sum: u64 = class.strategy_range().map(|s| counts[s as usize]).sum();
+            if sum != class.players() {
+                return Err(GameError::CountMismatch {
+                    class: ci,
+                    expected: class.players(),
+                    found: sum,
+                });
+            }
+        }
+        let loads = loads_from_counts(game, &counts);
+        Ok(State { counts, loads, base_loads: None })
+    }
+
+    /// Create the state in which every player of every class uses the class's
+    /// first strategy (a worst-case-ish "everybody piles up" start).
+    pub fn all_on_first(game: &CongestionGame) -> State {
+        let mut counts = vec![0u64; game.num_strategies()];
+        for class in game.classes() {
+            let first = class.strategy_range().start as usize;
+            counts[first] = class.players();
+        }
+        let loads = loads_from_counts(game, &counts);
+        State { counts, loads, base_loads: None }
+    }
+
+    /// Attach base loads (one virtual agent per strategy, Section 6): each
+    /// strategy contributes `+1` congestion on its resources, permanently.
+    ///
+    /// Returns the modified state. Latency evaluations then see
+    /// `x_e + x⁰_e`.
+    pub fn with_virtual_agents(mut self, game: &CongestionGame) -> State {
+        let mut base = vec![0u64; game.num_resources()];
+        for s in game.strategies() {
+            for &r in s.resources() {
+                base[r.index()] += 1;
+            }
+        }
+        self.base_loads = Some(base);
+        self
+    }
+
+    /// Per-strategy player counts (`x_P`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Players on strategy `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn count(&self, s: StrategyId) -> u64 {
+        self.counts[s.index()]
+    }
+
+    /// Player-induced congestion of resource `r` (excludes base loads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn load(&self, r: ResourceId) -> u64 {
+        self.loads[r.index()]
+    }
+
+    /// Effective congestion of resource `r` (player load plus base load).
+    pub fn effective_load(&self, r: ResourceId) -> u64 {
+        self.loads[r.index()]
+            + self.base_loads.as_ref().map_or(0, |b| b[r.index()])
+    }
+
+    /// Player-induced loads of all resources.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Whether virtual-agent base loads are attached.
+    pub fn has_virtual_agents(&self) -> bool {
+        self.base_loads.is_some()
+    }
+
+    /// Number of strategies with at least one player (the *support*).
+    pub fn support_size(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Latency of resource `r` in this state.
+    pub fn resource_latency(&self, game: &CongestionGame, r: ResourceId) -> f64 {
+        game.latency(r, self.effective_load(r))
+    }
+
+    /// Latency `ℓ_P(x)` of strategy `s` in this state.
+    pub fn strategy_latency(&self, game: &CongestionGame, s: StrategyId) -> f64 {
+        game.strategy(s)
+            .resources()
+            .iter()
+            .map(|&r| game.latency(r, self.effective_load(r)))
+            .sum()
+    }
+
+    /// Latency `ℓ_P(x + 1_P)` of strategy `s` with one extra player on it
+    /// (the *ex-post* latency a joining player would see at worst).
+    pub fn strategy_latency_plus(&self, game: &CongestionGame, s: StrategyId) -> f64 {
+        game.strategy(s)
+            .resources()
+            .iter()
+            .map(|&r| game.latency(r, self.effective_load(r) + 1))
+            .sum()
+    }
+
+    /// Latency `ℓ_Q(x + 1_Q − 1_P)` of strategy `to` as seen by a player
+    /// moving from `from`: resources in `to ∩ from` keep their congestion,
+    /// resources in `to \ from` gain one player.
+    pub fn latency_after_move(
+        &self,
+        game: &CongestionGame,
+        from: StrategyId,
+        to: StrategyId,
+    ) -> f64 {
+        let from_s = game.strategy(from);
+        let to_s = game.strategy(to);
+        let from_r = from_s.resources();
+        let mut total = 0.0;
+        let mut i = 0usize;
+        for &r in to_s.resources() {
+            // advance the sorted origin pointer to check membership
+            while i < from_r.len() && from_r[i] < r {
+                i += 1;
+            }
+            let shared = i < from_r.len() && from_r[i] == r;
+            let load = self.effective_load(r) + if shared { 0 } else { 1 };
+            total += game.latency(r, load);
+        }
+        total
+    }
+
+    /// Move one player from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `from` has no players, ids are out of range, or the ids
+    /// belong to different classes.
+    pub fn apply_move(
+        &mut self,
+        game: &CongestionGame,
+        from: StrategyId,
+        to: StrategyId,
+    ) -> Result<(), GameError> {
+        self.apply_migration(game, Migration::new(from, to, 1))
+    }
+
+    /// Move `migration.count` players from `migration.from` to `migration.to`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than `count` players use the origin, ids are out of
+    /// range, or the ids belong to different classes.
+    pub fn apply_migration(
+        &mut self,
+        game: &CongestionGame,
+        migration: Migration,
+    ) -> Result<(), GameError> {
+        let Migration { from, to, count } = migration;
+        game.check_strategy(from)?;
+        game.check_strategy(to)?;
+        let (fc, tc) = (game.class_of(from), game.class_of(to));
+        if fc != tc {
+            return Err(GameError::CrossClassMigration { from_class: fc, to_class: tc });
+        }
+        if count == 0 || from == to {
+            return Ok(());
+        }
+        let available = self.counts[from.index()];
+        if available < count {
+            return Err(GameError::InsufficientPlayers {
+                strategy: from.raw(),
+                available,
+                requested: count,
+            });
+        }
+        self.counts[from.index()] -= count;
+        self.counts[to.index()] += count;
+        let from_s = game.strategy(from);
+        let to_s = game.strategy(to);
+        let loads = &mut self.loads;
+        from_s.diff_signed(to_s, |r, sign| {
+            if sign < 0 {
+                loads[r.index()] -= count;
+            } else {
+                loads[r.index()] += count;
+            }
+        });
+        Ok(())
+    }
+
+    /// Apply a batch of migrations simultaneously (one protocol round).
+    ///
+    /// All origins are debited before validation of the batch as a whole is
+    /// complete, so the batch must be *jointly* feasible: the total outflow
+    /// of each strategy must not exceed its count. This is checked up front.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the state unchanged) if the batch over-drains a
+    /// strategy, crosses classes, or references unknown ids.
+    pub fn apply_migrations(
+        &mut self,
+        game: &CongestionGame,
+        migrations: &[Migration],
+    ) -> Result<(), GameError> {
+        // Validate jointly first.
+        let mut outflow = vec![0u64; self.counts.len()];
+        for m in migrations {
+            game.check_strategy(m.from)?;
+            game.check_strategy(m.to)?;
+            let (fc, tc) = (game.class_of(m.from), game.class_of(m.to));
+            if fc != tc {
+                return Err(GameError::CrossClassMigration { from_class: fc, to_class: tc });
+            }
+            if m.from != m.to {
+                outflow[m.from.index()] += m.count;
+            }
+        }
+        for (i, &out) in outflow.iter().enumerate() {
+            if out > self.counts[i] {
+                return Err(GameError::InsufficientPlayers {
+                    strategy: i as u32,
+                    available: self.counts[i],
+                    requested: out,
+                });
+            }
+        }
+        for m in migrations {
+            if m.from == m.to || m.count == 0 {
+                continue;
+            }
+            self.counts[m.from.index()] -= m.count;
+            self.counts[m.to.index()] += m.count;
+            let from_s = game.strategy(m.from);
+            let to_s = game.strategy(m.to);
+            let loads = &mut self.loads;
+            from_s.diff_signed(to_s, |r, sign| {
+                if sign < 0 {
+                    loads[r.index()] -= m.count;
+                } else {
+                    loads[r.index()] += m.count;
+                }
+            });
+        }
+        Ok(())
+    }
+
+    /// Recompute loads from counts (diagnostic; `debug_assert`-style check).
+    ///
+    /// Returns `true` if the incremental loads match a from-scratch
+    /// recomputation.
+    pub fn loads_consistent(&self, game: &CongestionGame) -> bool {
+        self.loads == loads_from_counts(game, &self.counts)
+    }
+}
+
+fn loads_from_counts(game: &CongestionGame, counts: &[u64]) -> Vec<u64> {
+    let mut loads = vec![0u64; game.num_resources()];
+    for (i, s) in game.strategies().iter().enumerate() {
+        let c = counts[i];
+        if c > 0 {
+            for &r in s.resources() {
+                loads[r.index()] += c;
+            }
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Affine;
+    use crate::strategy::Strategy;
+
+    fn sid(i: u32) -> StrategyId {
+        StrategyId::new(i)
+    }
+    fn rid(i: u32) -> ResourceId {
+        ResourceId::new(i)
+    }
+
+    fn two_link_game(n: u64) -> CongestionGame {
+        CongestionGame::singleton(vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()], n)
+            .unwrap()
+    }
+
+    /// A little 3-resource network-like game: strategies {0,1}, {1,2}, {2}.
+    fn overlap_game(n: u64) -> CongestionGame {
+        let mut b = CongestionGame::builder();
+        let r0 = b.add_resource(Affine::linear(1.0).into());
+        let r1 = b.add_resource(Affine::linear(1.0).into());
+        let r2 = b.add_resource(Affine::linear(1.0).into());
+        b.add_class(
+            "c",
+            n,
+            vec![
+                Strategy::new(vec![r0, r1]).unwrap(),
+                Strategy::new(vec![r1, r2]).unwrap(),
+                Strategy::new(vec![r2]).unwrap(),
+            ],
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_counts_checks_lengths_and_sums() {
+        let game = two_link_game(4);
+        assert!(matches!(
+            State::from_counts(&game, vec![4]),
+            Err(GameError::WrongLength { expected: 2, found: 1 })
+        ));
+        assert!(matches!(
+            State::from_counts(&game, vec![1, 1]),
+            Err(GameError::CountMismatch { expected: 4, found: 2, .. })
+        ));
+        let s = State::from_counts(&game, vec![3, 1]).unwrap();
+        assert_eq!(s.load(rid(0)), 3);
+        assert_eq!(s.load(rid(1)), 1);
+        assert_eq!(s.support_size(), 2);
+    }
+
+    #[test]
+    fn all_on_first_piles_up() {
+        let game = two_link_game(7);
+        let s = State::all_on_first(&game);
+        assert_eq!(s.count(sid(0)), 7);
+        assert_eq!(s.count(sid(1)), 0);
+        assert_eq!(s.support_size(), 1);
+    }
+
+    #[test]
+    fn loads_track_overlapping_strategies() {
+        let game = overlap_game(6);
+        let s = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        assert_eq!(s.load(rid(0)), 2);
+        assert_eq!(s.load(rid(1)), 5);
+        assert_eq!(s.load(rid(2)), 4);
+        assert!(s.loads_consistent(&game));
+    }
+
+    #[test]
+    fn strategy_latency_and_plus() {
+        let game = overlap_game(6);
+        let s = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        // ℓ_{s0} = ℓ(2) + ℓ(5) = 7; plus = ℓ(3) + ℓ(6) = 9
+        assert_eq!(s.strategy_latency(&game, sid(0)), 7.0);
+        assert_eq!(s.strategy_latency_plus(&game, sid(0)), 9.0);
+    }
+
+    #[test]
+    fn latency_after_move_keeps_shared_resources() {
+        let game = overlap_game(6);
+        let s = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        // Moving s0 → s1: r1 is shared (load stays 5), r2 gains one (4+1).
+        let l = s.latency_after_move(&game, sid(0), sid(1));
+        assert_eq!(l, 5.0 + 5.0);
+        // Moving s2 → s1: r2 is shared (load stays 4), r1 gains one (5+1).
+        let l2 = s.latency_after_move(&game, sid(2), sid(1));
+        assert_eq!(l2, 6.0 + 4.0);
+    }
+
+    #[test]
+    fn latency_after_move_to_self_is_current() {
+        let game = overlap_game(4);
+        let s = State::from_counts(&game, vec![2, 1, 1]).unwrap();
+        assert_eq!(s.latency_after_move(&game, sid(0), sid(0)), s.strategy_latency(&game, sid(0)));
+    }
+
+    #[test]
+    fn apply_move_updates_counts_and_loads() {
+        let game = overlap_game(6);
+        let mut s = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        s.apply_move(&game, sid(0), sid(2)).unwrap();
+        assert_eq!(s.count(sid(0)), 1);
+        assert_eq!(s.count(sid(2)), 2);
+        assert_eq!(s.load(rid(0)), 1);
+        assert_eq!(s.load(rid(1)), 4);
+        assert_eq!(s.load(rid(2)), 5);
+        assert!(s.loads_consistent(&game));
+    }
+
+    #[test]
+    fn over_drain_is_rejected_atomically() {
+        let game = two_link_game(4);
+        let mut s = State::from_counts(&game, vec![3, 1]).unwrap();
+        let before = s.clone();
+        let err = s.apply_migrations(
+            &game,
+            &[Migration::new(sid(0), sid(1), 2), Migration::new(sid(0), sid(1), 2)],
+        );
+        assert!(matches!(err, Err(GameError::InsufficientPlayers { .. })));
+        assert_eq!(s, before, "failed batch must leave the state unchanged");
+    }
+
+    #[test]
+    fn simultaneous_swap_is_feasible() {
+        let game = two_link_game(4);
+        let mut s = State::from_counts(&game, vec![2, 2]).unwrap();
+        // 2 players swap in both directions simultaneously.
+        s.apply_migrations(
+            &game,
+            &[Migration::new(sid(0), sid(1), 2), Migration::new(sid(1), sid(0), 2)],
+        )
+        .unwrap();
+        assert_eq!(s.count(sid(0)), 2);
+        assert_eq!(s.count(sid(1)), 2);
+        assert!(s.loads_consistent(&game));
+    }
+
+    #[test]
+    fn self_migration_is_noop() {
+        let game = two_link_game(3);
+        let mut s = State::from_counts(&game, vec![3, 0]).unwrap();
+        s.apply_migration(&game, Migration::new(sid(0), sid(0), 2)).unwrap();
+        assert_eq!(s.count(sid(0)), 3);
+    }
+
+    #[test]
+    fn cross_class_migration_rejected() {
+        let mut b = CongestionGame::builder();
+        let r0 = b.add_resource(Affine::linear(1.0).into());
+        b.add_class("a", 1, vec![Strategy::singleton(r0)]).unwrap();
+        b.add_class("b", 1, vec![Strategy::singleton(r0)]).unwrap();
+        let game = b.build().unwrap();
+        let mut s = State::from_counts(&game, vec![1, 1]).unwrap();
+        assert!(matches!(
+            s.apply_move(&game, sid(0), sid(1)),
+            Err(GameError::CrossClassMigration { .. })
+        ));
+    }
+
+    #[test]
+    fn virtual_agents_add_base_load() {
+        let game = overlap_game(3);
+        let s = State::from_counts(&game, vec![3, 0, 0]).unwrap().with_virtual_agents(&game);
+        assert!(s.has_virtual_agents());
+        // r1 is on strategies s0 and s1 ⇒ base 2; player load 3.
+        assert_eq!(s.effective_load(rid(1)), 5);
+        assert_eq!(s.load(rid(1)), 3);
+        // Latencies see the effective load.
+        assert_eq!(s.resource_latency(&game, rid(1)), 5.0);
+    }
+}

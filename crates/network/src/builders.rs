@@ -1,0 +1,204 @@
+//! Builders for the network families used throughout the experiments.
+
+use congames_model::LatencyFn;
+use rand::Rng;
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// `m` parallel links from a fresh source to a fresh sink, with latencies
+/// produced by `latency(i)` for link `i`. The singleton-game topology.
+pub fn parallel_links(m: usize, mut latency: impl FnMut(usize) -> LatencyFn) -> (DiGraph, NodeId, NodeId) {
+    assert!(m > 0, "need at least one link");
+    let mut g = DiGraph::new();
+    let s = g.add_node();
+    let t = g.add_node();
+    for i in 0..m {
+        g.add_edge(s, t, latency(i)).expect("endpoints are valid by construction");
+    }
+    (g, s, t)
+}
+
+/// The Braess diamond: `s→a`, `s→b`, `a→t`, `b→t` plus the bridge `a→b`.
+///
+/// Latencies are supplied per edge in the order
+/// `[s→a, s→b, a→t, b→t, a→b]`. The classic parametrization uses fast
+/// congestible outer edges (`x`-like) on `s→a`/`b→t`, constant edges on
+/// `s→b`/`a→t`, and a free bridge.
+pub fn braess(latencies: [LatencyFn; 5]) -> (DiGraph, NodeId, NodeId) {
+    let mut g = DiGraph::new();
+    let s = g.add_node();
+    let a = g.add_node();
+    let b = g.add_node();
+    let t = g.add_node();
+    let [sa, sb, at, bt, ab] = latencies;
+    g.add_edge(s, a, sa).expect("valid");
+    g.add_edge(s, b, sb).expect("valid");
+    g.add_edge(a, t, at).expect("valid");
+    g.add_edge(b, t, bt).expect("valid");
+    g.add_edge(a, b, ab).expect("valid");
+    (g, s, t)
+}
+
+/// An `rows × cols` grid DAG. Node `(i, j)` connects right to `(i, j+1)` and
+/// down to `(i+1, j)`; the source is `(0,0)`, the sink `(rows−1, cols−1)`.
+/// Monotone lattice paths are the strategies: `C(rows+cols−2, rows−1)` many.
+pub fn grid(
+    rows: usize,
+    cols: usize,
+    mut latency: impl FnMut(EdgeId) -> LatencyFn,
+) -> (DiGraph, NodeId, NodeId) {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid must have at least two nodes");
+    let mut g = DiGraph::new();
+    let nodes: Vec<NodeId> = (0..rows * cols).map(|_| g.add_node()).collect();
+    let idx = |i: usize, j: usize| nodes[i * cols + j];
+    let mut next_edge = 0u32;
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                let l = latency(EdgeId::new(next_edge));
+                g.add_edge(idx(i, j), idx(i, j + 1), l).expect("valid");
+                next_edge += 1;
+            }
+            if i + 1 < rows {
+                let l = latency(EdgeId::new(next_edge));
+                g.add_edge(idx(i, j), idx(i + 1, j), l).expect("valid");
+                next_edge += 1;
+            }
+        }
+    }
+    (g, idx(0, 0), idx(rows - 1, cols - 1))
+}
+
+/// A layered random DAG: `layers` layers of `width` nodes between source and
+/// sink. Every node of layer `i` connects to each node of layer `i+1`
+/// independently with probability `p_edge` (at least one edge per node is
+/// guaranteed by wiring a fallback to a random successor); the source
+/// connects to all of layer 0 and all of the last layer connect to the sink.
+///
+/// Latencies come from `latency(rng)`, letting callers randomize.
+pub fn layered_random<R: Rng>(
+    layers: usize,
+    width: usize,
+    p_edge: f64,
+    rng: &mut R,
+    mut latency: impl FnMut(&mut R) -> LatencyFn,
+) -> (DiGraph, NodeId, NodeId) {
+    assert!(layers >= 1 && width >= 1, "need at least one layer and one node per layer");
+    let mut g = DiGraph::new();
+    let s = g.add_node();
+    let t = g.add_node();
+    let mut layer_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        layer_nodes.push((0..width).map(|_| g.add_node()).collect());
+    }
+    for &v in &layer_nodes[0] {
+        let l = latency(rng);
+        g.add_edge(s, v, l).expect("valid");
+    }
+    for li in 0..layers - 1 {
+        for &u in &layer_nodes[li] {
+            let mut connected = false;
+            for &v in &layer_nodes[li + 1] {
+                if rng.gen::<f64>() < p_edge {
+                    let l = latency(rng);
+                    g.add_edge(u, v, l).expect("valid");
+                    connected = true;
+                }
+            }
+            if !connected {
+                let v = layer_nodes[li + 1][rng.gen_range(0..width)];
+                let l = latency(rng);
+                g.add_edge(u, v, l).expect("valid");
+            }
+        }
+    }
+    for &v in &layer_nodes[layers - 1] {
+        let l = latency(rng);
+        g.add_edge(v, t, l).expect("valid");
+    }
+    (g, s, t)
+}
+
+/// Series composition of two-terminal graphs: chain `k` copies of a
+/// `blocks`-wide parallel-link block, giving `blocks^k` paths with `k` edges
+/// each. A simple series-parallel family with controllable path count.
+pub fn series_parallel_chain(
+    k: usize,
+    blocks: usize,
+    mut latency: impl FnMut(usize, usize) -> LatencyFn,
+) -> (DiGraph, NodeId, NodeId) {
+    assert!(k >= 1 && blocks >= 1, "need at least one stage and one block");
+    let mut g = DiGraph::new();
+    let s = g.add_node();
+    let mut prev = s;
+    for stage in 0..k {
+        let next = g.add_node();
+        for b in 0..blocks {
+            let l = latency(stage, b);
+            g.add_edge(prev, next, l).expect("valid");
+        }
+        prev = next;
+    }
+    (g, s, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::enumerate_paths;
+    use congames_model::Affine;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lin() -> LatencyFn {
+        Affine::linear(1.0).into()
+    }
+
+    #[test]
+    fn parallel_links_shape() {
+        let (g, s, t) = parallel_links(4, |_| lin());
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(enumerate_paths(&g, s, t, 100).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn braess_shape() {
+        let (g, s, t) = braess([lin(), lin(), lin(), lin(), lin()]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(enumerate_paths(&g, s, t, 100).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn grid_path_count() {
+        // C(rows+cols-2, rows-1): 4x3 grid → C(5,3) = 10.
+        let (g, s, t) = grid(4, 3, |_| lin());
+        assert_eq!(enumerate_paths(&g, s, t, 1000).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn layered_random_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for seed in 0..5u64 {
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            let (g, s, t) = layered_random(4, 3, 0.4, &mut r2, |_| lin());
+            let paths = enumerate_paths(&g, s, t, 100_000).unwrap();
+            assert!(!paths.is_empty());
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn series_parallel_path_count() {
+        let (g, s, t) = series_parallel_chain(3, 2, |_, _| lin());
+        assert_eq!(enumerate_paths(&g, s, t, 100).unwrap().len(), 8);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn parallel_links_rejects_zero() {
+        let _ = parallel_links(0, |_| lin());
+    }
+}

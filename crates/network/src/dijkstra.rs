@@ -1,0 +1,180 @@
+//! Dijkstra shortest path with arbitrary non-negative edge weights.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::NetworkError;
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// A heap entry ordered by smallest distance first.
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; NaNs are rejected before insertion.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Compute a shortest s–t path under per-edge weights `weight(e) ≥ 0`.
+///
+/// Returns `(total_weight, edges_of_path)`. Weights are evaluated once per
+/// edge via the provided closure, which lets callers price edges by
+/// *marginal* costs (`ℓ_e(x_e + 1)`) for best-response and flow computations.
+///
+/// # Errors
+///
+/// * [`NetworkError::UnknownNode`] for invalid endpoints,
+/// * [`NetworkError::Disconnected`] if the sink is unreachable,
+/// * [`NetworkError::InvalidParameter`] if a weight is negative or NaN.
+pub fn shortest_path(
+    graph: &DiGraph,
+    source: NodeId,
+    sink: NodeId,
+    mut weight: impl FnMut(EdgeId) -> f64,
+) -> Result<(f64, Vec<EdgeId>), NetworkError> {
+    graph.check_node(source)?;
+    graph.check_node(sink)?;
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == sink {
+            break;
+        }
+        for &e in graph.out_edges(node) {
+            let w = weight(e);
+            if !w.is_finite() || w < 0.0 {
+                return Err(NetworkError::InvalidParameter {
+                    name: "weight",
+                    message: "edge weights must be finite and non-negative",
+                });
+            }
+            let (_, to) = graph.endpoints(e);
+            let nd = d + w;
+            if nd < dist[to.index()] {
+                dist[to.index()] = nd;
+                pred[to.index()] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: to });
+            }
+        }
+    }
+    if !dist[sink.index()].is_finite() {
+        return Err(NetworkError::Disconnected { source: source.raw(), sink: sink.raw() });
+    }
+    // Reconstruct the path backwards.
+    let mut edges = Vec::new();
+    let mut v = sink;
+    while v != source {
+        let e = pred[v.index()].expect("predecessor chain must reach the source");
+        edges.push(e);
+        let (from, _) = graph.endpoints(e);
+        v = from;
+    }
+    edges.reverse();
+    Ok((dist[sink.index()], edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_model::Affine;
+
+    fn lin(a: f64) -> congames_model::LatencyFn {
+        Affine::linear(a).into()
+    }
+
+    #[test]
+    fn picks_cheaper_parallel_edge() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let _slow = g.add_edge(s, t, lin(5.0)).unwrap();
+        let fast = g.add_edge(s, t, lin(1.0)).unwrap();
+        let (d, path) = shortest_path(&g, s, t, |e| g.latency(e).value(1)).unwrap();
+        assert_eq!(path, vec![fast]);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn multi_hop_route() {
+        // s → a → t costs 2, direct s → t costs 5.
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let t = g.add_node();
+        let e0 = g.add_edge(s, a, lin(1.0)).unwrap();
+        let e1 = g.add_edge(a, t, lin(1.0)).unwrap();
+        let _e2 = g.add_edge(s, t, lin(5.0)).unwrap();
+        let (d, path) = shortest_path(&g, s, t, |e| g.latency(e).value(1)).unwrap();
+        assert_eq!(d, 2.0);
+        assert_eq!(path, vec![e0, e1]);
+    }
+
+    #[test]
+    fn disconnected_errors() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        assert!(matches!(
+            shortest_path(&g, s, t, |_| 1.0),
+            Err(NetworkError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t, lin(1.0)).unwrap();
+        assert!(matches!(
+            shortest_path(&g, s, t, |_| -1.0),
+            Err(NetworkError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_weights_are_fine() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, lin(1.0)).unwrap();
+        g.add_edge(a, t, lin(1.0)).unwrap();
+        let (d, path) = shortest_path(&g, s, t, |_| 0.0).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let (d, path) = shortest_path(&g, s, s, |_| 1.0).unwrap();
+        assert_eq!(d, 0.0);
+        assert!(path.is_empty());
+    }
+}

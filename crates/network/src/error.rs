@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for network construction and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A node id was out of range.
+    UnknownNode {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// No s–t path exists.
+    Disconnected {
+        /// Source node.
+        source: u32,
+        /// Sink node.
+        sink: u32,
+    },
+    /// Path enumeration exceeded the configured cap.
+    TooManyPaths {
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+    /// An invalid parameter (e.g. zero players for a flow computation).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownNode { node, nodes } => {
+                write!(f, "node {node} out of range for a graph with {nodes} nodes")
+            }
+            NetworkError::Disconnected { source, sink } => {
+                write!(f, "no path from node {source} to node {sink}")
+            }
+            NetworkError::TooManyPaths { cap } => {
+                write!(f, "path enumeration exceeded the cap of {cap} paths")
+            }
+            NetworkError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            NetworkError::UnknownNode { node: 5, nodes: 3 },
+            NetworkError::Disconnected { source: 0, sink: 1 },
+            NetworkError::TooManyPaths { cap: 10 },
+            NetworkError::InvalidParameter { name: "n", message: "must be positive" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # congames-network
+//!
+//! Network substrate for symmetric *network* congestion games: a directed
+//! multigraph, s–t path enumeration, shortest paths, graph builders for the
+//! families used in the experiments, and an exact computation of the global
+//! Rosenthal-potential minimum `Φ*` via convex-cost successive-shortest-path
+//! flow.
+//!
+//! The paper defines games on a network `G = (V, E)` with a source `s` and a
+//! sink `t`; the common strategy space is the set of simple s–t paths. This
+//! crate enumerates those paths into a [`congames_model::CongestionGame`]
+//! (via [`NetworkGame`]) and, independently of the enumeration, computes
+//!
+//! * `Φ* = min_x Φ(x)` — the potential of a global Nash equilibrium — and
+//! * the optimal (integral) social cost,
+//!
+//! both by `n` successive shortest-path augmentations with marginal-cost
+//! weights, which is exact for non-decreasing (hence convex-potential)
+//! latencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builders;
+mod dijkstra;
+mod error;
+mod flow;
+mod graph;
+mod paths;
+mod to_game;
+
+pub use dijkstra::shortest_path;
+pub use error::NetworkError;
+pub use flow::{convex_min_cost_flow, min_potential_flow, min_social_cost_flow, FlowResult};
+pub use graph::{DiGraph, EdgeId, NodeId};
+pub use paths::{enumerate_paths, Path};
+pub use to_game::NetworkGame;

@@ -1,0 +1,214 @@
+//! Simple s–t path enumeration.
+
+use crate::error::NetworkError;
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// A simple s–t path: the sequence of edges traversed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// The edges of the path in traversal order.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Paths are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Enumerate all simple s–t paths of `graph` by depth-first search.
+///
+/// `cap` bounds the number of paths returned; path counts are exponential in
+/// general, so a cap keeps enumeration predictable. The result is in a
+/// deterministic (DFS by edge id) order.
+///
+/// # Errors
+///
+/// * [`NetworkError::UnknownNode`] for invalid endpoints,
+/// * [`NetworkError::Disconnected`] if no path exists,
+/// * [`NetworkError::TooManyPaths`] if more than `cap` paths exist.
+///
+/// # Example
+///
+/// ```
+/// use congames_network::{enumerate_paths, DiGraph};
+/// use congames_model::Affine;
+///
+/// let mut g = DiGraph::new();
+/// let s = g.add_node();
+/// let t = g.add_node();
+/// g.add_edge(s, t, Affine::linear(1.0).into())?;
+/// g.add_edge(s, t, Affine::linear(2.0).into())?;
+/// let paths = enumerate_paths(&g, s, t, 100)?;
+/// assert_eq!(paths.len(), 2);
+/// # Ok::<(), congames_network::NetworkError>(())
+/// ```
+pub fn enumerate_paths(
+    graph: &DiGraph,
+    source: NodeId,
+    sink: NodeId,
+    cap: usize,
+) -> Result<Vec<Path>, NetworkError> {
+    graph.check_node(source)?;
+    graph.check_node(sink)?;
+    let mut paths = Vec::new();
+    let mut visited = vec![false; graph.num_nodes()];
+    let mut stack: Vec<EdgeId> = Vec::new();
+    dfs(graph, source, sink, cap, &mut visited, &mut stack, &mut paths)?;
+    if paths.is_empty() {
+        return Err(NetworkError::Disconnected { source: source.raw(), sink: sink.raw() });
+    }
+    Ok(paths)
+}
+
+fn dfs(
+    graph: &DiGraph,
+    node: NodeId,
+    sink: NodeId,
+    cap: usize,
+    visited: &mut [bool],
+    stack: &mut Vec<EdgeId>,
+    paths: &mut Vec<Path>,
+) -> Result<(), NetworkError> {
+    if node == sink {
+        if paths.len() >= cap {
+            return Err(NetworkError::TooManyPaths { cap });
+        }
+        paths.push(Path { edges: stack.clone() });
+        return Ok(());
+    }
+    visited[node.index()] = true;
+    for &e in graph.out_edges(node) {
+        let (_, to) = graph.endpoints(e);
+        if !visited[to.index()] {
+            stack.push(e);
+            dfs(graph, to, sink, cap, visited, stack, paths)?;
+            stack.pop();
+        }
+    }
+    visited[node.index()] = false;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_model::Affine;
+
+    fn lin() -> congames_model::LatencyFn {
+        Affine::linear(1.0).into()
+    }
+
+    /// Build the 4-node diamond s→{a,b}→t plus the Braess bridge a→b.
+    fn braess_graph() -> (DiGraph, NodeId, NodeId) {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, lin()).unwrap();
+        g.add_edge(s, b, lin()).unwrap();
+        g.add_edge(a, t, lin()).unwrap();
+        g.add_edge(b, t, lin()).unwrap();
+        g.add_edge(a, b, lin()).unwrap();
+        (g, s, t)
+    }
+
+    #[test]
+    fn braess_has_three_paths() {
+        let (g, s, t) = braess_graph();
+        let paths = enumerate_paths(&g, s, t, 100).unwrap();
+        assert_eq!(paths.len(), 3);
+        // Each path is simple and starts at s / ends at t.
+        for p in &paths {
+            assert!(!p.is_empty());
+            let (first_from, _) = g.endpoints(p.edges()[0]);
+            assert_eq!(first_from, s);
+            let (_, last_to) = g.endpoints(*p.edges().last().unwrap());
+            assert_eq!(last_to, t);
+            // Consecutive edges chain up.
+            for w in p.edges().windows(2) {
+                let (_, mid) = g.endpoints(w[0]);
+                let (from, _) = g.endpoints(w[1]);
+                assert_eq!(mid, from);
+            }
+        }
+        // Path lengths: two of length 2, one of length 3 (the bridge path).
+        let mut lens: Vec<usize> = paths.iter().map(Path::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_links_enumerate_individually() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        for _ in 0..5 {
+            g.add_edge(s, t, lin()).unwrap();
+        }
+        let paths = enumerate_paths(&g, s, t, 100).unwrap();
+        assert_eq!(paths.len(), 5);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        for _ in 0..5 {
+            g.add_edge(s, t, lin()).unwrap();
+        }
+        assert!(matches!(
+            enumerate_paths(&g, s, t, 3),
+            Err(NetworkError::TooManyPaths { cap: 3 })
+        ));
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let _ = g.add_node();
+        assert!(matches!(
+            enumerate_paths(&g, s, t, 10),
+            Err(NetworkError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_do_not_produce_nonsimple_paths() {
+        // s → a → t with a cycle a → b → a.
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, lin()).unwrap();
+        g.add_edge(a, b, lin()).unwrap();
+        g.add_edge(b, a, lin()).unwrap();
+        g.add_edge(a, t, lin()).unwrap();
+        let paths = enumerate_paths(&g, s, t, 100).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 2);
+    }
+
+    #[test]
+    fn grid_path_count_is_binomial() {
+        // A 3x3 grid DAG has C(4,2) = 6 monotone paths.
+        let (g, s, t) = crate::builders::grid(3, 3, |_| Affine::linear(1.0).into());
+        let paths = enumerate_paths(&g, s, t, 1000).unwrap();
+        assert_eq!(paths.len(), 6);
+    }
+}

@@ -1,0 +1,229 @@
+//! Conversion of a network into a symmetric congestion game.
+
+use congames_model::{CongestionGame, GameError, Resource, ResourceId, Strategy};
+
+use crate::error::NetworkError;
+use crate::flow::{min_potential_flow, min_social_cost_flow};
+use crate::graph::{DiGraph, NodeId};
+use crate::paths::{enumerate_paths, Path};
+
+/// A symmetric network congestion game: the graph, its enumerated strategy
+/// space, and the derived [`CongestionGame`].
+///
+/// Edges become resources (same indices); simple s–t paths become
+/// strategies. The struct keeps the graph so exact baselines (`Φ*`, optimal
+/// social cost, best responses via shortest paths) remain available
+/// alongside the combinatorial game.
+///
+/// # Example
+///
+/// ```
+/// use congames_network::{builders, NetworkGame};
+/// use congames_model::Affine;
+///
+/// let (graph, s, t) = builders::parallel_links(3, |i| {
+///     Affine::linear((i + 1) as f64).into()
+/// });
+/// let net = NetworkGame::build(graph, s, t, 30, 1000)?;
+/// assert_eq!(net.game().num_strategies(), 3);
+/// let phi_star = net.min_potential()?;
+/// assert!(phi_star > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkGame {
+    graph: DiGraph,
+    source: NodeId,
+    sink: NodeId,
+    paths: Vec<Path>,
+    game: CongestionGame,
+}
+
+impl NetworkGame {
+    /// Enumerate the s–t paths of `graph` (up to `path_cap`) and build the
+    /// symmetric congestion game with `players` players.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors ([`NetworkError`]) and game-construction
+    /// errors ([`GameError`], via the `Box`ed combined error in practice —
+    /// the two never overlap here because edges/paths are valid by
+    /// construction).
+    pub fn build(
+        graph: DiGraph,
+        source: NodeId,
+        sink: NodeId,
+        players: u64,
+        path_cap: usize,
+    ) -> Result<Self, BuildError> {
+        let paths = enumerate_paths(&graph, source, sink, path_cap)?;
+        let resources: Vec<Resource> =
+            graph.latencies().into_iter().map(Resource::new).collect();
+        let strategies: Vec<Strategy> = paths
+            .iter()
+            .map(|p| {
+                Strategy::new(
+                    p.edges().iter().map(|e| ResourceId::new(e.raw())).collect(),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let game = CongestionGame::symmetric(resources, strategies, players)?;
+        Ok(NetworkGame { graph, source, sink, paths, game })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The sink node.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// The enumerated strategy paths (index-aligned with the game's
+    /// strategies).
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The derived congestion game.
+    pub fn game(&self) -> &CongestionGame {
+        &self.game
+    }
+
+    /// Exact minimum Rosenthal potential `Φ*` of the game (via convex-cost
+    /// flow on the graph — no path enumeration involved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow errors (disconnection is impossible once `build`
+    /// succeeded, but invalid custom latencies can still surface).
+    pub fn min_potential(&self) -> Result<f64, NetworkError> {
+        Ok(min_potential_flow(&self.graph, self.source, self.sink, self.game.total_players())?
+            .cost)
+    }
+
+    /// Exact optimal social cost (total latency `Σ_e x_e ℓ_e(x_e)`),
+    /// requiring convex `x·ℓ(x)` per edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow errors.
+    pub fn min_total_latency(&self) -> Result<f64, NetworkError> {
+        Ok(min_social_cost_flow(&self.graph, self.source, self.sink, self.game.total_players())?
+            .cost)
+    }
+}
+
+/// Error for [`NetworkGame::build`]: either a network or a game error.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// Path enumeration / graph validation failed.
+    Network(NetworkError),
+    /// Game construction failed.
+    Game(GameError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Network(e) => write!(f, "network error: {e}"),
+            BuildError::Game(e) => write!(f, "game error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Network(e) => Some(e),
+            BuildError::Game(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetworkError> for BuildError {
+    fn from(e: NetworkError) -> Self {
+        BuildError::Network(e)
+    }
+}
+
+impl From<GameError> for BuildError {
+    fn from(e: GameError) -> Self {
+        BuildError::Game(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use congames_model::{potential_of_loads, Affine, State};
+
+    #[test]
+    fn build_parallel_links_game() {
+        let (g, s, t) = builders::parallel_links(3, |i| Affine::linear((i + 1) as f64).into());
+        let net = NetworkGame::build(g, s, t, 12, 100).unwrap();
+        assert_eq!(net.game().num_resources(), 3);
+        assert_eq!(net.game().num_strategies(), 3);
+        assert_eq!(net.game().total_players(), 12);
+        assert_eq!(net.paths().len(), 3);
+    }
+
+    #[test]
+    fn min_potential_matches_model_potential_of_loads() {
+        let (g, s, t) = builders::braess([
+            Affine::linear(1.0).into(),
+            Affine::new(0.0, 6.0).into(),
+            Affine::new(0.0, 6.0).into(),
+            Affine::linear(1.0).into(),
+            Affine::new(0.0, 0.5).into(),
+        ]);
+        let net = NetworkGame::build(g, s, t, 6, 100).unwrap();
+        let flow =
+            min_potential_flow(net.graph(), net.source(), net.sink(), 6).unwrap();
+        let phi = potential_of_loads(net.game(), &flow.loads);
+        assert!((phi - flow.cost).abs() < 1e-9);
+        assert!((net.min_potential().unwrap() - flow.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_star_lower_bounds_all_states() {
+        let (g, s, t) = builders::parallel_links(2, |i| Affine::linear((i + 1) as f64).into());
+        let net = NetworkGame::build(g, s, t, 6, 100).unwrap();
+        let phi_star = net.min_potential().unwrap();
+        for k in 0..=6u64 {
+            let state = State::from_counts(net.game(), vec![k, 6 - k]).unwrap();
+            let phi = congames_model::potential(net.game(), &state);
+            assert!(phi >= phi_star - 1e-9, "state {k} has Φ {phi} < Φ* {phi_star}");
+        }
+    }
+
+    #[test]
+    fn min_total_latency_lower_bounds_states() {
+        let (g, s, t) = builders::parallel_links(2, |i| Affine::linear((i + 1) as f64).into());
+        let net = NetworkGame::build(g, s, t, 6, 100).unwrap();
+        let opt = net.min_total_latency().unwrap();
+        for k in 0..=6u64 {
+            let state = State::from_counts(net.game(), vec![k, 6 - k]).unwrap();
+            let tot = congames_model::total_latency(net.game(), &state);
+            assert!(tot >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_cap_propagates() {
+        let (g, s, t) = builders::parallel_links(5, |_| Affine::linear(1.0).into());
+        assert!(matches!(
+            NetworkGame::build(g, s, t, 3, 2),
+            Err(BuildError::Network(NetworkError::TooManyPaths { cap: 2 }))
+        ));
+    }
+}

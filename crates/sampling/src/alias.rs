@@ -1,0 +1,181 @@
+//! Walker–Vose alias tables for O(1) categorical sampling.
+
+use rand::Rng;
+
+use crate::error::SamplingError;
+
+/// A Walker–Vose alias table over a fixed weight vector.
+///
+/// Construction is `O(k)` for `k` categories; each sample costs one uniform
+/// index draw plus one biased coin. The player-level round engine uses this
+/// to sample a strategy proportionally to its player count.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use congames_sampling::AliasTable;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+/// let table = AliasTable::new(&[1.0, 3.0, 6.0])?;
+/// let i = table.sample(&mut rng);
+/// assert!(i < 3);
+/// # Ok::<(), congames_sampling::SamplingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build an alias table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidWeights`] if `weights` is empty,
+    /// contains a negative or non-finite entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, SamplingError> {
+        if weights.is_empty() {
+            return Err(SamplingError::InvalidWeights { message: "empty weight vector" });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(SamplingError::InvalidWeights {
+                message: "weights must be finite and non-negative",
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(SamplingError::InvalidWeights { message: "weights must not all be zero" });
+        }
+        let k = weights.len();
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; k];
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Move the overflow of `l` onto `s`'s slot.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for constructed tables).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let k = self.prob.len();
+        let i = rng.gen_range(0..k);
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_err());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = t.sample(&mut rng);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let draws = 200_000usize;
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let freq = counts[i] as f64 / draws as f64;
+            let se = (expect * (1.0 - expect) / draws as f64).sqrt();
+            assert!(
+                (freq - expect).abs() < 5.0 * se,
+                "category {i}: freq {freq} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_behave_like_normalized() {
+        let a = AliasTable::new(&[1.0, 1.0]).unwrap();
+        let b = AliasTable::new(&[100.0, 100.0]).unwrap();
+        let mut ra = SmallRng::seed_from_u64(4);
+        let mut rb = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+    }
+
+    #[test]
+    fn large_table_is_well_formed() {
+        let weights: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(t.sample(&mut rng) < 1000);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Exact binomial sampling: Bernoulli summation, BINV inversion, and the
+//! BTPE rejection algorithm of Kachitvichyanukul & Schmeiser (1988).
+
+use rand::Rng;
+
+use crate::error::SamplingError;
+
+/// Below this trial count we simply sum Bernoulli draws.
+const SMALL_TRIALS: u64 = 32;
+/// BINV is used while `n·min(p,q) < BTPE_THRESHOLD`; beyond it, BTPE.
+const BTPE_THRESHOLD: f64 = 10.0;
+
+/// Sample `X ~ Binomial(n, p)` exactly.
+///
+/// The sampler dispatches on the parameters:
+///
+/// * `n ≤ 32`: sum of Bernoulli draws (`O(n)`),
+/// * `n·min(p, 1−p) < 10`: BINV inversion with a numerically stable
+///   recurrence (`O(n·p)` expected),
+/// * otherwise: BTPE, a constant-expected-time rejection method.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidProbability`] if `p` is not a finite
+/// value in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let x = congames_sampling::binomial(&mut rng, 1_000_000, 0.25)?;
+/// assert!(x <= 1_000_000);
+/// # Ok::<(), congames_sampling::SamplingError>(())
+/// ```
+pub fn binomial(rng: &mut impl Rng, n: u64, p: f64) -> Result<u64, SamplingError> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(SamplingError::InvalidProbability { name: "p" });
+    }
+    if n == 0 || p == 0.0 {
+        return Ok(0);
+    }
+    if p == 1.0 {
+        return Ok(n);
+    }
+    // Work with r = min(p, 1-p) and flip at the end if needed.
+    let flipped = p > 0.5;
+    let r = if flipped { 1.0 - p } else { p };
+    let x = if n <= SMALL_TRIALS {
+        bernoulli_sum(rng, n, r)
+    } else if (n as f64) * r < BTPE_THRESHOLD {
+        binv(rng, n, r)
+    } else {
+        btpe(rng, n, r)
+    };
+    Ok(if flipped { n - x } else { x })
+}
+
+fn bernoulli_sum(rng: &mut impl Rng, n: u64, p: f64) -> u64 {
+    let mut x = 0;
+    for _ in 0..n {
+        if rng.gen::<f64>() < p {
+            x += 1;
+        }
+    }
+    x
+}
+
+/// BINV: inversion of the CDF via the recurrence
+/// `P(X = x+1) = P(X = x) · (a/(x+1) − s)` with `s = p/q`, `a = (n+1)s`.
+fn binv(rng: &mut impl Rng, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n as f64 + 1.0) * s;
+    // q^n; safe because n·p < 10 implies q^n is far from underflow for the
+    // n that reach this branch in practice, but guard anyway.
+    let r0 = q.powf(n as f64);
+    loop {
+        let mut r = r0;
+        if r <= 0.0 || !r.is_finite() {
+            // Pathological underflow; fall back to BTPE which handles it.
+            return btpe(rng, n, p);
+        }
+        let mut u: f64 = rng.gen();
+        let mut x: u64 = 0;
+        loop {
+            if u < r {
+                return x;
+            }
+            u -= r;
+            x += 1;
+            if x > n {
+                break; // numerical leakage; redraw
+            }
+            r *= a / x as f64 - s;
+        }
+    }
+}
+
+/// BTPE (Binomial, Triangle, Parallelogram, Exponential): rejection sampling
+/// with a piecewise dominating density. Expected O(1) time per sample for
+/// `n·min(p,q) ≥ 10`. Requires `p ≤ 0.5` (callers flip).
+fn btpe(rng: &mut impl Rng, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let r = p;
+    let q = 1.0 - r;
+    let nrq = nf * r * q;
+    let f_m = nf * r + r;
+    let m = f_m.floor();
+    let p1 = (2.195 * nrq.sqrt() - 4.6 * q).floor() + 0.5;
+    let x_m = m + 0.5;
+    let x_l = x_m - p1;
+    let x_r = x_m + p1;
+    let c = 0.134 + 20.5 / (15.3 + m);
+    let a_l = (f_m - x_l) / (f_m - x_l * r);
+    let lambda_l = a_l * (1.0 + 0.5 * a_l);
+    let a_r = (x_r - f_m) / (x_r * q);
+    let lambda_r = a_r * (1.0 + 0.5 * a_r);
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+
+    loop {
+        let u: f64 = rng.gen::<f64>() * p4;
+        let v: f64 = rng.gen();
+        let y: f64;
+        if u <= p1 {
+            // Triangular region: accept immediately.
+            y = (x_m - p1 * v + u).floor();
+            return y.max(0.0) as u64;
+        } else if u <= p2 {
+            // Parallelogram region.
+            let x = x_l + (u - p1) / c;
+            let v2 = v * c + 1.0 - (x_m - x).abs() / p1;
+            if v2 > 1.0 || v2 <= 0.0 {
+                continue;
+            }
+            y = x.floor();
+            if accept(n, r, m, y, v2, nrq) {
+                return y.max(0.0) as u64;
+            }
+        } else if u <= p3 {
+            // Left exponential tail.
+            y = (x_l + v.ln() / lambda_l).floor();
+            if y < 0.0 {
+                continue;
+            }
+            let v2 = v * (u - p2) * lambda_l;
+            if accept(n, r, m, y, v2, nrq) {
+                return y as u64;
+            }
+        } else {
+            // Right exponential tail.
+            y = (x_r - v.ln() / lambda_r).floor();
+            if y > nf {
+                continue;
+            }
+            let v2 = v * (u - p3) * lambda_r;
+            if accept(n, r, m, y, v2, nrq) {
+                return y as u64;
+            }
+        }
+    }
+}
+
+/// Acceptance test for BTPE candidates outside the triangular region.
+fn accept(n: u64, r: f64, m: f64, y: f64, v: f64, nrq: f64) -> bool {
+    let nf = n as f64;
+    let q = 1.0 - r;
+    let k = (y - m).abs();
+    if k <= 20.0 || k >= nrq / 2.0 - 1.0 {
+        // Explicit evaluation of f(y)/f(m) by the recurrence.
+        let s = r / q;
+        let a = s * (nf + 1.0);
+        let mut f = 1.0_f64;
+        if m < y {
+            let mut i = m as u64 + 1;
+            while i <= y as u64 {
+                f *= a / i as f64 - s;
+                i += 1;
+            }
+        } else if m > y {
+            let mut i = y as u64 + 1;
+            while i <= m as u64 {
+                f /= a / i as f64 - s;
+                i += 1;
+            }
+        }
+        v <= f
+    } else {
+        // Squeeze, then Stirling-corrected exact log comparison.
+        let rho = (k / nrq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / nrq + 0.5);
+        let t = -k * k / (2.0 * nrq);
+        let log_v = v.ln();
+        if log_v < t - rho {
+            return true;
+        }
+        if log_v > t + rho {
+            return false;
+        }
+        let x1 = y + 1.0;
+        let f1 = m + 1.0;
+        let z = nf + 1.0 - m;
+        let w = nf - y + 1.0;
+        let z2 = z * z;
+        let x2 = x1 * x1;
+        let f2 = f1 * f1;
+        let w2 = w * w;
+        let bound = (m + 0.5) * (f1 / x1).ln()
+            + (nf - m + 0.5) * (z / w).ln()
+            + (y - m) * (w * r / (x1 * q)).ln()
+            + stirling_tail(f2) / f1
+            + stirling_tail(z2) / z
+            + stirling_tail(x2) / x1
+            + stirling_tail(w2) / w;
+        log_v <= bound
+    }
+}
+
+/// The truncated Stirling-series tail
+/// `(13860 − (462 − (132 − (99 − 140/t)/t)/t)/t) / 166320` evaluated at `t`.
+fn stirling_tail(t: f64) -> f64 {
+    (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / t) / t) / t) / t) / 166320.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(n: u64, p: f64, draws: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..draws {
+            let x = binomial(&mut rng, n, p).unwrap() as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / draws as f64;
+        let var = sumsq / draws as f64 - mean * mean;
+        (mean, var)
+    }
+
+    /// Check the first two moments against Binomial(n,p). The standard error
+    /// of the sample mean is sqrt(npq/draws); we allow 5 sigma.
+    fn check_moments(n: u64, p: f64, draws: usize, seed: u64) {
+        let (mean, var) = sample_stats(n, p, draws, seed);
+        let true_mean = n as f64 * p;
+        let true_var = n as f64 * p * (1.0 - p);
+        let se_mean = (true_var / draws as f64).sqrt();
+        assert!(
+            (mean - true_mean).abs() <= 5.0 * se_mean + 1e-9,
+            "n={n} p={p}: mean {mean} vs {true_mean} (se {se_mean})"
+        );
+        // Variance concentrates more slowly; allow 10% relative error.
+        if true_var > 1.0 {
+            assert!(
+                (var - true_var).abs() <= 0.1 * true_var,
+                "n={n} p={p}: var {var} vs {true_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5).unwrap(), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0).unwrap(), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0).unwrap(), 10);
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(binomial(&mut rng, 10, -0.1).is_err());
+        assert!(binomial(&mut rng, 10, 1.1).is_err());
+        assert!(binomial(&mut rng, 10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn results_are_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &(n, p) in &[(5u64, 0.3), (100, 0.01), (100, 0.99), (10_000, 0.5), (1_000_000, 0.7)] {
+            for _ in 0..200 {
+                let x = binomial(&mut rng, n, p).unwrap();
+                assert!(x <= n, "sample {x} out of range for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn moments_small_bernoulli_path() {
+        check_moments(20, 0.3, 40_000, 11);
+    }
+
+    #[test]
+    fn moments_binv_path() {
+        check_moments(500, 0.002, 40_000, 12); // n·p = 1
+        check_moments(200, 0.04, 40_000, 13); // n·p = 8
+    }
+
+    #[test]
+    fn moments_btpe_path() {
+        check_moments(1_000, 0.5, 40_000, 14);
+        check_moments(10_000, 0.03, 40_000, 15);
+        check_moments(1_000_000, 0.25, 4_000, 16);
+    }
+
+    #[test]
+    fn moments_flipped_p() {
+        check_moments(1_000, 0.9, 40_000, 17);
+        check_moments(100, 0.97, 40_000, 18);
+    }
+
+    /// Compare the full empirical CDF of the fast paths against the exact
+    /// Bernoulli-sum ground truth on a moderate case, using a two-sample
+    /// Kolmogorov–Smirnov-style distance with a generous bound.
+    #[test]
+    fn btpe_matches_bernoulli_sum_distribution() {
+        let n = 300u64; // routed to BTPE (n·p = 90)
+        let p = 0.3;
+        let draws = 30_000usize;
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut hist_fast = vec![0u32; (n + 1) as usize];
+        for _ in 0..draws {
+            hist_fast[binomial(&mut rng, n, p).unwrap() as usize] += 1;
+        }
+        let mut hist_slow = vec![0u32; (n + 1) as usize];
+        for _ in 0..draws {
+            hist_slow[bernoulli_sum(&mut rng, n, p) as usize] += 1;
+        }
+        // KS distance between the two empirical CDFs.
+        let mut cdf_f = 0.0;
+        let mut cdf_s = 0.0;
+        let mut ks: f64 = 0.0;
+        for i in 0..hist_fast.len() {
+            cdf_f += hist_fast[i] as f64 / draws as f64;
+            cdf_s += hist_slow[i] as f64 / draws as f64;
+            ks = ks.max((cdf_f - cdf_s).abs());
+        }
+        // Critical value at alpha=0.001 for two samples of 30k is ~0.0159.
+        assert!(ks < 0.016, "KS distance too large: {ks}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(
+                binomial(&mut a, 1000, 0.3).unwrap(),
+                binomial(&mut b, 1000, 0.3).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the sampling primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SamplingError {
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A weight vector was empty, contained negatives/NaNs, or summed to 0.
+    InvalidWeights {
+        /// Human-readable description.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidProbability { name } => {
+                write!(f, "probability `{name}` must be a finite value in [0, 1]")
+            }
+            SamplingError::InvalidWeights { message } => {
+                write!(f, "invalid weights: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SamplingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SamplingError::InvalidProbability { name: "p" }.to_string().contains("p"));
+        assert!(SamplingError::InvalidWeights { message: "empty" }.to_string().contains("empty"));
+    }
+}

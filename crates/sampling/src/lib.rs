@@ -1,0 +1,38 @@
+//! # congames-sampling
+//!
+//! Random-variate substrate for the `congames` project.
+//!
+//! The concurrent round engines need three primitives that `rand` itself
+//! does not provide (and `rand_distr` is not on the approved dependency
+//! list, so they are implemented and validated here):
+//!
+//! * [`binomial`] — exact binomial sampling. Small cases sum Bernoullis,
+//!   moderate means use the stable inversion recurrence (BINV), large means
+//!   use the BTPE rejection algorithm of Kachitvichyanukul & Schmeiser
+//!   (1988). This is what lets the aggregate engine simulate a round among
+//!   millions of players in microseconds without changing the distribution.
+//! * [`multinomial`] — one round of per-player independent choices grouped
+//!   by origin strategy is exactly a multinomial draw; it is sampled by
+//!   conditional binomials.
+//! * [`AliasTable`] — Walker–Vose alias method for O(1) categorical
+//!   sampling, used by the player-level engine to sample strategies
+//!   proportionally to their player counts.
+//!
+//! Reproducibility helpers ([`split_seed`], [`seeded_rng`]) derive
+//! independent, deterministic RNG streams for parallel experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alias;
+mod binomial;
+mod error;
+mod multinomial;
+mod seeds;
+
+pub use alias::AliasTable;
+pub use binomial::binomial;
+pub use error::SamplingError;
+pub use multinomial::{multinomial, multinomial_with_rest};
+pub use seeds::{seeded_rng, split_seed, SeedSequence};

@@ -1,0 +1,199 @@
+//! Multinomial sampling via conditional binomials.
+
+use rand::Rng;
+
+use crate::binomial::binomial;
+use crate::error::SamplingError;
+
+/// Sample counts `(k_1, …, k_c)` from `Multinomial(n, probs)` where `probs`
+/// must sum to (approximately) one.
+///
+/// Uses the standard conditional-binomial decomposition:
+/// `k_1 ~ Bin(n, p_1)`, `k_2 ~ Bin(n − k_1, p_2/(1 − p_1))`, ….
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidWeights`] if `probs` is empty, contains
+/// negatives/NaNs, or sums to something not within `1e-9` of one.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let counts = congames_sampling::multinomial(&mut rng, 100, &[0.2, 0.3, 0.5])?;
+/// assert_eq!(counts.iter().sum::<u64>(), 100);
+/// # Ok::<(), congames_sampling::SamplingError>(())
+/// ```
+pub fn multinomial(rng: &mut impl Rng, n: u64, probs: &[f64]) -> Result<Vec<u64>, SamplingError> {
+    validate_probs(probs)?;
+    let total: f64 = probs.iter().sum();
+    if (total - 1.0).abs() > 1e-9 {
+        return Err(SamplingError::InvalidWeights { message: "probabilities must sum to 1" });
+    }
+    let (mut counts, rest) = conditional_binomials(rng, n, probs, total)?;
+    // Numerical slack can leave a handful of trials unassigned; they belong
+    // to the last category by the normalization above.
+    if rest > 0 {
+        if let Some(last) = counts.last_mut() {
+            *last += rest;
+        }
+    }
+    Ok(counts)
+}
+
+/// Sample counts from the *sub*-probability vector `probs`
+/// (`Σ probs ≤ 1`); the remaining mass is the implicit "rest" category
+/// (e.g. players who do not migrate). Returns `(counts, rest)` with
+/// `Σ counts + rest = n`.
+///
+/// This is the primitive the aggregate round engine uses: `probs[j]` is the
+/// per-player probability of migrating to destination `j` and the rest
+/// category is "stay put".
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidWeights`] if `probs` contains
+/// negatives/NaNs or sums to more than `1 + 1e-9`.
+pub fn multinomial_with_rest(
+    rng: &mut impl Rng,
+    n: u64,
+    probs: &[f64],
+) -> Result<(Vec<u64>, u64), SamplingError> {
+    validate_probs(probs)?;
+    let total: f64 = probs.iter().sum();
+    if total > 1.0 + 1e-9 {
+        return Err(SamplingError::InvalidWeights {
+            message: "sub-probabilities must sum to at most 1",
+        });
+    }
+    conditional_binomials(rng, n, probs, 1.0)
+}
+
+fn validate_probs(probs: &[f64]) -> Result<(), SamplingError> {
+    if probs.is_empty() {
+        return Err(SamplingError::InvalidWeights { message: "empty probability vector" });
+    }
+    if probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+        return Err(SamplingError::InvalidWeights {
+            message: "probabilities must be finite and non-negative",
+        });
+    }
+    Ok(())
+}
+
+/// Shared inner loop: sequentially draw `Bin(remaining, p_i / mass_left)`.
+fn conditional_binomials(
+    rng: &mut impl Rng,
+    n: u64,
+    probs: &[f64],
+    total_mass: f64,
+) -> Result<(Vec<u64>, u64), SamplingError> {
+    let mut counts = vec![0u64; probs.len()];
+    let mut remaining = n;
+    let mut mass_left = total_mass;
+    for (i, &p) in probs.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if p <= 0.0 {
+            continue;
+        }
+        if mass_left <= 0.0 {
+            break;
+        }
+        let cond = (p / mass_left).clamp(0.0, 1.0);
+        let k = binomial(rng, remaining, cond)?;
+        counts[i] = k;
+        remaining -= k;
+        mass_left -= p;
+    }
+    Ok((counts, remaining))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_sum_to_n() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = multinomial(&mut rng, 1000, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+            assert_eq!(c.iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn with_rest_conserves_players() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (c, rest) = multinomial_with_rest(&mut rng, 500, &[0.05, 0.1]).unwrap();
+            assert_eq!(c.iter().sum::<u64>() + rest, 500);
+        }
+    }
+
+    #[test]
+    fn means_match_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let probs = [0.15, 0.35, 0.5];
+        let n = 2000u64;
+        let draws = 3000;
+        let mut sums = [0.0f64; 3];
+        for _ in 0..draws {
+            let c = multinomial(&mut rng, n, &probs).unwrap();
+            for i in 0..3 {
+                sums[i] += c[i] as f64;
+            }
+        }
+        for i in 0..3 {
+            let mean = sums[i] / draws as f64;
+            let expect = n as f64 * probs[i];
+            let se = (n as f64 * probs[i] * (1.0 - probs[i]) / draws as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 5.0 * se,
+                "category {i}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rest_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 1000u64;
+        let draws = 5000;
+        let mut rest_sum = 0.0;
+        for _ in 0..draws {
+            let (_, rest) = multinomial_with_rest(&mut rng, n, &[0.2, 0.1]).unwrap();
+            rest_sum += rest as f64;
+        }
+        let mean = rest_sum / draws as f64;
+        assert!((mean - 700.0).abs() < 5.0, "rest mean {mean}");
+    }
+
+    #[test]
+    fn zero_probability_categories_get_zero() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let c = multinomial(&mut rng, 100, &[0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(c, vec![0, 100, 0]);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(multinomial(&mut rng, 10, &[]).is_err());
+        assert!(multinomial(&mut rng, 10, &[0.5, 0.6]).is_err());
+        assert!(multinomial(&mut rng, 10, &[-0.1, 1.1]).is_err());
+        assert!(multinomial_with_rest(&mut rng, 10, &[0.9, 0.2]).is_err());
+        assert!(multinomial_with_rest(&mut rng, 10, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn n_zero_gives_zeros() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c = multinomial(&mut rng, 0, &[0.5, 0.5]).unwrap();
+        assert_eq!(c, vec![0, 0]);
+    }
+}

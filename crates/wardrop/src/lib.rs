@@ -1,0 +1,431 @@
+//! # congames-wardrop
+//!
+//! The continuous (non-atomic) sister model of the paper: a population of
+//! infinitesimal agents splits fractionally over the strategies of a
+//! symmetric congestion game. This is the setting of Fischer–Räcke–Vöcking
+//! (STOC 2006), which the paper cites as the continuous counterpart of its
+//! IMITATION PROTOCOL, and it is the `n → ∞` limit that Theorem 9's
+//! player-normalized latencies `ℓ(x/n)` converge to.
+//!
+//! Provided here:
+//!
+//! * [`FlowState`] — a fractional strategy distribution with derived edge
+//!   flows,
+//! * the Beckmann potential `Σ_e ∫_0^{f_e} ℓ_e` ([`beckmann_potential`]),
+//!   whose minimizers are exactly the Wardrop equilibria,
+//! * [`is_wardrop_equilibrium`] — all used strategies within `eps` of the
+//!   best strategy,
+//! * [`ImitationFlow`] — the deterministic mean-field imitation dynamics
+//!   `ẏ_Q = Σ_P y_P·y_Q·(λ/d)·[(ℓ_P − ℓ_Q)/ℓ_P]_+ − (P↔Q)`, integrated by
+//!   explicit Euler steps.
+//!
+//! The integration tests compare trajectories of the *atomic* protocol on
+//! player-normalized games against this flow: the gap shrinks as `n` grows,
+//! which is the empirical face of the paper's "probabilistic effects vanish
+//! in the continuous model" remark (Section 1.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use congames_model::{CongestionGame, GameError, State, StrategyId};
+
+/// A fractional population state over the strategies of a single-class game:
+/// non-negative shares summing to the total demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    shares: Vec<f64>,
+    demand: f64,
+}
+
+impl FlowState {
+    /// Create a state from per-strategy volumes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the vector length mismatches the game, the game has more
+    /// than one class, or a share is negative/non-finite or all are zero.
+    pub fn new(game: &CongestionGame, shares: Vec<f64>) -> Result<Self, GameError> {
+        if game.classes().len() != 1 {
+            return Err(GameError::InvalidParameter {
+                name: "game",
+                message: "the Wardrop model is implemented for single-class games",
+            });
+        }
+        if shares.len() != game.num_strategies() {
+            return Err(GameError::WrongLength {
+                expected: game.num_strategies(),
+                found: shares.len(),
+            });
+        }
+        if shares.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "shares",
+                message: "must be finite and non-negative",
+            });
+        }
+        let demand: f64 = shares.iter().sum();
+        if demand <= 0.0 {
+            return Err(GameError::InvalidParameter {
+                name: "shares",
+                message: "total demand must be positive",
+            });
+        }
+        Ok(FlowState { shares, demand })
+    }
+
+    /// The normalized share vector of an atomic [`State`] (counts divided by
+    /// `n`), bridging atomic trajectories into the continuous model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlowState::new`].
+    pub fn from_atomic(game: &CongestionGame, state: &State) -> Result<Self, GameError> {
+        let n = game.total_players().max(1) as f64;
+        FlowState::new(game, state.counts().iter().map(|&c| c as f64 / n).collect())
+    }
+
+    /// Per-strategy volumes.
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// Total demand (the sum of shares; constant along the dynamics).
+    pub fn demand(&self) -> f64 {
+        self.demand
+    }
+
+    /// Derived per-resource flows `f_e = Σ_{P ∋ e} y_P`.
+    pub fn edge_flows(&self, game: &CongestionGame) -> Vec<f64> {
+        let mut flows = vec![0.0; game.num_resources()];
+        for (i, s) in game.strategies().iter().enumerate() {
+            let y = self.shares[i];
+            if y > 0.0 {
+                for &r in s.resources() {
+                    flows[r.index()] += y;
+                }
+            }
+        }
+        flows
+    }
+
+    /// Latency of strategy `sid` under the current flows.
+    pub fn strategy_latency(&self, game: &CongestionGame, sid: StrategyId) -> f64 {
+        let flows = self.edge_flows(game);
+        strategy_latency_with(game, &flows, sid)
+    }
+
+    /// Average (demand-weighted) latency.
+    pub fn average_latency(&self, game: &CongestionGame) -> f64 {
+        let flows = self.edge_flows(game);
+        let mut total = 0.0;
+        for (i, &y) in self.shares.iter().enumerate() {
+            if y > 0.0 {
+                total += y * strategy_latency_with(game, &flows, StrategyId::new(i as u32));
+            }
+        }
+        total / self.demand
+    }
+
+    /// Sup-norm distance between two share vectors (e.g. an atomic
+    /// trajectory vs. the continuous one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn distance(&self, other: &FlowState) -> f64 {
+        assert_eq!(self.shares.len(), other.shares.len(), "dimension mismatch");
+        self.shares
+            .iter()
+            .zip(&other.shares)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+fn strategy_latency_with(game: &CongestionGame, flows: &[f64], sid: StrategyId) -> f64 {
+    game.strategy(sid)
+        .resources()
+        .iter()
+        .map(|&r| game.resource(r).latency().value_at(flows[r.index()]))
+        .sum()
+}
+
+/// The Beckmann potential `Σ_e ∫_0^{f_e} ℓ_e(u) du` — the continuous analog
+/// of Rosenthal's potential; its minimizers over feasible flows are the
+/// Wardrop equilibria.
+pub fn beckmann_potential(game: &CongestionGame, state: &FlowState) -> f64 {
+    state
+        .edge_flows(game)
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| game.resources()[i].latency().integral_to(f))
+        .sum()
+}
+
+/// Whether all strategies carrying flow are within additive `eps` of the
+/// cheapest strategy (the Wardrop condition).
+pub fn is_wardrop_equilibrium(game: &CongestionGame, state: &FlowState, eps: f64) -> bool {
+    let flows = state.edge_flows(game);
+    let mut best = f64::INFINITY;
+    for i in 0..game.num_strategies() {
+        best = best.min(strategy_latency_with(game, &flows, StrategyId::new(i as u32)));
+    }
+    state.shares().iter().enumerate().all(|(i, &y)| {
+        y <= 0.0
+            || strategy_latency_with(game, &flows, StrategyId::new(i as u32)) <= best + eps
+    })
+}
+
+/// The deterministic mean-field imitation dynamics: each infinitesimal
+/// agent samples a strategy proportionally to its share and switches with
+/// rate `λ/d · (ℓ_P − ℓ_Q)_+/ℓ_P`. Unlike the atomic protocol there is no
+/// sampling noise and no `ν` threshold (probabilistic effects vanish).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImitationFlow {
+    lambda: f64,
+    damping: f64,
+}
+
+impl ImitationFlow {
+    /// Create the flow with migration constant `λ ∈ (0, 1]` and damping
+    /// denominator `max(d, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `λ ∉ (0, 1]` or `d` is not finite/non-negative.
+    pub fn new(lambda: f64, d: f64) -> Result<Self, GameError> {
+        if !(lambda > 0.0 && lambda <= 1.0) {
+            return Err(GameError::InvalidParameter {
+                name: "lambda",
+                message: "must be a finite value in (0, 1]",
+            });
+        }
+        if !d.is_finite() || d < 0.0 {
+            return Err(GameError::InvalidParameter {
+                name: "d",
+                message: "must be finite and non-negative",
+            });
+        }
+        Ok(ImitationFlow { lambda, damping: d.max(1.0) })
+    }
+
+    /// The flow matching the atomic protocol's parameters for `game`
+    /// (`λ = 1/4`, elasticity damping).
+    pub fn for_game(game: &CongestionGame) -> Self {
+        ImitationFlow::new(0.25, game.params().d).expect("derived parameters are valid")
+    }
+
+    /// The time derivative `ẏ` at `state` (sums to zero).
+    pub fn derivative(&self, game: &CongestionGame, state: &FlowState) -> Vec<f64> {
+        let flows = state.edge_flows(game);
+        let k = game.num_strategies();
+        let lat: Vec<f64> =
+            (0..k).map(|i| strategy_latency_with(game, &flows, StrategyId::new(i as u32))).collect();
+        let mut dy = vec![0.0; k];
+        let scale = self.lambda / self.damping;
+        for p in 0..k {
+            let yp = state.shares()[p];
+            if yp <= 0.0 || lat[p] <= 0.0 {
+                continue;
+            }
+            for q in 0..k {
+                if q == p {
+                    continue;
+                }
+                let yq = state.shares()[q];
+                if yq <= 0.0 {
+                    continue;
+                }
+                let gain = lat[p] - lat[q];
+                if gain > 0.0 {
+                    // Mass moves P → Q at rate y_P·(y_Q/demand)·μ.
+                    let rate = yp * (yq / state.demand()) * scale * gain / lat[p];
+                    dy[p] -= rate;
+                    dy[q] += rate;
+                }
+            }
+        }
+        dy
+    }
+
+    /// One explicit Euler step of size `dt`; returns the realized step
+    /// (shares are clamped at zero, preserving total demand).
+    pub fn step(&self, game: &CongestionGame, state: &mut FlowState, dt: f64) {
+        debug_assert!(dt > 0.0 && dt.is_finite(), "step size must be positive");
+        let dy = self.derivative(game, state);
+        let demand = state.demand;
+        for (y, d) in state.shares.iter_mut().zip(dy) {
+            *y = (*y + dt * d).max(0.0);
+        }
+        // Renormalize the (tiny) clamping drift so demand stays exact.
+        let sum: f64 = state.shares.iter().sum();
+        if sum > 0.0 {
+            let fix = demand / sum;
+            for y in state.shares.iter_mut() {
+                *y *= fix;
+            }
+        }
+    }
+
+    /// Integrate until the state is an `eps`-Wardrop equilibrium or
+    /// `max_steps` Euler steps of size `dt` have run. Returns the number of
+    /// steps taken.
+    pub fn run(
+        &self,
+        game: &CongestionGame,
+        state: &mut FlowState,
+        dt: f64,
+        eps: f64,
+        max_steps: u64,
+    ) -> u64 {
+        for step in 0..max_steps {
+            if is_wardrop_equilibrium(game, state, eps) {
+                return step;
+            }
+            self.step(game, state, dt);
+        }
+        max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congames_model::{Affine, Monomial};
+
+    fn two_links(a1: f64, a2: f64) -> CongestionGame {
+        // Unit-demand continuous model over ℓ(x) = a·x latencies; player
+        // count 1 is irrelevant to the flow dynamics.
+        CongestionGame::singleton(
+            vec![Affine::linear(a1).into(), Affine::linear(a2).into()],
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn state_validation() {
+        let game = two_links(1.0, 2.0);
+        assert!(FlowState::new(&game, vec![0.5]).is_err());
+        assert!(FlowState::new(&game, vec![0.5, -0.1]).is_err());
+        assert!(FlowState::new(&game, vec![0.0, 0.0]).is_err());
+        let s = FlowState::new(&game, vec![0.25, 0.75]).unwrap();
+        assert_eq!(s.demand(), 1.0);
+        assert_eq!(s.shares(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn edge_flows_and_latency() {
+        let game = two_links(1.0, 2.0);
+        let s = FlowState::new(&game, vec![0.25, 0.75]).unwrap();
+        assert_eq!(s.edge_flows(&game), vec![0.25, 0.75]);
+        assert!((s.strategy_latency(&game, StrategyId::new(1)) - 1.5).abs() < 1e-12);
+        assert!((s.average_latency(&game) - (0.25 * 0.25 + 0.75 * 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wardrop_equilibrium_of_two_linear_links() {
+        // a1·y = a2·(1−y) ⇒ y = a2/(a1+a2).
+        let game = two_links(1.0, 3.0);
+        let eq = FlowState::new(&game, vec![0.75, 0.25]).unwrap();
+        assert!(is_wardrop_equilibrium(&game, &eq, 1e-9));
+        let off = FlowState::new(&game, vec![0.5, 0.5]).unwrap();
+        assert!(!is_wardrop_equilibrium(&game, &off, 0.4));
+    }
+
+    #[test]
+    fn beckmann_minimum_is_the_equilibrium() {
+        let game = two_links(1.0, 3.0);
+        let phi_eq = beckmann_potential(
+            &game,
+            &FlowState::new(&game, vec![0.75, 0.25]).unwrap(),
+        );
+        for y in [0.0f64, 0.2, 0.5, 0.7, 0.8, 1.0] {
+            let phi = beckmann_potential(
+                &game,
+                &FlowState::new(&game, vec![y.max(1e-12), (1.0 - y).max(1e-12)]).unwrap(),
+            );
+            assert!(phi >= phi_eq - 1e-9, "Φ({y}) = {phi} below equilibrium {phi_eq}");
+        }
+    }
+
+    #[test]
+    fn derivative_conserves_demand_and_points_downhill() {
+        let game = two_links(1.0, 3.0);
+        let flow = ImitationFlow::for_game(&game);
+        let s = FlowState::new(&game, vec![0.2, 0.8]).unwrap();
+        let dy = flow.derivative(&game, &s);
+        assert!((dy.iter().sum::<f64>()).abs() < 1e-12);
+        // Link 2 is overloaded (latency 2.4 vs 0.2): mass flows 2 → 1.
+        assert!(dy[0] > 0.0);
+        assert!(dy[1] < 0.0);
+    }
+
+    #[test]
+    fn flow_converges_to_wardrop_equilibrium() {
+        let game = two_links(1.0, 3.0);
+        let flow = ImitationFlow::for_game(&game);
+        let mut s = FlowState::new(&game, vec![0.05, 0.95]).unwrap();
+        let steps = flow.run(&game, &mut s, 0.05, 1e-6, 2_000_000);
+        assert!(steps < 2_000_000, "did not converge");
+        assert!((s.shares()[0] - 0.75).abs() < 1e-3, "shares {:?}", s.shares());
+    }
+
+    #[test]
+    fn potential_decreases_along_the_flow() {
+        let game = CongestionGame::singleton(
+            vec![
+                Monomial::new(1.0, 2).into(),
+                Affine::new(0.5, 0.3).into(),
+                Affine::linear(2.0).into(),
+            ],
+            1,
+        )
+        .unwrap();
+        let flow = ImitationFlow::for_game(&game);
+        let mut s = FlowState::new(&game, vec![0.7, 0.2, 0.1]).unwrap();
+        let mut phi = beckmann_potential(&game, &s);
+        for _ in 0..2000 {
+            flow.step(&game, &mut s, 0.02);
+            let next = beckmann_potential(&game, &s);
+            assert!(next <= phi + 1e-9, "potential rose: {phi} -> {next}");
+            phi = next;
+        }
+    }
+
+    #[test]
+    fn imitation_flow_cannot_revive_dead_strategies() {
+        // Like the atomic protocol, the mean-field imitation flow keeps
+        // unused strategies at zero share forever.
+        let game = two_links(10.0, 1.0);
+        let flow = ImitationFlow::for_game(&game);
+        let mut s = FlowState::new(&game, vec![1.0, 0.0]).unwrap();
+        for _ in 0..100 {
+            flow.step(&game, &mut s, 0.1);
+        }
+        assert_eq!(s.shares()[1], 0.0);
+    }
+
+    #[test]
+    fn from_atomic_normalizes() {
+        let game = CongestionGame::singleton(
+            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            10,
+        )
+        .unwrap();
+        let atomic = State::from_counts(&game, vec![4, 6]).unwrap();
+        let s = FlowState::from_atomic(&game, &atomic).unwrap();
+        assert!((s.shares()[0] - 0.4).abs() < 1e-12);
+        assert!((s.demand() - 1.0).abs() < 1e-12);
+        let other = FlowState::new(&game, vec![0.4, 0.6]).unwrap();
+        assert_eq!(s.distance(&other), 0.0);
+    }
+
+    #[test]
+    fn invalid_flow_parameters_rejected() {
+        assert!(ImitationFlow::new(0.0, 1.0).is_err());
+        assert!(ImitationFlow::new(1.5, 1.0).is_err());
+        assert!(ImitationFlow::new(0.5, f64::NAN).is_err());
+    }
+}

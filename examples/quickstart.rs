@@ -1,0 +1,67 @@
+//! Quickstart: run the IMITATION PROTOCOL on a parallel-links game and
+//! watch it reach an approximate equilibrium.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use congames::{
+    Affine, ApproxEquilibrium, CongestionGame, ImitationProtocol, RecordConfig, Simulation,
+    State, StopCondition, StopSpec,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight parallel links with linear latencies ℓ_i(x) = (1+i)·x and
+    // 10 000 players, all crammed onto the two worst links.
+    let m = 8;
+    let n = 10_000u64;
+    let game = CongestionGame::singleton(
+        (0..m).map(|i| Affine::linear(1.0 + i as f64).into()).collect(),
+        n,
+    )?;
+    // A few scouts on every fast link, the bulk piled on the two slowest —
+    // imitation can only adopt strategies that are already in use, so the
+    // scouts are what lets the crowd find the fast links.
+    let mut counts = vec![100u64; m];
+    counts[m - 1] = (n - 600) / 2;
+    counts[m - 2] = n - 600 - counts[m - 1];
+    let start = State::from_counts(&game, counts)?;
+
+    // The paper's protocol with λ = 1/4; parameters (d, ν, β, ℓ_min) are
+    // derived from the game automatically.
+    let protocol = ImitationProtocol::paper_default().into();
+    let mut sim = Simulation::new(&game, protocol, start)?
+        .with_recording(RecordConfig::every_round());
+    let params = *sim.params();
+    println!("game parameters: d = {}, ν = {}", params.d, params.nu);
+
+    // Stop at a (δ=0.02, ε=0.05, ν)-equilibrium: at most 2% of players
+    // deviate by more than 5% (plus ν) from the average latency.
+    let eq = ApproxEquilibrium::new(0.02, 0.05, params.nu)?;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2024);
+    let outcome = sim.run(
+        &StopSpec::new(vec![
+            StopCondition::ApproxEquilibrium(eq),
+            StopCondition::MaxRounds(50_000),
+        ]),
+        &mut rng,
+    )?;
+
+    println!(
+        "reached {:?} after {} rounds (Φ: {:.1} → {:.1})",
+        outcome.reason,
+        outcome.rounds,
+        outcome.trajectory.records()[0].potential,
+        outcome.potential,
+    );
+    println!("\nround   Φ          L_av     max latency  migrations");
+    for r in outcome.trajectory.records().iter().step_by(5.max(outcome.rounds as usize / 12)) {
+        println!(
+            "{:<7} {:<10.1} {:<8.2} {:<12.2} {}",
+            r.round, r.potential, r.l_av, r.max_latency, r.migrations
+        );
+    }
+    println!("\nfinal link loads: {:?}", sim.state().loads());
+    Ok(())
+}

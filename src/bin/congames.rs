@@ -1,0 +1,225 @@
+//! A small CLI for poking at congestion-game dynamics without writing code.
+//!
+//! ```bash
+//! congames params  --links 1,2,3 --players 100
+//! congames run     --links 1,2,3 --players 1000 --protocol imitation --rounds 200
+//! congames optimum --links 1,2,3 --players 100
+//! ```
+//!
+//! Links are linear latencies `ℓ(x) = a·x` given by their coefficients; the
+//! CLI covers the singleton-game slice of the library (the API covers far
+//! more — see the examples).
+
+use congames::dynamics::{
+    ExplorationProtocol, ImitationProtocol, NuRule, Protocol, Simulation, StopCondition,
+    StopSpec,
+};
+use congames::model::{average_latency, potential, LinearSingleton};
+use congames::{Affine, CongestionGame, State};
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  congames params  --links a1,a2,... --players N
+  congames optimum --links a1,a2,... --players N
+  congames run     --links a1,a2,... --players N [--protocol imitation|exploration|combined]
+                   [--rounds R] [--lambda L] [--seed S] [--no-nu]
+
+links are linear latencies l(x) = a*x, comma-separated coefficients.";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?.as_str();
+    let opts = Options::parse(&args[1..])?;
+    let game = opts.game()?;
+    match cmd {
+        "params" => params(&game),
+        "optimum" => optimum(&game),
+        "run" => simulate(&game, &opts),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Parsed command-line options (defaults filled in).
+struct Options {
+    links: Vec<f64>,
+    players: u64,
+    protocol: String,
+    rounds: u64,
+    lambda: f64,
+    seed: u64,
+    use_nu: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            links: vec![],
+            players: 0,
+            protocol: "imitation".into(),
+            rounds: 1000,
+            lambda: 0.25,
+            seed: 42,
+            use_nu: true,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--links" => {
+                    let v = it.next().ok_or("--links needs a value")?;
+                    o.links = v
+                        .split(',')
+                        .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad link `{s}`: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--players" => {
+                    o.players = it
+                        .next()
+                        .ok_or("--players needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad player count: {e}"))?;
+                }
+                "--protocol" => {
+                    o.protocol = it.next().ok_or("--protocol needs a value")?.clone();
+                }
+                "--rounds" => {
+                    o.rounds = it
+                        .next()
+                        .ok_or("--rounds needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad round count: {e}"))?;
+                }
+                "--lambda" => {
+                    o.lambda = it
+                        .next()
+                        .ok_or("--lambda needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad lambda: {e}"))?;
+                }
+                "--seed" => {
+                    o.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?;
+                }
+                "--no-nu" => o.use_nu = false,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if o.links.is_empty() {
+            return Err("--links is required".into());
+        }
+        if o.players == 0 {
+            return Err("--players is required and must be positive".into());
+        }
+        Ok(o)
+    }
+
+    fn game(&self) -> Result<CongestionGame, String> {
+        if self.links.iter().any(|a| !a.is_finite() || *a <= 0.0) {
+            return Err("link coefficients must be positive".into());
+        }
+        CongestionGame::singleton(
+            self.links.iter().map(|&a| Affine::linear(a).into()).collect(),
+            self.players,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    fn protocol(&self) -> Result<Protocol, String> {
+        let imitation = {
+            let p = ImitationProtocol::new(self.lambda).map_err(|e| e.to_string())?;
+            if self.use_nu {
+                p
+            } else {
+                p.with_nu_rule(NuRule::None)
+            }
+        };
+        match self.protocol.as_str() {
+            "imitation" => Ok(imitation.into()),
+            "exploration" => {
+                Ok(ExplorationProtocol::new(self.lambda).map_err(|e| e.to_string())?.into())
+            }
+            "combined" => Protocol::combined(
+                imitation,
+                ExplorationProtocol::new(self.lambda).map_err(|e| e.to_string())?,
+                0.5,
+            )
+            .map_err(|e| e.to_string()),
+            other => Err(format!("unknown protocol `{other}`")),
+        }
+    }
+}
+
+fn params(game: &CongestionGame) -> Result<(), String> {
+    let p = game.params();
+    println!("links: {}, players: {}", game.num_resources(), game.total_players());
+    println!("elasticity bound d   = {}", p.d);
+    println!("slope bound ν        = {}", p.nu);
+    println!("max slope β          = {}", p.beta);
+    println!("min latency ℓ_min    = {}", p.ell_min);
+    println!("protocol damping λ/d = λ/{}", p.damping());
+    Ok(())
+}
+
+fn optimum(game: &CongestionGame) -> Result<(), String> {
+    let ls = LinearSingleton::analyze(game).map_err(|e| e.to_string())?;
+    println!("A_Γ = {:.6}", ls.a_gamma());
+    println!("fractional optimum average latency n/A_Γ = {:.6}", ls.fractional_optimum_cost());
+    for e in 0..game.num_resources() {
+        println!(
+            "  link {e}: a = {}, fractional load {:.2}{}",
+            ls.coefficients()[e],
+            ls.fractional_load(e),
+            if ls.is_useless(e) { "  (useless)" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
+    // Random start, then run with per-decade progress lines.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(opts.seed);
+    let mut counts = vec![0u64; game.num_strategies()];
+    for _ in 0..game.total_players() {
+        use rand::Rng;
+        counts[rng.gen_range(0..game.num_strategies())] += 1;
+    }
+    let state = State::from_counts(game, counts).map_err(|e| e.to_string())?;
+    println!(
+        "start: Φ = {:.3}, L_av = {:.4}, loads {:?}",
+        potential(game, &state),
+        average_latency(game, &state),
+        state.loads()
+    );
+    let mut sim =
+        Simulation::new(game, opts.protocol()?, state).map_err(|e| e.to_string())?;
+    let stop = StopSpec::new(vec![
+        StopCondition::ImitationStable,
+        StopCondition::MaxRounds(opts.rounds),
+    ])
+    .with_check_every(4);
+    let out = sim.run(&stop, &mut rng).map_err(|e| e.to_string())?;
+    println!(
+        "after {} rounds ({:?}): Φ = {:.3}, L_av = {:.4}, loads {:?}",
+        out.rounds,
+        out.reason,
+        sim.potential(),
+        average_latency(game, sim.state()),
+        sim.state().loads()
+    );
+    Ok(())
+}

@@ -1,0 +1,238 @@
+//! Edge-case coverage of the dynamics layer: degenerate games, stopping
+//! interactions, virtual agents, recording cadence, and trajectory APIs.
+
+use congames::dynamics::{
+    Damping, EngineKind, ImitationProtocol, NuRule, Protocol, RecordConfig, Simulation,
+    StopCondition, StopReason, StopSpec,
+};
+use congames::model::{ApproxEquilibrium, State};
+use congames::sampling::seeded_rng;
+use congames::{Affine, CongestionGame, Constant, Monomial, StrategyId};
+
+fn links(latencies: Vec<congames::model::LatencyFn>, n: u64) -> CongestionGame {
+    CongestionGame::singleton(latencies, n).unwrap()
+}
+
+#[test]
+fn single_player_class_is_inert_under_imitation() {
+    // One player has nobody to imitate: every round is a no-op.
+    let game = links(vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()], 1);
+    let state = State::from_counts(&game, vec![1, 0]).unwrap();
+    let proto: Protocol =
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+    for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
+        let mut sim =
+            Simulation::new(&game, proto, state.clone()).unwrap().with_engine(engine);
+        let mut rng = seeded_rng(1, engine as u64);
+        for _ in 0..50 {
+            let stats = sim.step(&mut rng).unwrap();
+            assert_eq!(stats.migrations, 0);
+        }
+        assert_eq!(sim.state().count(StrategyId::new(0)), 1);
+    }
+}
+
+#[test]
+fn zero_player_game_runs_without_panic() {
+    let game = links(vec![Affine::linear(1.0).into()], 0);
+    let state = State::from_counts(&game, vec![0]).unwrap();
+    let mut sim =
+        Simulation::new(&game, ImitationProtocol::paper_default().into(), state).unwrap();
+    let mut rng = seeded_rng(2, 0);
+    let out = sim
+        .run(&StopSpec::new(vec![StopCondition::ImitationStable]), &mut rng)
+        .unwrap();
+    assert_eq!(out.rounds, 0);
+    assert_eq!(out.reason, StopReason::ImitationStable);
+}
+
+#[test]
+fn virtual_agents_discover_empty_strategies() {
+    // All players on the slow link; virtual agents make the fast link
+    // sampleable, so imitation escapes the lost-strategy trap (Section 6,
+    // option 2).
+    let game = links(vec![Constant::new(100.0).into(), Constant::new(1.0).into()], 64);
+    let state =
+        State::from_counts(&game, vec![64, 0]).unwrap().with_virtual_agents(&game);
+    let proto: Protocol = ImitationProtocol::paper_default()
+        .with_virtual_agents(true)
+        .with_nu_rule(NuRule::None)
+        .into();
+    let mut sim = Simulation::new(&game, proto, state).unwrap();
+    let mut rng = seeded_rng(3, 0);
+    for _ in 0..2000 {
+        sim.step(&mut rng).unwrap();
+        if sim.state().count(StrategyId::new(1)) > 0 {
+            break;
+        }
+    }
+    assert!(
+        sim.state().count(StrategyId::new(1)) > 0,
+        "virtual agents failed to seed the empty strategy"
+    );
+}
+
+#[test]
+fn recording_cadence_subsamples() {
+    let game = links(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], 100);
+    let state = State::from_counts(&game, vec![80, 20]).unwrap();
+    let mut sim = Simulation::new(
+        &game,
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+        state,
+    )
+    .unwrap()
+    .with_recording(RecordConfig { every: 5, approx: None });
+    let mut rng = seeded_rng(4, 0);
+    let out = sim.run(&StopSpec::max_rounds(17), &mut rng).unwrap();
+    // Records at rounds 0, 5, 10, 15 plus the final state at 17.
+    let rounds: Vec<u64> = out.trajectory.records().iter().map(|r| r.round).collect();
+    assert_eq!(rounds, vec![0, 5, 10, 15, 17]);
+}
+
+#[test]
+fn unsatisfied_fraction_is_recorded_when_configured() {
+    let game = links(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], 100);
+    let state = State::from_counts(&game, vec![90, 10]).unwrap();
+    let eq = ApproxEquilibrium::new(0.0, 0.05, 0.0).unwrap();
+    let mut sim = Simulation::new(
+        &game,
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+        state,
+    )
+    .unwrap()
+    .with_recording(RecordConfig::with_approx(eq));
+    let mut rng = seeded_rng(5, 0);
+    let out = sim.run(&StopSpec::max_rounds(3), &mut rng).unwrap();
+    let first = out.trajectory.records()[0];
+    assert!(first.unsatisfied_fraction.unwrap() > 0.0);
+}
+
+#[test]
+fn potential_target_stop_fires() {
+    let game = links(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], 200);
+    let state = State::from_counts(&game, vec![150, 50]).unwrap();
+    let phi0 = congames::model::potential(&game, &state);
+    let mut sim = Simulation::new(
+        &game,
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+        state,
+    )
+    .unwrap();
+    let mut rng = seeded_rng(6, 0);
+    let target = phi0 * 0.95;
+    let out = sim
+        .run(
+            &StopSpec::new(vec![
+                StopCondition::PotentialAtMost(target),
+                StopCondition::MaxRounds(10_000),
+            ]),
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(out.reason, StopReason::PotentialReached);
+    assert!(out.potential <= target);
+}
+
+#[test]
+fn check_every_delays_detection_but_not_correctness() {
+    let game = links(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], 50);
+    let state = State::from_counts(&game, vec![40, 10]).unwrap();
+    let proto: Protocol =
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+    let mut fine = Simulation::new(&game, proto, state.clone()).unwrap();
+    let mut coarse = Simulation::new(&game, proto, state).unwrap();
+    let spec_fine = StopSpec::new(vec![
+        StopCondition::ImitationStable,
+        StopCondition::MaxRounds(10_000),
+    ]);
+    let spec_coarse = spec_fine.clone().with_check_every(64);
+    let mut r1 = seeded_rng(7, 0);
+    let mut r2 = seeded_rng(7, 0);
+    let out_fine = fine.run(&spec_fine, &mut r1).unwrap();
+    let out_coarse = coarse.run(&spec_coarse, &mut r2).unwrap();
+    assert_eq!(out_fine.reason, StopReason::ImitationStable);
+    assert_eq!(out_coarse.reason, StopReason::ImitationStable);
+    // The coarse check can only stop at multiples of 64.
+    assert_eq!(out_coarse.rounds % 64, 0);
+    assert!(out_coarse.rounds >= out_fine.rounds);
+}
+
+#[test]
+fn fixed_damping_slows_migration() {
+    let game = links(vec![Monomial::new(1.0, 2).into(), Monomial::new(1.0, 2).into()], 1000);
+    let state = State::from_counts(&game, vec![900, 100]).unwrap();
+    let mut expected = Vec::new();
+    for damping in [Damping::None, Damping::Fixed(4.0)] {
+        let proto: Protocol = ImitationProtocol::new(0.5)
+            .unwrap()
+            .with_damping(damping)
+            .with_nu_rule(NuRule::None)
+            .into();
+        let sim = Simulation::new(&game, proto, state.clone()).unwrap();
+        expected.push(sim.migration_matrix()[0].expected_movers);
+    }
+    assert!((expected[0] / expected[1] - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn multi_class_games_migrate_within_classes_only() {
+    // Two classes over a shared resource plus private ones.
+    let mut b = CongestionGame::builder();
+    let shared = b.add_resource(Affine::linear(1.0).into());
+    let pa = b.add_resource(Affine::linear(1.0).into());
+    let pb = b.add_resource(Affine::linear(1.0).into());
+    b.add_class(
+        "a",
+        40,
+        vec![
+            congames::Strategy::singleton(shared),
+            congames::Strategy::singleton(pa),
+        ],
+    )
+    .unwrap();
+    b.add_class(
+        "b",
+        40,
+        vec![
+            congames::Strategy::singleton(shared),
+            congames::Strategy::singleton(pb),
+        ],
+    )
+    .unwrap();
+    let game = b.build().unwrap();
+    let state = State::from_counts(&game, vec![30, 10, 30, 10]).unwrap();
+    let proto: Protocol =
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+    let mut sim = Simulation::new(&game, proto, state).unwrap();
+    let mut rng = seeded_rng(8, 0);
+    for _ in 0..200 {
+        sim.step(&mut rng).unwrap();
+        let a_total = sim.state().counts()[0] + sim.state().counts()[1];
+        let b_total = sim.state().counts()[2] + sim.state().counts()[3];
+        assert_eq!(a_total, 40);
+        assert_eq!(b_total, 40);
+    }
+}
+
+#[test]
+fn exploration_probability_formula_uses_class_parameters() {
+    // β, ℓ_min and class sizes enter the exploration probability; verify
+    // the closed form on a concrete instance.
+    let game = links(vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()], 10);
+    let params = game.params();
+    let state = State::from_counts(&game, vec![9, 1]).unwrap();
+    let p = congames::ExplorationProtocol::new(0.5).unwrap();
+    let mu = p.migration_probability(
+        &game,
+        &state,
+        &params,
+        StrategyId::new(0),
+        StrategyId::new(1),
+        2,
+        10,
+    );
+    // gain = 9 − 4 = 5, ℓ_P = 9, scale = S·ℓ_min/(β·n) = 2·1/(2·10) = 0.1.
+    let expect = 0.5 * 0.1 * 5.0 / 9.0;
+    assert!((mu - expect).abs() < 1e-12, "mu {mu} vs expected {expect}");
+}

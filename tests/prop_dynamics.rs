@@ -1,0 +1,138 @@
+//! Property-based tests of the dynamics layer: protocol probabilities,
+//! engine conservation laws, and flow optimality.
+
+use congames::dynamics::{
+    EngineKind, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, Simulation,
+};
+use congames::model::State;
+use congames::network::{builders, min_potential_flow, NetworkGame};
+use congames::Affine;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_singleton() -> impl Strategy<Value = (congames::CongestionGame, Vec<u64>)> {
+    (2usize..=5, 2u64..=60).prop_flat_map(|(m, n)| {
+        let coeffs = proptest::collection::vec(1u32..=5, m..=m);
+        let weights = proptest::collection::vec(1u64..=9, m..=m);
+        (coeffs, weights).prop_map(move |(coeffs, weights)| {
+            let game = congames::CongestionGame::singleton(
+                coeffs.iter().map(|&a| Affine::linear(a as f64).into()).collect(),
+                n,
+            )
+            .expect("valid singleton");
+            let tw: u64 = weights.iter().sum();
+            let mut counts: Vec<u64> = weights.iter().map(|w| n * w / tw).collect();
+            let assigned: u64 = counts.iter().sum();
+            counts[0] += n - assigned;
+            (game, counts)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rounds conserve players and keep loads consistent, for every
+    /// protocol and both engines.
+    #[test]
+    fn rounds_conserve_players(
+        (game, counts) in arb_singleton(),
+        seed in 0u64..1000,
+        engine_player_level in any::<bool>(),
+        which in 0u8..3,
+    ) {
+        let protocol: Protocol = match which {
+            0 => ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+            1 => ExplorationProtocol::paper_default().into(),
+            _ => Protocol::combined_default(),
+        };
+        let engine = if engine_player_level {
+            EngineKind::PlayerLevel
+        } else {
+            EngineKind::Aggregate
+        };
+        let n = game.total_players();
+        let state = State::from_counts(&game, counts).unwrap();
+        let mut sim = Simulation::new(&game, protocol, state).unwrap().with_engine(engine);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            sim.step(&mut rng).unwrap();
+            prop_assert_eq!(sim.state().counts().iter().sum::<u64>(), n);
+            prop_assert!(sim.state().loads_consistent(&game));
+        }
+    }
+
+    /// The migration matrix only contains strictly improving pairs for pure
+    /// imitation (it never proposes a latency-worsening move).
+    #[test]
+    fn imitation_flows_are_improving((game, counts) in arb_singleton()) {
+        let state = State::from_counts(&game, counts).unwrap();
+        let sim = Simulation::new(
+            &game,
+            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+            state,
+        )
+        .unwrap();
+        for flow in sim.migration_matrix() {
+            prop_assert!(flow.gain > 0.0);
+            prop_assert!(flow.probability > 0.0 && flow.probability <= 1.0);
+            prop_assert!(flow.expected_virtual_gain() <= 0.0);
+        }
+    }
+
+    /// Imitation never moves players onto empty strategies (without virtual
+    /// agents), so the support never grows.
+    #[test]
+    fn imitation_support_never_grows(
+        (game, counts) in arb_singleton(),
+        seed in 0u64..1000,
+    ) {
+        let state = State::from_counts(&game, counts).unwrap();
+        let support_before: Vec<bool> = state.counts().iter().map(|&c| c > 0).collect();
+        let mut sim = Simulation::new(
+            &game,
+            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+            state,
+        )
+        .unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            sim.step(&mut rng).unwrap();
+        }
+        for (i, had) in support_before.iter().enumerate() {
+            if !had {
+                prop_assert_eq!(sim.state().counts()[i], 0);
+            }
+        }
+    }
+
+    /// Successive-shortest-path Φ* matches brute force on random two-link
+    /// games (exhaustive over all splits).
+    #[test]
+    fn flow_matches_brute_force_on_two_links(
+        a1 in 1u32..=6,
+        a2 in 1u32..=6,
+        k1 in 1u32..=3,
+        k2 in 1u32..=3,
+        n in 1u64..=30,
+    ) {
+        let lat = |a: u32, k: u32| -> congames::model::LatencyFn {
+            if k == 1 {
+                Affine::linear(a as f64).into()
+            } else {
+                congames::Monomial::new(a as f64, k).into()
+            }
+        };
+        let (g, s, t) = builders::parallel_links(2, |i| {
+            if i == 0 { lat(a1, k1) } else { lat(a2, k2) }
+        });
+        let flow = min_potential_flow(&g, s, t, n).unwrap();
+        let net = NetworkGame::build(g, s, t, n, 10).unwrap();
+        let mut best = f64::INFINITY;
+        for x in 0..=n {
+            let state = State::from_counts(net.game(), vec![x, n - x]).unwrap();
+            best = best.min(congames::model::potential(net.game(), &state));
+        }
+        prop_assert!((flow.cost - best).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the continuous (Wardrop) model.
+
+use congames::wardrop::{beckmann_potential, FlowState, ImitationFlow};
+use congames::{Affine, CongestionGame, Monomial};
+use proptest::prelude::*;
+
+fn arb_links() -> impl Strategy<Value = CongestionGame> {
+    proptest::collection::vec((1u32..=5, 1u32..=3), 2..=5).prop_map(|specs| {
+        CongestionGame::singleton(
+            specs
+                .into_iter()
+                .map(|(a, k)| -> congames::model::LatencyFn {
+                    if k == 1 {
+                        Affine::linear(a as f64).into()
+                    } else {
+                        Monomial::new(a as f64, k).into()
+                    }
+                })
+                .collect(),
+            1,
+        )
+        .expect("valid singleton game")
+    })
+}
+
+fn arb_shares(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, k..=k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Euler steps conserve total demand exactly.
+    #[test]
+    fn flow_steps_conserve_demand(game in arb_links(), raw in arb_shares(5), dt in 0.01f64..0.5) {
+        let shares: Vec<f64> = raw[..game.num_strategies()].to_vec();
+        let mut state = FlowState::new(&game, shares).unwrap();
+        let demand = state.demand();
+        let flow = ImitationFlow::for_game(&game);
+        for _ in 0..20 {
+            flow.step(&game, &mut state, dt);
+            prop_assert!((state.shares().iter().sum::<f64>() - demand).abs() < 1e-9);
+            prop_assert!(state.shares().iter().all(|y| *y >= 0.0));
+        }
+    }
+
+    /// The derivative always sums to zero and the Beckmann potential is
+    /// non-increasing along small steps.
+    #[test]
+    fn beckmann_descends(game in arb_links(), raw in arb_shares(5)) {
+        let shares: Vec<f64> = raw[..game.num_strategies()].to_vec();
+        let mut state = FlowState::new(&game, shares).unwrap();
+        let flow = ImitationFlow::for_game(&game);
+        let dy = flow.derivative(&game, &state);
+        prop_assert!(dy.iter().sum::<f64>().abs() < 1e-9);
+        let mut phi = beckmann_potential(&game, &state);
+        for _ in 0..50 {
+            flow.step(&game, &mut state, 0.02);
+            let next = beckmann_potential(&game, &state);
+            prop_assert!(next <= phi + 1e-9, "potential rose {phi} -> {next}");
+            phi = next;
+        }
+    }
+
+    /// Atomic states round-trip into normalized flow states.
+    #[test]
+    fn atomic_shares_normalize(counts in proptest::collection::vec(0u64..50, 3..=3)) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let n: u64 = counts.iter().sum();
+        let game = CongestionGame::singleton(
+            vec![
+                Affine::linear(1.0).into(),
+                Affine::linear(2.0).into(),
+                Affine::linear(3.0).into(),
+            ],
+            n,
+        )
+        .unwrap();
+        let state = congames::State::from_counts(&game, counts.clone()).unwrap();
+        let fs = FlowState::from_atomic(&game, &state).unwrap();
+        prop_assert!((fs.demand() - 1.0).abs() < 1e-12);
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!((fs.shares()[i] - c as f64 / n as f64).abs() < 1e-12);
+        }
+    }
+}

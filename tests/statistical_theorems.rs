@@ -1,0 +1,213 @@
+//! Seeded statistical tests of the paper's quantitative claims — fast
+//! versions of the claim experiments, run as part of the test suite.
+
+use congames::dynamics::{ImitationProtocol, NuRule, Simulation, StopCondition, StopSpec};
+use congames::lowerbounds::{
+    tripled_initial_state, tripled_threshold_game, MaxCutInstance,
+};
+use congames::model::{LinearSingleton, State};
+use congames::sampling::seeded_rng;
+use congames::{Affine, EngineKind};
+use rand::Rng;
+
+fn braess(n: u64) -> congames::network::NetworkGame {
+    let a = 10.0 / n as f64;
+    let (g, s, t) = congames::network::builders::braess([
+        Affine::linear(a).into(),
+        congames::Constant::new(10.0).into(),
+        congames::Constant::new(10.0).into(),
+        Affine::linear(a).into(),
+        congames::Constant::new(0.5).into(),
+    ]);
+    congames::network::NetworkGame::build(g, s, t, n, 10).unwrap()
+}
+
+/// Corollary 3 (C1): the mean potential trajectory is non-increasing.
+#[test]
+fn mean_potential_is_supermartingale() {
+    let net = braess(512);
+    let start = State::from_counts(net.game(), vec![384, 64, 64]).unwrap();
+    let seeds = 48;
+    let rounds = 60;
+    let mut mean = vec![0.0f64; rounds + 1];
+    for s in 0..seeds {
+        let mut sim = Simulation::new(
+            net.game(),
+            ImitationProtocol::paper_default().into(),
+            start.clone(),
+        )
+        .unwrap();
+        let mut rng = seeded_rng(100, s);
+        mean[0] += sim.potential();
+        for record in mean.iter_mut().take(rounds + 1).skip(1) {
+            sim.step(&mut rng).unwrap();
+            *record += sim.potential();
+        }
+    }
+    for w in mean.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-6 * w[0].abs(),
+            "mean potential increased: {} -> {}",
+            w[0] / seeds as f64,
+            w[1] / seeds as f64
+        );
+    }
+}
+
+/// Lemma 2 (C2): averaged over seeds and rounds, E[ΔΦ] ≤ ½·E[ΣV].
+#[test]
+fn lemma2_ratio_holds() {
+    let net = braess(512);
+    let start = State::from_counts(net.game(), vec![384, 64, 64]).unwrap();
+    let mut sum_virtual = 0.0;
+    let mut sum_realized = 0.0;
+    for s in 0..48u64 {
+        let mut sim = Simulation::new(
+            net.game(),
+            ImitationProtocol::paper_default().into(),
+            start.clone(),
+        )
+        .unwrap();
+        let mut rng = seeded_rng(200, s);
+        for _ in 0..40 {
+            sum_virtual += sim.expected_virtual_gain();
+            sum_realized += sim.step(&mut rng).unwrap().delta_potential;
+        }
+    }
+    assert!(sum_virtual < 0.0, "the start state must not be stable");
+    // Lemma 2: E[ΔΦ] ≤ ½·E[ΣV] (both negative). Allow 10% statistical slack.
+    assert!(
+        sum_realized <= 0.5 * sum_virtual * 0.9,
+        "realized {sum_realized} vs half-virtual {}",
+        0.5 * sum_virtual
+    );
+}
+
+/// Theorem 10 (C9): the Price of Imitation from random starts stays small.
+#[test]
+fn price_of_imitation_is_bounded() {
+    let mut worst: f64 = 0.0;
+    for s in 0..12u64 {
+        let mut rng = seeded_rng(300, s);
+        let coeffs: Vec<f64> = (0..6).map(|_| 1.0 + rng.gen::<f64>() * 3.0).collect();
+        let game = LinearSingleton::build_game(&coeffs, 512).unwrap();
+        let ls = LinearSingleton::analyze(&game).unwrap();
+        // Random initialization.
+        let mut counts = vec![0u64; 6];
+        for _ in 0..512 {
+            counts[rng.gen_range(0..6)] += 1;
+        }
+        let state = State::from_counts(&game, counts).unwrap();
+        let mut sim =
+            Simulation::new(&game, ImitationProtocol::paper_default().into(), state)
+                .unwrap();
+        let out = sim
+            .run(
+                &StopSpec::new(vec![
+                    StopCondition::ImitationStable,
+                    StopCondition::MaxRounds(500_000),
+                ])
+                .with_check_every(4),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.reason, congames::StopReason::ImitationStable);
+        worst = worst.max(ls.price_ratio(&game, sim.state()));
+    }
+    assert!(worst <= 3.0, "price of imitation {worst} exceeded the 3 + o(1) bound");
+}
+
+/// Theorem 6 invariant under the *concurrent* protocol too: clones never
+/// collapse onto one strategy along imitation dynamics.
+#[test]
+fn tripled_clones_never_collapse_concurrently() {
+    for s in 0..6u64 {
+        let mut rng = seeded_rng(400, s);
+        let mc = MaxCutInstance::random(4, 20, &mut rng);
+        let game = tripled_threshold_game(&mc).unwrap();
+        let cut = rng.gen::<u64>() & 0xF;
+        let state = tripled_initial_state(&game, cut).unwrap();
+        let proto = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+        let mut sim = Simulation::new(&game, proto, state).unwrap();
+        for _ in 0..300 {
+            sim.step(&mut rng).unwrap();
+            for class in 0..4usize {
+                let out = sim.state().counts()[2 * class];
+                let inn = sim.state().counts()[2 * class + 1];
+                assert!(out + inn == 3 && out < 3 && inn < 3,
+                    "class {class} collapsed: ({out}, {inn})");
+            }
+        }
+    }
+}
+
+/// The two engines produce statistically identical multi-round outcomes on
+/// a path-overlap (non-singleton) game.
+#[test]
+fn engines_agree_on_network_game() {
+    let net = braess(256);
+    let start = State::from_counts(net.game(), vec![192, 32, 32]).unwrap();
+    let reps = 600;
+    let rounds = 5;
+    let mut means = [0.0f64; 2];
+    for (ei, engine) in [EngineKind::Aggregate, EngineKind::PlayerLevel].into_iter().enumerate()
+    {
+        let mut sum = 0.0;
+        for rep in 0..reps {
+            let mut sim = Simulation::new(
+                net.game(),
+                ImitationProtocol::paper_default().into(),
+                start.clone(),
+            )
+            .unwrap()
+            .with_engine(engine);
+            let mut rng = seeded_rng(500 + ei as u64, rep);
+            for _ in 0..rounds {
+                sim.step(&mut rng).unwrap();
+            }
+            sum += sim.state().counts()[0] as f64;
+        }
+        means[ei] = sum / reps as f64;
+    }
+    // Counts move by tens of players; the SEM of the mean is ≈ 0.25, so a
+    // 1.5-player tolerance is a generous 5σ-style bound.
+    assert!(
+        (means[0] - means[1]).abs() < 1.5,
+        "engine means diverge: {} vs {}",
+        means[0],
+        means[1]
+    );
+}
+
+/// Theorem 9 flavour: with enough players, no link empties over a long run.
+#[test]
+fn no_extinction_for_large_populations() {
+    let n = 256u64;
+    let game = congames::CongestionGame::singleton(
+        vec![
+            Affine::linear(1.0 / n as f64).into(),
+            Affine::linear(1.5 / n as f64).into(),
+            Affine::linear(2.0 / n as f64).into(),
+        ],
+        n,
+    )
+    .unwrap();
+    for s in 0..8u64 {
+        let mut rng = seeded_rng(600, s);
+        let mut counts = vec![0u64; 3];
+        for _ in 0..n {
+            counts[rng.gen_range(0..3)] += 1;
+        }
+        let state = State::from_counts(&game, counts).unwrap();
+        let proto = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+        let mut sim = Simulation::new(&game, proto, state).unwrap();
+        for _ in 0..2000 {
+            sim.step(&mut rng).unwrap();
+            assert!(
+                sim.state().loads().iter().all(|&l| l > 0),
+                "a link emptied at round {} (seed {s})",
+                sim.round()
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The atomic protocol on player-normalized games converges to the
+//! continuous (Wardrop) imitation flow as `n → ∞` — the empirical face of
+//! the paper's Section 1.2 remark that the continuous model is the
+//! noise-free limit, and the backdrop of Theorem 9's scaled latencies.
+
+use congames::dynamics::{Damping, ImitationProtocol, NuRule, Simulation};
+use congames::model::State;
+use congames::sampling::seeded_rng;
+use congames::wardrop::{FlowState, ImitationFlow};
+use congames::{Affine, CongestionGame};
+
+/// Player-normalized two-link game: ℓ_e(x) = a_e·x/n.
+fn scaled_game(n: u64) -> CongestionGame {
+    CongestionGame::singleton(
+        vec![
+            Affine::linear(1.0 / n as f64).into(),
+            Affine::linear(3.0 / n as f64).into(),
+        ],
+        n,
+    )
+    .unwrap()
+}
+
+/// The continuous-model game over the same latencies with unit demand.
+fn continuous_game() -> CongestionGame {
+    CongestionGame::singleton(
+        vec![Affine::linear(1.0).into(), Affine::linear(3.0).into()],
+        1,
+    )
+    .unwrap()
+}
+
+/// Mean trajectory distance between the atomic dynamics (share vector) and
+/// the deterministic flow, after `rounds` rounds, averaged over seeds.
+fn mean_gap(n: u64, rounds: usize, seeds: u64) -> f64 {
+    let atomic_game = scaled_game(n);
+    let cont_game = continuous_game();
+    // One atomic round corresponds to dt = 1 of the mean-field flow (each
+    // agent revises once per round).
+    let flow = ImitationFlow::new(0.25, 1.0).unwrap();
+    let mut total = 0.0;
+    for s in 0..seeds {
+        let counts = vec![n / 5, n - n / 5];
+        let mut sim = Simulation::new(
+            &atomic_game,
+            ImitationProtocol::paper_default()
+                .with_nu_rule(NuRule::None)
+                .with_damping(Damping::Elasticity)
+                .into(),
+            State::from_counts(&atomic_game, counts).unwrap(),
+        )
+        .unwrap();
+        let mut cont = FlowState::new(&cont_game, vec![0.2, 0.8]).unwrap();
+        let mut rng = seeded_rng(7000, s);
+        let mut worst: f64 = 0.0;
+        for _ in 0..rounds {
+            sim.step(&mut rng).unwrap();
+            flow.step(&cont_game, &mut cont, 1.0);
+            let atomic_share =
+                FlowState::from_atomic(&atomic_game, sim.state()).unwrap();
+            worst = worst.max(atomic_share.distance(&cont));
+        }
+        total += worst;
+    }
+    total / seeds as f64
+}
+
+#[test]
+fn atomic_dynamics_approach_the_continuous_flow() {
+    let gaps: Vec<f64> = [64u64, 512, 4096].iter().map(|&n| mean_gap(n, 30, 12)).collect();
+    // The sup-norm trajectory gap must shrink with n (sampling noise is
+    // O(1/√n)), and be small in absolute terms for the largest n.
+    assert!(
+        gaps[0] > gaps[2],
+        "gap did not shrink: {gaps:?}"
+    );
+    assert!(gaps[2] < 0.05, "large-n gap too big: {gaps:?}");
+}
+
+#[test]
+fn continuous_flow_matches_atomic_equilibrium_split() {
+    // Both models balance a1·y = a2·(1−y) ⇒ y = 0.75.
+    let cont_game = continuous_game();
+    let flow = ImitationFlow::new(0.25, 1.0).unwrap();
+    let mut cont = FlowState::new(&cont_game, vec![0.2, 0.8]).unwrap();
+    flow.run(&cont_game, &mut cont, 0.5, 1e-9, 1_000_000);
+    assert!((cont.shares()[0] - 0.75).abs() < 1e-4);
+
+    let n = 4096;
+    let atomic_game = scaled_game(n);
+    let mut sim = Simulation::new(
+        &atomic_game,
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+        State::from_counts(&atomic_game, vec![n / 5, n - n / 5]).unwrap(),
+    )
+    .unwrap();
+    let mut rng = seeded_rng(7001, 0);
+    for _ in 0..400 {
+        sim.step(&mut rng).unwrap();
+    }
+    let share = sim.state().count(congames::StrategyId::new(0)) as f64 / n as f64;
+    assert!((share - 0.75).abs() < 0.02, "atomic share {share}");
+}
