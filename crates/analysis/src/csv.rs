@@ -67,10 +67,7 @@ impl CsvWriter {
     pub fn row_strings(&mut self, values: &[String]) -> &mut Self {
         assert_eq!(values.len(), self.header.len(), "row width must match the header");
         for v in values {
-            assert!(
-                !v.contains([',', '"', '\n']),
-                "cells must not contain CSV metacharacters"
-            );
+            assert!(!v.contains([',', '"', '\n']), "cells must not contain CSV metacharacters");
         }
         self.lines.push(values.join(","));
         self

@@ -32,10 +32,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Fit {
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
-        .sum();
+    let ss_res: f64 = points.iter().map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
     let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     Fit { slope, intercept, r_squared }
 }
@@ -88,7 +85,8 @@ mod tests {
 
     #[test]
     fn loglog_recovers_power_law() {
-        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 5.0 * (i as f64).powf(-2.0))).collect();
+        let pts: Vec<(f64, f64)> =
+            (1..20).map(|i| (i as f64, 5.0 * (i as f64).powf(-2.0))).collect();
         let fit = loglog_fit(&pts);
         assert!((fit.slope + 2.0).abs() < 1e-9, "exponent {}", fit.slope);
         assert!((fit.intercept - 5.0f64.ln()).abs() < 1e-9);
@@ -96,9 +94,8 @@ mod tests {
 
     #[test]
     fn r_squared_low_for_flat_noise() {
-        let pts: Vec<(f64, f64)> = (0..20)
-            .map(|i| (i as f64, if i % 2 == 0 { 1.0 } else { -1.0 }))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (0..20).map(|i| (i as f64, if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
         let fit = linear_fit(&pts);
         assert!(fit.r_squared < 0.1);
     }

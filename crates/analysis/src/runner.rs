@@ -1,11 +1,11 @@
 //! Deterministic multi-seed trial running, optionally in parallel.
 
 use congames_sampling::split_seed;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Run `trials` independent trials of `f`, where trial `i` receives the
 /// derived seed `split_seed(base_seed, i)`. Trials are distributed over up
-/// to `threads` crossbeam scoped threads; results are returned **in trial
+/// to `threads` `std::thread::scope` threads; results are returned **in trial
 /// order**, so the output is independent of scheduling.
 ///
 /// # Panics
@@ -22,24 +22,23 @@ pub fn run_trials<T: Send>(
     if threads == 1 || trials == 1 {
         return run_trials_sequential(trials, base_seed, f);
     }
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..trials).map(|_| None).collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(trials) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
                 let out = f(split_seed(base_seed, i as u64));
-                results.lock()[i] = Some(out);
+                results.lock().expect("results lock poisoned")[i] = Some(out);
             });
         }
-    })
-    .expect("trial threads must not panic");
+    });
     results
         .into_inner()
+        .expect("results lock poisoned")
         .into_iter()
         .map(|r| r.expect("every trial index was claimed"))
         .collect()
@@ -51,11 +50,7 @@ pub fn run_trials<T: Send>(
 /// # Panics
 ///
 /// Panics if `trials == 0`.
-pub fn run_trials_sequential<T>(
-    trials: usize,
-    base_seed: u64,
-    f: impl Fn(u64) -> T,
-) -> Vec<T> {
+pub fn run_trials_sequential<T>(trials: usize, base_seed: u64, f: impl Fn(u64) -> T) -> Vec<T> {
     assert!(trials > 0, "need at least one trial");
     (0..trials).map(|i| f(split_seed(base_seed, i as u64))).collect()
 }
@@ -91,8 +86,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis((seed % 7) * 2));
             seed
         });
-        let expect: Vec<u64> =
-            (0..8).map(|i| congames_sampling::split_seed(3, i as u64)).collect();
+        let expect: Vec<u64> = (0..8).map(|i| congames_sampling::split_seed(3, i as u64)).collect();
         assert_eq!(out, expect);
     }
 

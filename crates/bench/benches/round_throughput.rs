@@ -12,20 +12,16 @@ fn bench_rounds(c: &mut Criterion) {
     for &(n, m) in &[(1_000u64, 8usize), (100_000, 8), (1_000_000, 8), (10_000, 64)] {
         let game = poly_links(m, 2, n);
         let start = skewed_two_hot(&game);
-        group.bench_with_input(
-            BenchmarkId::new("aggregate", format!("n{n}_m{m}")),
-            &n,
-            |b, _| {
-                let mut sim = Simulation::new(
-                    &game,
-                    ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
-                    start.clone(),
-                )
-                .expect("valid simulation");
-                let mut rng = seeded_rng(1, 0);
-                b.iter(|| sim.step(&mut rng).expect("step succeeds"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("aggregate", format!("n{n}_m{m}")), &n, |b, _| {
+            let mut sim = Simulation::new(
+                &game,
+                ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+                start.clone(),
+            )
+            .expect("valid simulation");
+            let mut rng = seeded_rng(1, 0);
+            b.iter(|| sim.step(&mut rng).expect("step succeeds"));
+        });
     }
     for &n in &[1_000u64, 10_000] {
         let game = poly_links(8, 2, n);

@@ -56,22 +56,17 @@ fn engine_equivalence(quick: bool) {
     for (name, kind) in
         [("aggregate", EngineKind::Aggregate), ("player-level", EngineKind::PlayerLevel)]
     {
-        let rounds = congames_analysis::run_trials(
-            trials,
-            0xAB2,
-            default_threads(),
-            |seed| {
-                let mut sim = Simulation::new(
-                    net.game(),
-                    ImitationProtocol::paper_default().into(),
-                    start.clone(),
-                )
-                .expect("valid simulation")
-                .with_engine(kind);
-                let mut rng = seeded_rng(seed, 1);
-                sim.run(&stop, &mut rng).expect("run succeeds").rounds as f64
-            },
-        );
+        let rounds = congames_analysis::run_trials(trials, 0xAB2, default_threads(), |seed| {
+            let mut sim = Simulation::new(
+                net.game(),
+                ImitationProtocol::paper_default().into(),
+                start.clone(),
+            )
+            .expect("valid simulation")
+            .with_engine(kind);
+            let mut rng = seeded_rng(seed, 1);
+            sim.run(&stop, &mut rng).expect("run succeeds").rounds as f64
+        });
         let s = congames_analysis::Summary::of(&rounds);
         table.row(vec![name.to_string(), fmt_f(s.mean()), fmt_f(s.ci95())]);
     }
@@ -94,13 +89,14 @@ fn self_sampling(quick: bool) {
     for (name, mode) in
         [("exclude self", SelfSampling::Exclude), ("include self", SelfSampling::Include)]
     {
-        let proto =
-            ImitationProtocol::paper_default().with_self_sampling(mode).into();
+        let proto = ImitationProtocol::paper_default().with_self_sampling(mode).into();
         let s = rounds_summary(net.game(), proto, &start, &stop, trials, 0xAB3, default_threads());
         table.row(vec![name.to_string(), fmt_f(s.mean()), fmt_f(s.ci95())]);
     }
     println!("{table}");
-    println!("the two forms differ by O(1/n) sampling mass; results must be statistically identical.");
+    println!(
+        "the two forms differ by O(1/n) sampling mass; results must be statistically identical."
+    );
 }
 
 fn nu_rule(quick: bool) {
@@ -125,26 +121,20 @@ fn nu_rule(quick: bool) {
         .with_check_every(4);
         // Measure both the rounds and the residual best support-restricted
         // gain at the final state (≤ ν for the paper rule, ≤ 0 without it).
-        let results: Vec<(f64, f64)> = congames_analysis::run_trials(
-            trials,
-            0xAB4,
-            default_threads(),
-            |seed| {
-                let mut sim = Simulation::new(&game, proto, start.clone())
-                    .expect("valid simulation");
+        let results: Vec<(f64, f64)> =
+            congames_analysis::run_trials(trials, 0xAB4, default_threads(), |seed| {
+                let mut sim =
+                    Simulation::new(&game, proto, start.clone()).expect("valid simulation");
                 let mut rng = seeded_rng(seed, 0);
                 let out = sim.run(&stop, &mut rng).expect("run succeeds");
                 let residual = congames_model::best_deviation(&game, sim.state(), true)
                     .map_or(0.0, |b| b.gain.max(0.0));
                 (out.rounds as f64, residual)
-            },
-        );
-        let rounds = congames_analysis::Summary::of(
-            &results.iter().map(|r| r.0).collect::<Vec<_>>(),
-        );
-        let residual = congames_analysis::Summary::of(
-            &results.iter().map(|r| r.1).collect::<Vec<_>>(),
-        );
+            });
+        let rounds =
+            congames_analysis::Summary::of(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let residual =
+            congames_analysis::Summary::of(&results.iter().map(|r| r.1).collect::<Vec<_>>());
         let thr = match rule {
             NuRule::Threshold => game.params().nu,
             NuRule::None => 0.0,

@@ -24,9 +24,8 @@ pub fn run(quick: bool) {
             let mut rng = seeded_rng(seed, 0);
             let game = random_linear_singleton(m, n, 4.0, &mut rng);
             let state = random_state(&game, &mut rng);
-            let mut sim =
-                Simulation::new(&game, ImitationProtocol::paper_default().into(), state)
-                    .expect("valid simulation");
+            let mut sim = Simulation::new(&game, ImitationProtocol::paper_default().into(), state)
+                .expect("valid simulation");
             let out = sim
                 .run(
                     &StopSpec::new(vec![

@@ -46,12 +46,13 @@ pub fn run(quick: bool) {
     }
     println!("{table}");
 
-    println!("-- reaching a ν-Nash equilibrium from a lost-strategy start (all on the worst link) --");
+    println!(
+        "-- reaching a ν-Nash equilibrium from a lost-strategy start (all on the worst link) --"
+    );
     let mut counts = vec![0u64; 8];
     counts[7] = n; // the most expensive link
     let stuck = State::from_counts(&game, counts).expect("valid state");
-    let mut table2 =
-        Table::new(vec!["protocol", "outcome", "rounds", "final support"]);
+    let mut table2 = Table::new(vec!["protocol", "outcome", "rounds", "final support"]);
     for (name, proto) in protocols() {
         // Imitation-stability only terminates the non-innovative protocol;
         // exploration and the mixture can leave imitation-stable states.

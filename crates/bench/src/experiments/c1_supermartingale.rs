@@ -11,10 +11,7 @@ use crate::harness::{banner, default_threads, fmt_f};
 
 /// Run the experiment; `quick` shrinks seeds and rounds.
 pub fn run(quick: bool) {
-    banner(
-        "C1",
-        "Corollary 3: E[Φ(x(t+1))] ≤ Φ(x(t)) — potential super-martingale",
-    );
+    banner("C1", "Corollary 3: E[Φ(x(t+1))] ≤ Φ(x(t)) — potential super-martingale");
     let n = 512;
     let rounds = if quick { 100 } else { 400 };
     let seeds = if quick { 16 } else { 64 };
@@ -25,19 +22,15 @@ pub fn run(quick: bool) {
     println!("Braess diamond, n = {n}; Φ(x0) = {}, Φ* = {}", fmt_f(phi0), fmt_f(phi_star));
 
     // Per-seed potential trajectories.
-    let trajectories: Vec<Vec<f64>> =
-        run_trials(seeds, 0xC1, default_threads(), |seed| {
-            let mut sim = Simulation::new(
-                net.game(),
-                ImitationProtocol::paper_default().into(),
-                start.clone(),
-            )
-            .expect("valid simulation")
-            .with_recording(RecordConfig::every_round());
-            let mut rng = seeded_rng(seed, 0);
-            let out = sim.run(&StopSpec::max_rounds(rounds), &mut rng).expect("run succeeds");
-            out.trajectory.records().iter().map(|r| r.potential).collect()
-        });
+    let trajectories: Vec<Vec<f64>> = run_trials(seeds, 0xC1, default_threads(), |seed| {
+        let mut sim =
+            Simulation::new(net.game(), ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid simulation")
+                .with_recording(RecordConfig::every_round());
+        let mut rng = seeded_rng(seed, 0);
+        let out = sim.run(&StopSpec::max_rounds(rounds), &mut rng).expect("run succeeds");
+        out.trajectory.records().iter().map(|r| r.potential).collect()
+    });
 
     let mut table = Table::new(vec!["round", "mean Φ", "min Φ", "max Φ", "mean Φ − Φ*"]);
     let mut mean_prev = f64::INFINITY;

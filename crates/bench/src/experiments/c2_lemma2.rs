@@ -19,30 +19,25 @@ pub fn run(quick: bool) {
     let start = geometric_spread(net.game());
 
     // Per seed, per round: (exact E[ΣV] from the pre-round state, realized ΔΦ).
-    let data: Vec<Vec<(f64, f64)>> =
-        run_trials(seeds, 0xC2, default_threads(), |seed| {
-            let mut sim = Simulation::new(
-                net.game(),
-                ImitationProtocol::paper_default().into(),
-                start.clone(),
-            )
-            .expect("valid simulation");
-            let mut rng = seeded_rng(seed, 0);
-            let mut rows = Vec::with_capacity(rounds);
-            for _ in 0..rounds {
-                let virt = sim.expected_virtual_gain();
-                let stats = sim.step(&mut rng).expect("step succeeds");
-                rows.push((virt, stats.delta_potential));
-            }
-            rows
-        });
+    let data: Vec<Vec<(f64, f64)>> = run_trials(seeds, 0xC2, default_threads(), |seed| {
+        let mut sim =
+            Simulation::new(net.game(), ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid simulation");
+        let mut rng = seeded_rng(seed, 0);
+        let mut rows = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let virt = sim.expected_virtual_gain();
+            let stats = sim.step(&mut rng).expect("step succeeds");
+            rows.push((virt, stats.delta_potential));
+        }
+        rows
+    });
 
     // Average both quantities per round bucket and report the ratio
     // E[ΔΦ]/E[ΣV] (≥ 0.5 per Lemma 2; ≤ ~1 means little concurrency error).
     let mut table =
         Table::new(vec!["rounds", "mean E[ΣV]", "mean ΔΦ", "ratio ΔΦ/ΣV (Lemma 2: ≥ 0.5)"]);
-    let buckets: &[(usize, usize)] =
-        &[(0, 5), (5, 20), (20, 50), (50, 100), (100, 150)];
+    let buckets: &[(usize, usize)] = &[(0, 5), (5, 20), (20, 50), (50, 100), (100, 150)];
     let mut worst_ratio = f64::INFINITY;
     for &(lo, hi) in buckets {
         if lo >= rounds {

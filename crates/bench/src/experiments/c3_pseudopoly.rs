@@ -11,19 +11,13 @@ use crate::harness::{banner, default_threads, fmt_f, rounds_summary};
 
 /// Run the experiment; `quick` shrinks the sweep and seed count.
 pub fn run(quick: bool) {
-    banner(
-        "C3",
-        "Theorem 4: hitting time of a single improving move scales as 1/gain",
-    );
+    banner("C3", "Theorem 4: hitting time of a single improving move scales as 1/gain");
     let c = 10.0;
     let n = 16;
     let lambda = 0.25;
     let trials = if quick { 30 } else { 100 };
-    let gains: &[f64] = if quick {
-        &[2.0, 1.0, 0.5, 0.25]
-    } else {
-        &[2.0, 1.0, 0.5, 0.25, 0.125, 0.0625]
-    };
+    let gains: &[f64] =
+        if quick { &[2.0, 1.0, 0.5, 0.25] } else { &[2.0, 1.0, 0.5, 0.25, 0.125, 0.0625] };
     println!("two constant links (c = {c}, c − g), n = {n}, λ = {lambda}");
 
     let mut table =

@@ -27,10 +27,7 @@ fn proto() -> Protocol {
 
 /// Run the experiment; `quick` shrinks sweeps and seeds.
 pub fn run(quick: bool) {
-    banner(
-        "C4",
-        "Theorem 7: rounds to (δ,ε,ν)-equilibrium = O(d/(ε²δ)·log(Φ0/Φ*))",
-    );
+    banner("C4", "Theorem 7: rounds to (δ,ε,ν)-equilibrium = O(d/(ε²δ)·log(Φ0/Φ*))");
     sweep_n(quick);
     sweep_eps(quick);
     sweep_delta(quick);
@@ -45,8 +42,7 @@ fn sweep_n(quick: bool) {
     } else {
         &[128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
     };
-    let mut table =
-        Table::new(vec!["n", "mean rounds", "±95%", "log(Φ0/Φ*)", "rounds/log(Φ0/Φ*)"]);
+    let mut table = Table::new(vec!["n", "mean rounds", "±95%", "log(Φ0/Φ*)", "rounds/log(Φ0/Φ*)"]);
     let mut pts = Vec::new();
     for &n in ns {
         let net = braess_network(n);
@@ -173,12 +169,13 @@ fn sweep_delta(quick: bool) {
 }
 
 fn sweep_d(quick: bool) {
-    println!("\n-- C4d: elasticity sweep (8 monomial links a_i·x^d, n = 2048, ε = 0.1, δ = 0.05) --");
+    println!(
+        "\n-- C4d: elasticity sweep (8 monomial links a_i·x^d, n = 2048, ε = 0.1, δ = 0.05) --"
+    );
     let trials = if quick { 10 } else { 40 };
     let ds: &[u32] = if quick { &[1, 2, 4] } else { &[1, 2, 3, 4, 5, 6] };
     let n = 2048;
-    let mut table =
-        Table::new(vec!["d", "ν", "mean rounds", "±95%", "rounds/d", "rounds/d²"]);
+    let mut table = Table::new(vec!["d", "ν", "mean rounds", "±95%", "rounds/d", "rounds/d²"]);
     let mut pts = Vec::new();
     for &d in ds {
         let game = poly_links(8, d, n);

@@ -18,9 +18,7 @@ pub fn run(quick: bool) {
     let rounds = 40;
     let seeds = if quick { 40 } else { 200 };
     let lambda = 0.9; // aggressive, to make overshooting visible
-    println!(
-        "links {{ℓ1 = c = 4^d, ℓ2 = x^d}}, n = {n}, λ = {lambda}; balanced load x₂* = 4"
-    );
+    println!("links {{ℓ1 = c = 4^d, ℓ2 = x^d}}, n = {n}, λ = {lambda}; balanced load x₂* = 4");
 
     let mut table = Table::new(vec![
         "d",
@@ -44,8 +42,7 @@ pub fn run(quick: bool) {
                 run_trials(seeds, 0xC5 + d as u64, default_threads(), |seed| {
                     let (game, state) =
                         overshooting_game(c, d, n, seed_on_fast).expect("valid instance");
-                    let mut sim =
-                        Simulation::new(&game, proto, state).expect("valid simulation");
+                    let mut sim = Simulation::new(&game, proto, state).expect("valid simulation");
                     let mut rng = seeded_rng(seed, 0);
                     let mut peak: f64 = 0.0;
                     let mut prev_load = sim.state().count(StrategyId::new(1)) as i64;
@@ -55,8 +52,7 @@ pub fn run(quick: bool) {
                         sim.step(&mut rng).expect("step succeeds");
                         let load = sim.state().count(StrategyId::new(1)) as i64;
                         let delta = load - prev_load;
-                        if delta != 0 && prev_delta != 0 && delta.signum() != prev_delta.signum()
-                        {
+                        if delta != 0 && prev_delta != 0 && delta.signum() != prev_delta.signum() {
                             flips += 1;
                         }
                         if delta != 0 {

@@ -15,10 +15,7 @@ use crate::harness::{banner, fmt_f};
 
 /// Run the experiment; `quick` shrinks the size sweep.
 pub fn run(quick: bool) {
-    banner(
-        "C6",
-        "Theorem 6: worst-case sequential imitation sequences grow exponentially",
-    );
+    banner("C6", "Theorem 6: worst-case sequential imitation sequences grow exponentially");
     let sizes: &[usize] = if quick { &[3, 4, 5, 6] } else { &[3, 4, 5, 6, 7, 8] };
     let instances_per_size = if quick { 8 } else { 24 };
     println!(

@@ -23,8 +23,7 @@ pub fn run(quick: bool) {
         let n = game.total_players();
         // ν = 1 for identical unit-slope links would swallow the unique
         // gain-1 move, so use the gain>0 rule (the bound is protocol-free).
-        let proto =
-            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+        let proto = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
         let stop = StopSpec::new(vec![
             StopCondition::ImitationStable,
             StopCondition::MaxRounds(10_000_000),

@@ -21,10 +21,7 @@ fn scaled_links(n: u64) -> CongestionGame {
 
 /// Run the experiment; `quick` shrinks trials and the sweep.
 pub fn run(quick: bool) {
-    banner(
-        "C8",
-        "Theorem 9: P[some link empties within poly(n) rounds] = 2^(−Ω(n))",
-    );
+    banner("C8", "Theorem 9: P[some link empties within poly(n) rounds] = 2^(−Ω(n))");
     let trials = if quick { 100 } else { 400 };
     let ns: &[u64] = if quick { &[8, 16, 32, 64] } else { &[8, 16, 32, 64, 128, 256] };
     println!(
@@ -32,30 +29,26 @@ pub fn run(quick: bool) {
          ν rule dropped per Section 6; horizon 20·n rounds"
     );
 
-    let mut table =
-        Table::new(vec!["n", "rounds", "extinct runs", "trials", "P[extinction]"]);
+    let mut table = Table::new(vec!["n", "rounds", "extinct runs", "trials", "P[extinction]"]);
     for &n in ns {
         let game = scaled_links(n);
         let horizon = 20 * n;
-        let proto: Protocol =
-            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
-        let extinctions: Vec<f64> =
-            run_trials(trials, 0xC8 + n, default_threads(), |seed| {
-                let mut rng = seeded_rng(seed, 0);
-                let state = random_state(&game, &mut rng);
-                if state.loads().iter().any(|&l| l == 0) {
+        let proto: Protocol = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+        let extinctions: Vec<f64> = run_trials(trials, 0xC8 + n, default_threads(), |seed| {
+            let mut rng = seeded_rng(seed, 0);
+            let state = random_state(&game, &mut rng);
+            if state.loads().contains(&0) {
+                return 1.0;
+            }
+            let mut sim = Simulation::new(&game, proto, state).expect("valid simulation");
+            for _ in 0..horizon {
+                sim.step(&mut rng).expect("step succeeds");
+                if sim.state().loads().contains(&0) {
                     return 1.0;
                 }
-                let mut sim =
-                    Simulation::new(&game, proto, state).expect("valid simulation");
-                for _ in 0..horizon {
-                    sim.step(&mut rng).expect("step succeeds");
-                    if sim.state().loads().iter().any(|&l| l == 0) {
-                        return 1.0;
-                    }
-                }
-                0.0
-            });
+            }
+            0.0
+        });
         let extinct = extinctions.iter().sum::<f64>() as u64;
         table.row(vec![
             n.to_string(),

@@ -19,40 +19,29 @@ pub fn run(quick: bool) {
     let m = 8;
     println!("{m} linear links, coefficients log-uniform in [1, 4]; random init");
 
-    let mut table = Table::new(vec![
-        "n",
-        "mean SC/opt",
-        "±95%",
-        "max SC/opt",
-        "stable runs",
-        "bound",
-    ]);
+    let mut table =
+        Table::new(vec!["n", "mean SC/opt", "±95%", "max SC/opt", "stable runs", "bound"]);
     for &n in ns {
-        let ratios: Vec<(f64, bool)> =
-            run_trials(trials, 0xC9 + n, default_threads(), |seed| {
-                let mut rng = seeded_rng(seed, 0);
-                let game = random_linear_singleton(m, n, 4.0, &mut rng);
-                let ls = LinearSingleton::analyze(&game).expect("linear singleton");
-                let state = random_state(&game, &mut rng);
-                let mut sim = Simulation::new(
-                    &game,
-                    ImitationProtocol::paper_default().into(),
-                    state,
-                )
+        let ratios: Vec<(f64, bool)> = run_trials(trials, 0xC9 + n, default_threads(), |seed| {
+            let mut rng = seeded_rng(seed, 0);
+            let game = random_linear_singleton(m, n, 4.0, &mut rng);
+            let ls = LinearSingleton::analyze(&game).expect("linear singleton");
+            let state = random_state(&game, &mut rng);
+            let mut sim = Simulation::new(&game, ImitationProtocol::paper_default().into(), state)
                 .expect("valid simulation");
-                let out = sim
-                    .run(
-                        &StopSpec::new(vec![
-                            StopCondition::ImitationStable,
-                            StopCondition::MaxRounds(500_000),
-                        ])
-                        .with_check_every(4),
-                        &mut rng,
-                    )
-                    .expect("run succeeds");
-                let ratio = ls.price_ratio(&game, sim.state());
-                (ratio, out.reason == congames_dynamics::StopReason::ImitationStable)
-            });
+            let out = sim
+                .run(
+                    &StopSpec::new(vec![
+                        StopCondition::ImitationStable,
+                        StopCondition::MaxRounds(500_000),
+                    ])
+                    .with_check_every(4),
+                    &mut rng,
+                )
+                .expect("run succeeds");
+            let ratio = ls.price_ratio(&game, sim.state());
+            (ratio, out.reason == congames_dynamics::StopReason::ImitationStable)
+        });
         let rs: Vec<f64> = ratios.iter().map(|r| r.0).collect();
         let stable = ratios.iter().filter(|r| r.1).count();
         let s = Summary::of(&rs);

@@ -2,6 +2,8 @@
 //! and EXPERIMENTS.md for recorded results.
 
 pub mod ablation;
+pub mod c10_singleton_convergence;
+pub mod c11_exploration;
 pub mod c1_supermartingale;
 pub mod c2_lemma2;
 pub mod c3_pseudopoly;
@@ -11,8 +13,6 @@ pub mod c6_sequential;
 pub mod c7_omega_n;
 pub mod c8_extinction;
 pub mod c9_price_of_imitation;
-pub mod c10_singleton_convergence;
-pub mod c11_exploration;
 pub mod wardrop_limit;
 
 /// Run every experiment in order.

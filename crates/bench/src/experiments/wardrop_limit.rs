@@ -21,11 +21,8 @@ fn scaled_game(coeffs: &[f64], n: u64) -> CongestionGame {
 }
 
 fn continuous_game(coeffs: &[f64]) -> CongestionGame {
-    CongestionGame::singleton(
-        coeffs.iter().map(|&a| Affine::linear(a).into()).collect(),
-        1,
-    )
-    .expect("valid singleton game")
+    CongestionGame::singleton(coeffs.iter().map(|&a| Affine::linear(a).into()).collect(), 1)
+        .expect("valid singleton game")
 }
 
 /// Run the experiment; `quick` shrinks the sweep and seeds.
@@ -50,8 +47,7 @@ pub fn run(quick: bool) {
     for &n in ns {
         let atomic_game = scaled_game(&coeffs, n);
         let start_counts = vec![n / 10, n / 10, n / 10, n - 3 * (n / 10)];
-        let start_shares: Vec<f64> =
-            start_counts.iter().map(|&c| c as f64 / n as f64).collect();
+        let start_shares: Vec<f64> = start_counts.iter().map(|&c| c as f64 / n as f64).collect();
         let gaps: Vec<f64> = run_trials(seeds, 0xE7 + n, default_threads(), |seed| {
             let mut sim = Simulation::new(
                 &atomic_game,
@@ -59,15 +55,14 @@ pub fn run(quick: bool) {
                 State::from_counts(&atomic_game, start_counts.clone()).expect("valid"),
             )
             .expect("valid simulation");
-            let mut cont =
-                FlowState::new(&cont_game, start_shares.clone()).expect("valid");
+            let mut cont = FlowState::new(&cont_game, start_shares.clone()).expect("valid");
             let mut rng = seeded_rng(seed, 0);
             let mut worst: f64 = 0.0;
             for _ in 0..rounds {
                 sim.step(&mut rng).expect("step succeeds");
                 flow.step(&cont_game, &mut cont, 1.0);
-                let share = FlowState::from_atomic(&atomic_game, sim.state())
-                    .expect("valid share vector");
+                let share =
+                    FlowState::from_atomic(&atomic_game, sim.state()).expect("valid share vector");
                 worst = worst.max(share.distance(&cont));
             }
             worst

@@ -55,8 +55,7 @@ pub fn geometric_spread(game: &CongestionGame) -> State {
 /// `m` parallel links with monomial latencies `a_i·x^d`, coefficients
 /// `a_i = 1 + i` (asymmetric so equilibria are non-trivial).
 pub fn poly_links(m: usize, d: u32, n: u64) -> CongestionGame {
-    let lats: Vec<LatencyFn> =
-        (0..m).map(|i| Monomial::new(1.0 + i as f64, d).into()).collect();
+    let lats: Vec<LatencyFn> = (0..m).map(|i| Monomial::new(1.0 + i as f64, d).into()).collect();
     CongestionGame::singleton(lats, n).expect("valid singleton game")
 }
 

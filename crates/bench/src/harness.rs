@@ -70,12 +70,9 @@ mod tests {
         )
         .unwrap();
         let state = State::from_counts(&game, vec![48, 16]).unwrap();
-        let proto: Protocol =
-            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
-        let stop = StopSpec::new(vec![
-            StopCondition::ImitationStable,
-            StopCondition::MaxRounds(10_000),
-        ]);
+        let proto: Protocol = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+        let stop =
+            StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(10_000)]);
         let a = rounds_summary(&game, proto, &state, &stop, 8, 7, 2);
         let b = rounds_summary(&game, proto, &state, &stop, 8, 7, 4);
         assert_eq!(a.mean(), b.mean(), "thread count must not change results");

@@ -99,11 +99,12 @@ impl<'g> Simulation<'g> {
                 .into());
             }
         }
-        let wants_virtual = protocol.imitation().map_or(false, |p| p.virtual_agents());
+        let wants_virtual = protocol.imitation().is_some_and(|p| p.virtual_agents());
         if wants_virtual != state.has_virtual_agents() {
             return Err(DynamicsError::InvalidParameter {
                 name: "state",
-                message: "virtual-agent protocols require State::with_virtual_agents (and vice versa)",
+                message:
+                    "virtual-agent protocols require State::with_virtual_agents (and vice versa)",
             });
         }
         let params = game.params();
@@ -198,7 +199,7 @@ impl<'g> Simulation<'g> {
                 (*explore_prob, Some(imitation), Some(exploration))
             }
         };
-        let virtual_agents = imit.map_or(false, |p| p.virtual_agents());
+        let virtual_agents = imit.is_some_and(|p| p.virtual_agents());
         for class in self.game.classes() {
             let n_c = class.players();
             if n_c == 0 {
@@ -236,8 +237,7 @@ impl<'g> Simulation<'g> {
                     }
                     if let Some(p) = expl {
                         if explore_prob > 0.0 && s_c > 0 {
-                            let mu =
-                                exploration_mu(p, &self.params, l_from, gain, s_c, n_c);
+                            let mu = exploration_mu(p, &self.params, l_from, gain, s_c, n_c);
                             prob += explore_prob * mu / s_c as f64;
                         }
                     }
@@ -313,11 +313,9 @@ impl<'g> Simulation<'g> {
         // Group the pair probabilities by origin, then draw one multinomial
         // per origin. `for_each_pair` visits origins contiguously.
         let mut pending: Vec<(StrategyId, Vec<(StrategyId, f64)>)> = Vec::new();
-        self.for_each_pair(|from, to, prob, _gain| {
-            match pending.last_mut() {
-                Some((f, v)) if *f == from => v.push((to, prob)),
-                _ => pending.push((from, vec![(to, prob)])),
-            }
+        self.for_each_pair(|from, to, prob, _gain| match pending.last_mut() {
+            Some((f, v)) if *f == from => v.push((to, prob)),
+            _ => pending.push((from, vec![(to, prob)])),
         });
         for (from, dests) in pending {
             let x_from = self.state.counts()[from.index()];
@@ -345,7 +343,7 @@ impl<'g> Simulation<'g> {
                 (*explore_prob, Some(*imitation), Some(*exploration))
             }
         };
-        let virtual_agents = imit.map_or(false, |p| p.virtual_agents());
+        let virtual_agents = imit.is_some_and(|p| p.virtual_agents());
         // Cache ℓ_P and pairwise μ for the round (decisions all use the
         // pre-round state).
         let s_total = self.game.num_strategies();
@@ -422,7 +420,12 @@ impl<'g> Simulation<'g> {
                             n_c,
                         )
                     } else {
-                        imitation_mu(&imit.expect("imitate implies protocol"), &self.params, l_from, gain)
+                        imitation_mu(
+                            &imit.expect("imitate implies protocol"),
+                            &self.params,
+                            l_from,
+                            gain,
+                        )
                     }
                 });
                 if mu > 0.0 && rng.gen::<f64>() < mu {
@@ -461,8 +464,7 @@ impl<'g> Simulation<'g> {
         let mut trajectory = Trajectory::new();
         let mut last_migrations = 0u64;
         loop {
-            let recording = self.record.every > 0
-                && (self.round % self.record.every == 0);
+            let recording = self.record.every > 0 && (self.round % self.record.every == 0);
             if recording {
                 trajectory.push(capture_record(
                     self.game,
@@ -500,15 +502,11 @@ impl<'g> Simulation<'g> {
         let expensive_due = self.round % stop.check_every() == 0;
         for cond in stop.conditions() {
             match cond {
-                StopCondition::MaxRounds(r) => {
-                    if self.round >= *r {
-                        return Some(StopReason::MaxRounds);
-                    }
+                StopCondition::MaxRounds(r) if self.round >= *r => {
+                    return Some(StopReason::MaxRounds);
                 }
-                StopCondition::PotentialAtMost(v) => {
-                    if self.potential <= *v {
-                        return Some(StopReason::PotentialReached);
-                    }
+                StopCondition::PotentialAtMost(v) if self.potential <= *v => {
+                    return Some(StopReason::PotentialReached);
                 }
                 StopCondition::ImitationStable if expensive_due => {
                     let nu = self.protocol.stability_threshold(&self.params);
@@ -516,15 +514,16 @@ impl<'g> Simulation<'g> {
                         return Some(StopReason::ImitationStable);
                     }
                 }
-                StopCondition::ApproxEquilibrium(eq) if expensive_due => {
-                    if eq.is_satisfied(self.game, &self.state) {
-                        return Some(StopReason::ApproxEquilibrium);
-                    }
+                StopCondition::ApproxEquilibrium(eq)
+                    if expensive_due && eq.is_satisfied(self.game, &self.state) =>
+                {
+                    return Some(StopReason::ApproxEquilibrium);
                 }
-                StopCondition::NashEquilibrium { tol } if expensive_due => {
-                    if congames_model::is_nash_equilibrium(self.game, &self.state, *tol) {
-                        return Some(StopReason::NashEquilibrium);
-                    }
+                StopCondition::NashEquilibrium { tol }
+                    if expensive_due
+                        && congames_model::is_nash_equilibrium(self.game, &self.state, *tol) =>
+                {
+                    return Some(StopReason::NashEquilibrium);
                 }
                 _ => {}
             }
@@ -570,11 +569,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn two_links(n: u64) -> CongestionGame {
-        CongestionGame::singleton(
-            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
-            n,
-        )
-        .unwrap()
+        CongestionGame::singleton(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], n)
+            .unwrap()
     }
 
     fn imit() -> Protocol {
@@ -595,8 +591,7 @@ mod tests {
         let state = State::from_counts(&game, vec![4, 0]).unwrap();
         let p: Protocol = ImitationProtocol::paper_default().with_virtual_agents(true).into();
         assert!(Simulation::new(&game, p, state).is_err());
-        let state2 =
-            State::from_counts(&game, vec![4, 0]).unwrap().with_virtual_agents(&game);
+        let state2 = State::from_counts(&game, vec![4, 0]).unwrap().with_virtual_agents(&game);
         assert!(Simulation::new(&game, p, state2).is_ok());
     }
 
@@ -647,15 +642,12 @@ mod tests {
         let initial = State::from_counts(&game, vec![48, 16]).unwrap();
         let reps = 4000;
         let mut mean = [0.0f64; 2];
-        for (ei, engine) in [EngineKind::Aggregate, EngineKind::PlayerLevel]
-            .into_iter()
-            .enumerate()
+        for (ei, engine) in [EngineKind::Aggregate, EngineKind::PlayerLevel].into_iter().enumerate()
         {
             let mut sum = 0.0;
             for rep in 0..reps {
-                let mut sim = Simulation::new(&game, imit(), initial.clone())
-                    .unwrap()
-                    .with_engine(engine);
+                let mut sim =
+                    Simulation::new(&game, imit(), initial.clone()).unwrap().with_engine(engine);
                 let mut rng = SmallRng::seed_from_u64(1000 + rep);
                 sim.step(&mut rng).unwrap();
                 sum += sim.state().count(StrategyId::new(0)) as f64;
@@ -701,10 +693,7 @@ mod tests {
             sum += stats.migrations as f64;
         }
         let mean = sum / reps as f64;
-        assert!(
-            (mean - expect).abs() < 0.2,
-            "empirical movers {mean} vs expected {expect}"
-        );
+        assert!((mean - expect).abs() < 0.2, "empirical movers {mean} vs expected {expect}");
     }
 
     #[test]
@@ -713,9 +702,7 @@ mod tests {
         let state = State::from_counts(&game, vec![5, 5]).unwrap();
         let mut sim = Simulation::new(&game, imit(), state).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = sim
-            .run(&StopSpec::new(vec![StopCondition::ImitationStable]), &mut rng)
-            .unwrap();
+        let out = sim.run(&StopSpec::new(vec![StopCondition::ImitationStable]), &mut rng).unwrap();
         assert_eq!(out.rounds, 0);
         assert_eq!(out.reason, StopReason::ImitationStable);
     }
@@ -761,8 +748,7 @@ mod tests {
     fn combined_protocol_also_converges_to_nash() {
         let game = two_links(100);
         let state = State::from_counts(&game, vec![100, 0]).unwrap();
-        let mut sim =
-            Simulation::new(&game, Protocol::combined_default(), state).unwrap();
+        let mut sim = Simulation::new(&game, Protocol::combined_default(), state).unwrap();
         let mut rng = SmallRng::seed_from_u64(13);
         let out = sim
             .run(

@@ -250,6 +250,7 @@ impl ExplorationProtocol {
     /// Migration probability for a player on `from` that sampled strategy
     /// `to` uniformly. `class_strategies`/`class_players` are `|P|` and `n`
     /// of the player's class.
+    #[allow(clippy::too_many_arguments)]
     pub fn migration_probability(
         &self,
         game: &CongestionGame,
@@ -427,7 +428,7 @@ mod tests {
         )
         .unwrap();
         let params = game.params(); // ν = 1
-        // counts (4, 2): gain = 4 − 3 = 1; threshold ν = 1 blocks it.
+                                    // counts (4, 2): gain = 4 − 3 = 1; threshold ν = 1 blocks it.
         let state = congames_model::State::from_counts(&game, vec![4, 2]).unwrap();
         let strict = ImitationProtocol::new(0.5).unwrap();
         assert_eq!(strict.migration_probability(&game, &state, &params, sid(0), sid(1)), 0.0);
@@ -478,10 +479,8 @@ mod tests {
         let params = game.params();
         let state = congames_model::State::from_counts(&game, vec![100, 0]).unwrap();
         let p = ExplorationProtocol::new(1.0).unwrap();
-        let mu_small =
-            p.migration_probability(&game, &state, &params, sid(0), sid(1), 2, 100);
-        let mu_large =
-            p.migration_probability(&game, &state, &params, sid(0), sid(1), 2, 10_000);
+        let mu_small = p.migration_probability(&game, &state, &params, sid(0), sid(1), 2, 100);
+        let mu_large = p.migration_probability(&game, &state, &params, sid(0), sid(1), 2, 10_000);
         assert!(mu_small > 0.0);
         // More players ⇒ heavier damping (per capita).
         assert!(mu_large < mu_small);

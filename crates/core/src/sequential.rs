@@ -86,11 +86,10 @@ fn run_sequential(
     let mut steps = 0u64;
     while steps < max_steps {
         let deviation = match rule {
-            PivotRule::BestGain => best_deviation(game, state, support_only)
-                .filter(|b| b.gain > tol),
-            PivotRule::FirstFound => {
-                first_improving(game, state, tol, support_only, None)
+            PivotRule::BestGain => {
+                best_deviation(game, state, support_only).filter(|b| b.gain > tol)
             }
+            PivotRule::FirstFound => first_improving(game, state, tol, support_only, None),
             PivotRule::Random => {
                 let all = improving_deviations(game, state, tol, support_only);
                 if all.is_empty() {
@@ -193,15 +192,9 @@ mod tests {
         .unwrap();
         let mut state = State::from_counts(&game, vec![10, 0]).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = best_response_dynamics(
-            &game,
-            &mut state,
-            0.0,
-            1000,
-            PivotRule::BestGain,
-            &mut rng,
-        )
-        .unwrap();
+        let out =
+            best_response_dynamics(&game, &mut state, 0.0, 1000, PivotRule::BestGain, &mut rng)
+                .unwrap();
         assert!(out.converged);
         assert_eq!(state.count(sid(0)), 5);
         assert_eq!(out.steps, 5);
@@ -222,15 +215,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut phi = congames_model::potential(&game, &state);
         loop {
-            let out = best_response_dynamics(
-                &game,
-                &mut state,
-                0.0,
-                1,
-                PivotRule::Random,
-                &mut rng,
-            )
-            .unwrap();
+            let out =
+                best_response_dynamics(&game, &mut state, 0.0, 1, PivotRule::Random, &mut rng)
+                    .unwrap();
             let next = congames_model::potential(&game, &state);
             assert!(next <= phi + 1e-12);
             phi = next;
@@ -252,8 +239,8 @@ mod tests {
         .unwrap();
         let mut s1 = State::from_counts(&game, vec![4, 0]).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
-        let imi = sequential_imitation(&game, &mut s1, 0.0, 100, PivotRule::BestGain, &mut rng)
-            .unwrap();
+        let imi =
+            sequential_imitation(&game, &mut s1, 0.0, 100, PivotRule::BestGain, &mut rng).unwrap();
         assert!(imi.converged);
         assert_eq!(imi.steps, 0);
         assert_eq!(s1.count(sid(0)), 4);
@@ -276,8 +263,7 @@ mod tests {
         for rule in [PivotRule::BestGain, PivotRule::FirstFound, PivotRule::Random] {
             let mut state = State::from_counts(&game, vec![9, 0]).unwrap();
             let mut rng = SmallRng::seed_from_u64(4);
-            let out =
-                best_response_dynamics(&game, &mut state, 0.0, 1000, rule, &mut rng).unwrap();
+            let out = best_response_dynamics(&game, &mut state, 0.0, 1000, rule, &mut rng).unwrap();
             assert!(out.converged);
             potentials.push(out.potential);
         }
@@ -295,15 +281,8 @@ mod tests {
         .unwrap();
         let mut state = State::from_counts(&game, vec![100, 0]).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
-        let out = best_response_dynamics(
-            &game,
-            &mut state,
-            0.0,
-            3,
-            PivotRule::BestGain,
-            &mut rng,
-        )
-        .unwrap();
+        let out = best_response_dynamics(&game, &mut state, 0.0, 3, PivotRule::BestGain, &mut rng)
+            .unwrap();
         assert!(!out.converged);
         assert_eq!(out.steps, 3);
     }
@@ -318,15 +297,9 @@ mod tests {
         // (6,4): best gain = 6 − 5 = 1; tol = 1 blocks it.
         let mut state = State::from_counts(&game, vec![6, 4]).unwrap();
         let mut rng = SmallRng::seed_from_u64(6);
-        let out = best_response_dynamics(
-            &game,
-            &mut state,
-            1.0,
-            100,
-            PivotRule::BestGain,
-            &mut rng,
-        )
-        .unwrap();
+        let out =
+            best_response_dynamics(&game, &mut state, 1.0, 100, PivotRule::BestGain, &mut rng)
+                .unwrap();
         assert!(out.converged);
         assert_eq!(out.steps, 0);
     }

@@ -26,10 +26,8 @@ pub fn overshooting_game(
             message: "cannot exceed the number of players",
         });
     }
-    let game = CongestionGame::singleton(
-        vec![Constant::new(c).into(), Monomial::new(1.0, d).into()],
-        n,
-    )?;
+    let game =
+        CongestionGame::singleton(vec![Constant::new(c).into(), Monomial::new(1.0, d).into()], n)?;
     let state = State::from_counts(&game, vec![n - seed_on_fast, seed_on_fast])?;
     Ok((game, state))
 }
@@ -47,10 +45,7 @@ pub fn overshooting_game(
 /// Fails if `m < 2`.
 pub fn omega_n_game(m: usize) -> Result<(CongestionGame, State), GameError> {
     if m < 2 {
-        return Err(GameError::InvalidParameter {
-            name: "m",
-            message: "needs at least two links",
-        });
+        return Err(GameError::InvalidParameter { name: "m", message: "needs at least two links" });
     }
     let game = CongestionGame::singleton(
         (0..m).map(|_| Affine::linear(1.0).into()).collect(),
@@ -120,8 +115,7 @@ mod tests {
         assert_eq!(dev.to, StrategyId::new(1));
         assert!((dev.gain - 1.0).abs() < 1e-12);
         // No other strategy offers an improvement.
-        let all =
-            congames_dynamics::sequential::improving_deviations(&game, &state, 0.0, true);
+        let all = congames_dynamics::sequential::improving_deviations(&game, &state, 0.0, true);
         assert_eq!(all.len(), 1);
         assert!(omega_n_game(1).is_err());
     }

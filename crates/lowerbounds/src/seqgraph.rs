@@ -260,11 +260,8 @@ mod tests {
     use congames_model::Affine;
 
     fn two_links(n: u64) -> CongestionGame {
-        CongestionGame::singleton(
-            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
-            n,
-        )
-        .unwrap()
+        CongestionGame::singleton(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], n)
+            .unwrap()
     }
 
     #[test]

@@ -46,9 +46,7 @@ pub(crate) const IN: u32 = 1;
 /// # Errors
 ///
 /// Propagates construction errors (none occur for valid instances).
-pub fn quadratic_threshold_game(
-    instance: &MaxCutInstance,
-) -> Result<CongestionGame, GameError> {
+pub fn quadratic_threshold_game(instance: &MaxCutInstance) -> Result<CongestionGame, GameError> {
     build_threshold_game(instance, 1, 0.0)
 }
 
@@ -73,10 +71,7 @@ pub(crate) fn build_threshold_game(
     // Private resources r_i with threshold slope 3/2·W_i.
     for i in 0..n {
         let w = instance.incident_weight(i);
-        b.add_named_resource(
-            format!("r_{i}"),
-            Affine::new(1.5 * w, offset_factor * w).into(),
-        );
+        b.add_named_resource(format!("r_{i}"), Affine::new(1.5 * w, offset_factor * w).into());
     }
     for i in 0..n {
         let out = Strategy::singleton(ResourceId::new(private_resource(n, i) as u32));
@@ -217,9 +212,7 @@ mod tests {
         let game = quadratic_threshold_game(&mc).unwrap();
         let cut = 0b00110u64;
         let state = state_from_cut(&game, cut).unwrap();
-        let best_flip = (0..5)
-            .map(|i| mc.flip_delta(cut, i))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best_flip = (0..5).map(|i| mc.flip_delta(cut, i)).fold(f64::NEG_INFINITY, f64::max);
         match best_deviation(&game, &state, false) {
             Some(dev) => assert!((dev.gain - best_flip / 2.0).abs() < 1e-9),
             None => assert!(best_flip <= 0.0),

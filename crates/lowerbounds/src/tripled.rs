@@ -31,9 +31,7 @@ use crate::threshold::build_threshold_game;
 /// # Errors
 ///
 /// Propagates construction errors (none occur for valid instances).
-pub fn tripled_threshold_game(
-    instance: &MaxCutInstance,
-) -> Result<CongestionGame, GameError> {
+pub fn tripled_threshold_game(instance: &MaxCutInstance) -> Result<CongestionGame, GameError> {
     build_threshold_game(instance, 3, 0.5)
 }
 
@@ -59,8 +57,7 @@ pub fn tripled_initial_state(game: &CongestionGame, cut: u64) -> Result<State, G
 /// Whether any class has all three clones on one strategy (the collapse the
 /// Theorem 6 invariant rules out along improving imitation sequences).
 pub fn has_collapsed_class(game: &CongestionGame, state: &State) -> bool {
-    (0..game.classes().len())
-        .any(|i| state.counts()[2 * i] == 3 || state.counts()[2 * i + 1] == 3)
+    (0..game.classes().len()).any(|i| state.counts()[2 * i] == 3 || state.counts()[2 * i + 1] == 3)
 }
 
 #[cfg(test)]
@@ -103,15 +100,9 @@ mod tests {
             // invariant after every step.
             for _ in 0..200 {
                 let before = state.clone();
-                let out = sequential_imitation(
-                    &game,
-                    &mut state,
-                    0.0,
-                    1,
-                    PivotRule::Random,
-                    &mut rng,
-                )
-                .unwrap();
+                let out =
+                    sequential_imitation(&game, &mut state, 0.0, 1, PivotRule::Random, &mut rng)
+                        .unwrap();
                 assert!(
                     !has_collapsed_class(&game, &state),
                     "collapse from {:?} (seed {seed})",
@@ -140,8 +131,8 @@ mod tests {
                 let side = ((cut >> i) & 1) as u32;
                 let from = StrategyId::new(2 * i as u32 + side);
                 let to = StrategyId::new(2 * i as u32 + (1 - side));
-                let gain = state.strategy_latency(&game, from)
-                    - state.latency_after_move(&game, from, to);
+                let gain =
+                    state.strategy_latency(&game, from) - state.latency_after_move(&game, from, to);
                 let cut_delta = mc.flip_delta(cut, i);
                 assert_eq!(
                     gain > 1e-9,

@@ -236,11 +236,8 @@ mod tests {
     }
 
     fn two_links(a1: f64, a2: f64, n: u64) -> CongestionGame {
-        CongestionGame::singleton(
-            vec![Affine::linear(a1).into(), Affine::linear(a2).into()],
-            n,
-        )
-        .unwrap()
+        CongestionGame::singleton(vec![Affine::linear(a1).into(), Affine::linear(a2).into()], n)
+            .unwrap()
     }
 
     #[test]
@@ -364,8 +361,7 @@ mod tests {
         let r1 = b.add_resource(Affine::linear(1.0).into());
         let r2 = b.add_resource(Affine::linear(1.0).into());
         b.add_class("a", 4, vec![Strategy::singleton(r0)]).unwrap();
-        b.add_class("b", 4, vec![Strategy::singleton(r1), Strategy::singleton(r2)])
-            .unwrap();
+        b.add_class("b", 4, vec![Strategy::singleton(r1), Strategy::singleton(r2)]).unwrap();
         let game = b.build().unwrap();
         let s = State::from_counts(&game, vec![4, 2, 2]).unwrap();
         // Both classes are internally balanced ⇒ satisfied even with δ=0.

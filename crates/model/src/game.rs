@@ -89,9 +89,8 @@ impl CongestionGame {
             return Err(GameError::NoResources);
         }
         let resources: Vec<Resource> = latencies.into_iter().map(Resource::new).collect();
-        let strategies: Vec<Strategy> = (0..resources.len())
-            .map(|i| Strategy::singleton(ResourceId::new(i as u32)))
-            .collect();
+        let strategies: Vec<Strategy> =
+            (0..resources.len()).map(|i| Strategy::singleton(ResourceId::new(i as u32))).collect();
         Self::from_parts(resources, vec![("players".to_string(), strategies, players)])
     }
 

@@ -387,12 +387,8 @@ impl Polynomial {
     /// by `n^k`), as used by Theorem 9.
     pub fn scaled_by_players(&self, n: u64) -> Polynomial {
         assert!(n > 0, "scaling requires at least one player");
-        let coeffs = self
-            .coeffs
-            .iter()
-            .enumerate()
-            .map(|(k, a)| a / (n as f64).powi(k as i32))
-            .collect();
+        let coeffs =
+            self.coeffs.iter().enumerate().map(|(k, a)| a / (n as f64).powi(k as i32)).collect();
         Polynomial::new(coeffs)
     }
 }
@@ -508,8 +504,9 @@ impl Latency for Bpr {
 
     fn integral_to(&self, load: f64) -> f64 {
         let r = load / self.capacity;
-        self.t0 * (load + self.alpha * self.capacity * r.powi(self.k as i32 + 1)
-            / (self.k as f64 + 1.0))
+        self.t0
+            * (load
+                + self.alpha * self.capacity * r.powi(self.k as i32 + 1) / (self.k as f64 + 1.0))
     }
 }
 
@@ -701,7 +698,7 @@ mod tests {
         // ℓ(x) = x² has elasticity 2.
         let l = FnLatency::new("square", |x| (x as f64).powi(2));
         let e = l.elasticity_bound(200);
-        assert!(e >= 1.9 && e <= 2.6, "estimated elasticity {e}");
+        assert!((1.9..=2.6).contains(&e), "estimated elasticity {e}");
     }
 
     #[test]
@@ -742,7 +739,7 @@ mod tests {
         let l = FnLatency::new("square", |x| (x as f64).powi(2));
         assert_close(l.value_at(2.0), 4.0);
         assert_close(l.value_at(2.5), 6.5); // midpoint of 4 and 9
-        // ∫ of the interpolant over [0,3]: 0.5(0+1) + 0.5(1+4) + 0.5(4+9)
+                                            // ∫ of the interpolant over [0,3]: 0.5(0+1) + 0.5(1+4) + 0.5(4+9)
         assert_close(l.integral_to(3.0), 9.5);
         // Partial interval: ∫_0^2.5 = 0.5(0+1) + 0.5(1+4) + 0.5·0.5·(4+6.5)
         assert_close(l.integral_to(2.5), 3.0 + 2.625);

@@ -99,11 +99,7 @@ pub fn makespan(game: &CongestionGame, state: &State) -> f64 {
     max_l
 }
 
-fn weighted_average(
-    game: &CongestionGame,
-    state: &State,
-    f: impl Fn(StrategyId) -> f64,
-) -> f64 {
+fn weighted_average(game: &CongestionGame, state: &State, f: impl Fn(StrategyId) -> f64) -> f64 {
     let n = game.total_players();
     if n == 0 {
         return 0.0;

@@ -135,8 +135,7 @@ mod tests {
             s.apply_move(&game, sid(f), sid(t)).unwrap();
             let mut delta = 0.0;
             for (i, (&o, &n)) in old_loads.iter().zip(s.loads()).enumerate() {
-                delta +=
-                    potential_delta_for_load_change(&game, ResourceId::new(i as u32), 0, o, n);
+                delta += potential_delta_for_load_change(&game, ResourceId::new(i as u32), 0, o, n);
             }
             phi += delta;
             assert!(
@@ -167,7 +166,11 @@ mod tests {
     #[test]
     fn batch_migration_delta_matches() {
         let game = CongestionGame::singleton(
-            vec![Affine::linear(1.0).into(), Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+            vec![
+                Affine::linear(1.0).into(),
+                Affine::linear(1.0).into(),
+                Affine::linear(1.0).into(),
+            ],
             9,
         )
         .unwrap();
@@ -192,8 +195,7 @@ mod tests {
 
     #[test]
     fn potential_with_virtual_agents_uses_shifted_window() {
-        let game =
-            CongestionGame::singleton(vec![Affine::linear(1.0).into()], 3).unwrap();
+        let game = CongestionGame::singleton(vec![Affine::linear(1.0).into()], 3).unwrap();
         let s = State::from_counts(&game, vec![3]).unwrap().with_virtual_agents(&game);
         // base 1, players 3: Σ_{i=2..4} i = 9
         assert!((potential(&game, &s) - 9.0).abs() < 1e-12);

@@ -195,8 +195,7 @@ mod tests {
         )
         .unwrap();
         assert!(LinearSingleton::analyze(&game).is_err());
-        let game2 =
-            CongestionGame::singleton(vec![Constant::new(1.0).into()], 4).unwrap();
+        let game2 = CongestionGame::singleton(vec![Constant::new(1.0).into()], 4).unwrap();
         assert!(LinearSingleton::analyze(&game2).is_err());
     }
 

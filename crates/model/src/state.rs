@@ -137,8 +137,7 @@ impl State {
 
     /// Effective congestion of resource `r` (player load plus base load).
     pub fn effective_load(&self, r: ResourceId) -> u64 {
-        self.loads[r.index()]
-            + self.base_loads.as_ref().map_or(0, |b| b[r.index()])
+        self.loads[r.index()] + self.base_loads.as_ref().map_or(0, |b| b[r.index()])
     }
 
     /// Player-induced loads of all resources.
@@ -163,11 +162,7 @@ impl State {
 
     /// Latency `ℓ_P(x)` of strategy `s` in this state.
     pub fn strategy_latency(&self, game: &CongestionGame, s: StrategyId) -> f64 {
-        game.strategy(s)
-            .resources()
-            .iter()
-            .map(|&r| game.latency(r, self.effective_load(r)))
-            .sum()
+        game.strategy(s).resources().iter().map(|&r| game.latency(r, self.effective_load(r))).sum()
     }
 
     /// Latency `ℓ_P(x + 1_P)` of strategy `s` with one extra player on it

@@ -147,13 +147,7 @@ impl Strategy {
         mut on_leave: impl FnMut(ResourceId),
         mut on_enter: impl FnMut(ResourceId),
     ) {
-        self.diff_signed(to, |r, sign| {
-            if sign < 0 {
-                on_leave(r)
-            } else {
-                on_enter(r)
-            }
-        });
+        self.diff_signed(to, |r, sign| if sign < 0 { on_leave(r) } else { on_enter(r) });
     }
 }
 

@@ -7,7 +7,10 @@ use crate::graph::{DiGraph, EdgeId, NodeId};
 
 /// `m` parallel links from a fresh source to a fresh sink, with latencies
 /// produced by `latency(i)` for link `i`. The singleton-game topology.
-pub fn parallel_links(m: usize, mut latency: impl FnMut(usize) -> LatencyFn) -> (DiGraph, NodeId, NodeId) {
+pub fn parallel_links(
+    m: usize,
+    mut latency: impl FnMut(usize) -> LatencyFn,
+) -> (DiGraph, NodeId, NodeId) {
     assert!(m > 0, "need at least one link");
     let mut g = DiGraph::new();
     let s = g.add_node();

@@ -138,10 +138,7 @@ mod tests {
         let mut g = DiGraph::new();
         let s = g.add_node();
         let t = g.add_node();
-        assert!(matches!(
-            shortest_path(&g, s, t, |_| 1.0),
-            Err(NetworkError::Disconnected { .. })
-        ));
+        assert!(matches!(shortest_path(&g, s, t, |_| 1.0), Err(NetworkError::Disconnected { .. })));
     }
 
     #[test]

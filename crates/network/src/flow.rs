@@ -64,12 +64,12 @@ pub fn convex_min_cost_flow(
         dist[source.index()] = 0.0;
         for _ in 0..nv.max(1) - 1 {
             let mut changed = false;
-            for ei in 0..m {
+            for (ei, &load_ei) in loads.iter().enumerate().take(m) {
                 let e = EdgeId::new(ei as u32);
                 let (u, v) = graph.endpoints(e);
                 // Forward arc u → v with marginal cost of the next unit.
                 if dist[u.index()].is_finite() {
-                    let w = marginal(e, loads[ei] + 1);
+                    let w = marginal(e, load_ei + 1);
                     if !w.is_finite() || w < 0.0 {
                         return Err(NetworkError::InvalidParameter {
                             name: "marginal",
@@ -259,11 +259,7 @@ mod tests {
                 best = best.min(phi);
             }
         }
-        assert!(
-            (r.cost - best).abs() < 1e-9,
-            "flow Φ* {} differs from brute force {best}",
-            r.cost
-        );
+        assert!((r.cost - best).abs() < 1e-9, "flow Φ* {} differs from brute force {best}", r.cost);
     }
 
     #[test]
@@ -306,7 +302,7 @@ mod tests {
         g.add_edge(a, b, Constant::new(0.0).into()).unwrap(); // e2
         g.add_edge(b, t, steep(0.0).into()).unwrap(); // e3
         g.add_edge(s, b, Constant::new(1.0).into()).unwrap(); // e4
-        // Optimal 2-unit flow: s→a→t (10) and s→b→t (1) = 11.
+                                                              // Optimal 2-unit flow: s→a→t (10) and s→b→t (1) = 11.
         let r = min_potential_flow(&g, s, t, 2).unwrap();
         assert!((r.cost - 11.0).abs() < 1e-9, "cost {}", r.cost);
         assert_eq!(r.loads, vec![1, 1, 0, 1, 1]);
@@ -317,10 +313,7 @@ mod tests {
         let mut g = DiGraph::new();
         let s = g.add_node();
         let t = g.add_node();
-        assert!(matches!(
-            min_potential_flow(&g, s, t, 1),
-            Err(NetworkError::Disconnected { .. })
-        ));
+        assert!(matches!(min_potential_flow(&g, s, t, 1), Err(NetworkError::Disconnected { .. })));
     }
 
     #[test]

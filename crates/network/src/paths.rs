@@ -169,10 +169,7 @@ mod tests {
         for _ in 0..5 {
             g.add_edge(s, t, lin()).unwrap();
         }
-        assert!(matches!(
-            enumerate_paths(&g, s, t, 3),
-            Err(NetworkError::TooManyPaths { cap: 3 })
-        ));
+        assert!(matches!(enumerate_paths(&g, s, t, 3), Err(NetworkError::TooManyPaths { cap: 3 })));
     }
 
     #[test]
@@ -181,10 +178,7 @@ mod tests {
         let s = g.add_node();
         let t = g.add_node();
         let _ = g.add_node();
-        assert!(matches!(
-            enumerate_paths(&g, s, t, 10),
-            Err(NetworkError::Disconnected { .. })
-        ));
+        assert!(matches!(enumerate_paths(&g, s, t, 10), Err(NetworkError::Disconnected { .. })));
     }
 
     #[test]

@@ -57,15 +57,10 @@ impl NetworkGame {
         path_cap: usize,
     ) -> Result<Self, BuildError> {
         let paths = enumerate_paths(&graph, source, sink, path_cap)?;
-        let resources: Vec<Resource> =
-            graph.latencies().into_iter().map(Resource::new).collect();
+        let resources: Vec<Resource> = graph.latencies().into_iter().map(Resource::new).collect();
         let strategies: Vec<Strategy> = paths
             .iter()
-            .map(|p| {
-                Strategy::new(
-                    p.edges().iter().map(|e| ResourceId::new(e.raw())).collect(),
-                )
-            })
+            .map(|p| Strategy::new(p.edges().iter().map(|e| ResourceId::new(e.raw())).collect()))
             .collect::<Result<_, _>>()?;
         let game = CongestionGame::symmetric(resources, strategies, players)?;
         Ok(NetworkGame { graph, source, sink, paths, game })
@@ -105,8 +100,7 @@ impl NetworkGame {
     /// Propagates flow errors (disconnection is impossible once `build`
     /// succeeded, but invalid custom latencies can still surface).
     pub fn min_potential(&self) -> Result<f64, NetworkError> {
-        Ok(min_potential_flow(&self.graph, self.source, self.sink, self.game.total_players())?
-            .cost)
+        Ok(min_potential_flow(&self.graph, self.source, self.sink, self.game.total_players())?.cost)
     }
 
     /// Exact optimal social cost (total latency `Σ_e x_e ℓ_e(x_e)`),
@@ -187,8 +181,7 @@ mod tests {
             Affine::new(0.0, 0.5).into(),
         ]);
         let net = NetworkGame::build(g, s, t, 6, 100).unwrap();
-        let flow =
-            min_potential_flow(net.graph(), net.source(), net.sink(), 6).unwrap();
+        let flow = min_potential_flow(net.graph(), net.source(), net.sink(), 6).unwrap();
         let phi = potential_of_loads(net.game(), &flow.loads);
         assert!((phi - flow.cost).abs() < 1e-9);
         assert!((net.min_potential().unwrap() - flow.cost).abs() < 1e-12);

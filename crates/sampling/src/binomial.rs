@@ -349,10 +349,7 @@ mod tests {
         let mut a = SmallRng::seed_from_u64(5);
         let mut b = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
-            assert_eq!(
-                binomial(&mut a, 1000, 0.3).unwrap(),
-                binomial(&mut b, 1000, 0.3).unwrap()
-            );
+            assert_eq!(binomial(&mut a, 1000, 0.3).unwrap(), binomial(&mut b, 1000, 0.3).unwrap());
         }
     }
 }

@@ -152,10 +152,7 @@ mod tests {
             let mean = sums[i] / draws as f64;
             let expect = n as f64 * probs[i];
             let se = (n as f64 * probs[i] * (1.0 - probs[i]) / draws as f64).sqrt();
-            assert!(
-                (mean - expect).abs() < 5.0 * se,
-                "category {i}: mean {mean} vs {expect}"
-            );
+            assert!((mean - expect).abs() < 5.0 * se, "category {i}: mean {mean} vs {expect}");
         }
     }
 

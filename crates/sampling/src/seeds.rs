@@ -90,6 +90,9 @@ mod tests {
     #[test]
     fn sequence_matches_split_seed() {
         let seq: Vec<u64> = SeedSequence::new(5).take(4).collect();
-        assert_eq!(seq, vec![split_seed(5, 0), split_seed(5, 1), split_seed(5, 2), split_seed(5, 3)]);
+        assert_eq!(
+            seq,
+            vec![split_seed(5, 0), split_seed(5, 1), split_seed(5, 2), split_seed(5, 3)]
+        );
     }
 }

@@ -1,0 +1,134 @@
+//! Canonical small games used across the test suites.
+//!
+//! Each constructor is tiny, deterministic, and documented with the shape
+//! of its equilibria, so suites can assert against known structure instead
+//! of re-deriving it.
+
+use congames_model::{Affine, CongestionGame, Monomial, ResourceId, State, Strategy};
+use congames_network::{builders, NetworkGame};
+
+/// `m` parallel links with latencies `x, 2x, …, m·x`, shared by `n`
+/// players. The potential minimum spreads players roughly inversely to the
+/// slopes.
+pub fn linear_singleton(m: usize, n: u64) -> CongestionGame {
+    CongestionGame::singleton((0..m).map(|i| Affine::linear((i + 1) as f64).into()).collect(), n)
+        .expect("valid linear singleton fixture")
+}
+
+/// Four parallel links with mixed affine latencies `x+4, 2x+2, 3x+1, 4x`,
+/// shared by `n` players — offsets make the cheapest link load-dependent.
+pub fn affine_singleton(n: u64) -> CongestionGame {
+    CongestionGame::singleton(
+        vec![
+            Affine::new(1.0, 4.0).into(),
+            Affine::new(2.0, 2.0).into(),
+            Affine::new(3.0, 1.0).into(),
+            Affine::new(4.0, 0.0).into(),
+        ],
+        n,
+    )
+    .expect("valid affine singleton fixture")
+}
+
+/// Three parallel links with superlinear latencies `x², 2x², x³`, shared by
+/// `n` players — exercises the elasticity damping (`d = 3`).
+pub fn monomial_singleton(n: u64) -> CongestionGame {
+    CongestionGame::singleton(
+        vec![
+            Monomial::new(1.0, 2).into(),
+            Monomial::new(2.0, 2).into(),
+            Monomial::new(1.0, 3).into(),
+        ],
+        n,
+    )
+    .expect("valid monomial singleton fixture")
+}
+
+/// A symmetric game on 4 resources whose 4 strategies each use **two**
+/// resources (a 4-cycle: `{0,1}, {1,2}, {2,3}, {3,0}`), shared by `n`
+/// players. Strategies overlap, so strategy latencies are sums and moves
+/// change two loads at once.
+pub fn overlapping_pairs(n: u64) -> CongestionGame {
+    let mut b = CongestionGame::builder();
+    for i in 0..4u32 {
+        b.add_resource(Affine::linear(1.0 + i as f64 * 0.5).into());
+    }
+    let strategies: Vec<Strategy> = (0..4u32)
+        .map(|i| {
+            Strategy::new(vec![ResourceId::new(i), ResourceId::new((i + 1) % 4)])
+                .expect("non-empty strategy")
+        })
+        .collect();
+    b.add_class("players", n, strategies).expect("non-empty class");
+    b.build().expect("valid overlapping fixture")
+}
+
+/// The Braess network with `n` players: source→sink via two two-edge routes
+/// plus the zero-latency shortcut, the canonical network game.
+pub fn braess_network(n: u64) -> NetworkGame {
+    let (g, s, t) = builders::braess([
+        Affine::linear(1.0 / n.max(1) as f64).into(), // s→v: x/n
+        Affine::new(0.0, 1.0).into(),                 // s→w: 1
+        Affine::new(0.0, 0.0).into(),                 // v→w: 0 (shortcut)
+        Affine::new(0.0, 1.0).into(),                 // v→t: 1
+        Affine::linear(1.0 / n.max(1) as f64).into(), // w→t: x/n
+    ]);
+    NetworkGame::build(g, s, t, n, 16).expect("valid Braess fixture")
+}
+
+/// A deterministic unbalanced start: everything piled on the first
+/// strategy of each class.
+pub fn piled_state(game: &CongestionGame) -> State {
+    State::all_on_first(game)
+}
+
+/// A deterministic skewed-but-supported start: players spread over the
+/// strategies of each class with geometrically decaying weights
+/// `2^-(i+1)` (the last of `s` strategies gets `n >> s` players, so every
+/// strategy is non-empty when `n ≥ 2^s`; the remainder goes to the first).
+pub fn geometric_state(game: &CongestionGame) -> State {
+    let mut counts = vec![0u64; game.num_strategies()];
+    for class in game.classes() {
+        let ids: Vec<u32> = class.strategy_range().collect();
+        let n = class.players();
+        let mut assigned = 0u64;
+        for (i, &s) in ids.iter().enumerate() {
+            let share = n >> (i as u32 + 1).min(63);
+            counts[s as usize] = share;
+            assigned += share;
+        }
+        counts[ids[0] as usize] += n - assigned;
+    }
+    State::from_counts(game, counts).expect("geometric fixture state is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        let g = linear_singleton(4, 100);
+        assert_eq!(g.num_strategies(), 4);
+        assert_eq!(g.total_players(), 100);
+        let g = affine_singleton(50);
+        assert_eq!(g.num_resources(), 4);
+        let g = monomial_singleton(30);
+        assert_eq!(g.num_strategies(), 3);
+        let g = overlapping_pairs(40);
+        assert_eq!(g.num_resources(), 4);
+        assert_eq!(g.strategies().iter().map(|s| s.resources().len()).max(), Some(2));
+        let net = braess_network(64);
+        assert!(net.game().num_strategies() >= 3);
+    }
+
+    #[test]
+    fn geometric_state_is_supported_and_conserving() {
+        for game in [linear_singleton(5, 100), overlapping_pairs(64)] {
+            let st = geometric_state(&game);
+            assert_eq!(st.counts().iter().sum::<u64>(), game.total_players());
+            assert!(st.loads_consistent(&game));
+            assert!(st.counts().iter().all(|&c| c > 0), "{:?}", st.counts());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # congames-testutil
+//!
+//! Shared fixtures for the workspace's test suites:
+//!
+//! * [`rng`] — deterministic per-test RNG derivation, so every suite pins
+//!   its seeds the same way,
+//! * [`games`] — canonical small games (linear/affine/monomial singleton,
+//!   an overlapping-strategy general game, the Braess network) and start
+//!   states,
+//! * [`stats`] — statistical-tolerance assertions: z-tests on means,
+//!   χ² goodness-of-fit, two-sample Kolmogorov–Smirnov distance,
+//! * [`sim`] — multi-trial simulation helpers used by the cross-engine
+//!   equivalence suite.
+//!
+//! This crate is a **dev-dependency only**; production crates must never
+//! depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod games;
+pub mod rng;
+pub mod sim;
+pub mod stats;

@@ -1,0 +1,74 @@
+//! Multi-trial simulation helpers for comparing round engines.
+
+use congames_dynamics::{EngineKind, Protocol, Simulation};
+use congames_model::{CongestionGame, State};
+
+use crate::rng::fixture_rng;
+
+/// A per-trial scalar summary of a finished (short) run.
+pub type StateStat = fn(&CongestionGame, &State) -> f64;
+
+/// Run `trials` independent simulations of `protocol` on `game` from
+/// `start`, each for exactly `rounds` rounds with the given `engine`, and
+/// return `stat(game, final_state)` per trial.
+///
+/// Trial `i` uses the RNG `fixture_rng(label, i)`, so both engines can be
+/// handed the *same* seed streams — any systematic difference between the
+/// returned samples is then attributable to the engines, not the seeds.
+///
+/// # Panics
+///
+/// Panics if the simulation cannot be constructed or a round fails.
+#[allow(clippy::too_many_arguments)]
+pub fn trial_stats(
+    label: &str,
+    game: &CongestionGame,
+    protocol: Protocol,
+    start: &State,
+    engine: EngineKind,
+    rounds: u64,
+    trials: u64,
+    stat: StateStat,
+) -> Vec<f64> {
+    (0..trials)
+        .map(|trial| {
+            let mut sim = Simulation::new(game, protocol, start.clone())
+                .expect("valid equivalence-trial simulation")
+                .with_engine(engine);
+            let mut rng = fixture_rng(label, trial);
+            for _ in 0..rounds {
+                sim.step(&mut rng).expect("equivalence-trial round");
+            }
+            stat(game, sim.state())
+        })
+        .collect()
+}
+
+/// Histogram of `state.counts()[strategy]` over `trials` short runs:
+/// the per-strategy occupancy distribution realized by `engine`.
+///
+/// The histogram has `game.total_players() + 1` cells (occupancy `0..=n`).
+#[allow(clippy::too_many_arguments)]
+pub fn occupancy_histogram(
+    label: &str,
+    game: &CongestionGame,
+    protocol: Protocol,
+    start: &State,
+    engine: EngineKind,
+    rounds: u64,
+    trials: u64,
+    strategy: usize,
+) -> Vec<u64> {
+    let mut hist = vec![0u64; game.total_players() as usize + 1];
+    for trial in 0..trials {
+        let mut sim = Simulation::new(game, protocol, start.clone())
+            .expect("valid occupancy-trial simulation")
+            .with_engine(engine);
+        let mut rng = fixture_rng(label, trial);
+        for _ in 0..rounds {
+            sim.step(&mut rng).expect("occupancy-trial round");
+        }
+        hist[sim.state().counts()[strategy] as usize] += 1;
+    }
+    hist
+}

@@ -1,0 +1,210 @@
+//! Statistical-tolerance assertions for randomized tests.
+//!
+//! Concurrent dynamics are stochastic; suites compare *distributions*, not
+//! streams. The helpers here make those comparisons explicit about their
+//! tolerance (a z-score), so flakiness is a measured trade-off: at `z =
+//! 4.5` a correct test fails about 7 times in a million runs.
+
+/// Sample mean and (unbiased) variance.
+pub fn mean_var(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty(), "mean_var of empty sample");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Assert `|x - y| ≤ tol`, with a readable failure message.
+///
+/// # Panics
+///
+/// Panics when the bound is violated or either value is non-finite.
+pub fn assert_close(x: f64, y: f64, tol: f64, what: &str) {
+    assert!(
+        x.is_finite() && y.is_finite() && (x - y).abs() <= tol,
+        "{what}: |{x} - {y}| = {} > {tol}",
+        (x - y).abs()
+    );
+}
+
+/// Two-sample z-test on means (Welch standard error). Passes when the
+/// difference of sample means is within `z` combined standard errors, plus
+/// an absolute `floor` for the degenerate zero-variance case.
+///
+/// # Panics
+///
+/// Panics when the means differ significantly.
+pub fn assert_means_equal(a: &[f64], b: &[f64], z: f64, floor: f64, what: &str) {
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let se = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    let bound = z * se + floor;
+    assert!(
+        (ma - mb).abs() <= bound,
+        "{what}: means differ: {ma} vs {mb} (|Δ| = {}, allowed {bound}, se = {se}, \
+         n = {}/{})",
+        (ma - mb).abs(),
+        a.len(),
+        b.len()
+    );
+}
+
+/// Pearson's χ² statistic for observed counts against expected counts.
+/// Cells with `expected < 1e-12` must be empty (else panics) and are
+/// skipped.
+pub fn chi_square_stat(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "chi_square_stat: length mismatch");
+    let mut stat = 0.0;
+    for (i, (&o, &e)) in observed.iter().zip(expected).enumerate() {
+        if e < 1e-12 {
+            assert_eq!(o, 0, "chi_square_stat: observed mass in zero-probability cell {i}");
+            continue;
+        }
+        let d = o as f64 - e;
+        stat += d * d / e;
+    }
+    stat
+}
+
+/// Approximate upper critical value of the χ² distribution with `df`
+/// degrees of freedom at the one-sided z-score `z`, via the
+/// Wilson–Hilferty cube transform (accurate to a few percent for
+/// `df ≥ 3`, conservative enough for test tolerances).
+pub fn chi_square_critical(df: usize, z: f64) -> f64 {
+    assert!(df > 0, "chi_square_critical: zero degrees of freedom");
+    let k = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// χ² goodness-of-fit assertion: `observed` (counts summing to `n`)
+/// against the cell probabilities `probs`, at z-score `z`.
+///
+/// Cells with expected count below 5 are pooled into their left neighbor
+/// first, the textbook validity fix for the χ² approximation.
+///
+/// # Panics
+///
+/// Panics when the fit is rejected, or on malformed inputs.
+pub fn assert_chi_square_fits(observed: &[u64], probs: &[f64], z: f64, what: &str) {
+    assert_eq!(observed.len(), probs.len(), "{what}: length mismatch");
+    let n: u64 = observed.iter().sum();
+    assert!(n > 0, "{what}: empty sample");
+    let psum: f64 = probs.iter().sum();
+    assert!((psum - 1.0).abs() < 1e-9, "{what}: probabilities sum to {psum}");
+
+    // Pool sparse cells left-to-right so every expected count is ≥ 5.
+    let mut pooled: Vec<(u64, f64)> = Vec::with_capacity(observed.len());
+    let mut acc_o = 0u64;
+    let mut acc_e = 0.0f64;
+    for (&o, &p) in observed.iter().zip(probs) {
+        acc_o += o;
+        acc_e += p * n as f64;
+        if acc_e >= 5.0 {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            pooled.push((acc_o, acc_e));
+        }
+    }
+    assert!(pooled.len() >= 2, "{what}: too few cells after pooling (n too small?)");
+
+    let obs: Vec<u64> = pooled.iter().map(|c| c.0).collect();
+    let exp: Vec<f64> = pooled.iter().map(|c| c.1).collect();
+    let stat = chi_square_stat(&obs, &exp);
+    let crit = chi_square_critical(pooled.len() - 1, z);
+    assert!(
+        stat <= crit,
+        "{what}: χ² = {stat:.3} > critical {crit:.3} (df = {}, n = {n})",
+        pooled.len() - 1
+    );
+}
+
+/// Two-sample Kolmogorov–Smirnov distance between empirical distributions
+/// given as per-value histograms over the same support.
+pub fn ks_distance(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "ks_distance: support mismatch");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0, "ks_distance: empty sample");
+    let (mut ca, mut cb, mut d) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        ca += x as f64 / na as f64;
+        cb += y as f64 / nb as f64;
+        d = d.max((ca - cb).abs());
+    }
+    d
+}
+
+/// The KS rejection threshold `c(α)·sqrt((na+nb)/(na·nb))` with
+/// `c(α) = sqrt(-ln(α/2)/2)`.
+pub fn ks_threshold(na: usize, nb: usize, alpha: f64) -> f64 {
+    assert!(na > 0 && nb > 0 && alpha > 0.0 && alpha < 1.0);
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * ((na + nb) as f64 / (na as f64 * nb as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn mean_var_basics() {
+        let (m, v) = mean_var(&[1.0, 2.0, 3.0]);
+        assert_close(m, 2.0, 1e-12, "mean");
+        assert_close(v, 1.0, 1e-12, "variance");
+    }
+
+    #[test]
+    fn chi_square_accepts_uniform_draws() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut counts = [0u64; 10];
+        for _ in 0..20_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        let probs = [0.1; 10];
+        assert_chi_square_fits(&counts, &probs, 4.5, "uniform draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "rigged")]
+    fn chi_square_rejects_biased_draws() {
+        // 30% of the mass moved from cell 0 to cell 1: unmistakably biased.
+        let counts = [3_500u64, 6_500, 5_000, 5_000];
+        let probs = [0.25; 4];
+        assert_chi_square_fits(&counts, &probs, 4.5, "rigged");
+    }
+
+    #[test]
+    fn critical_values_are_sane() {
+        // χ²(df=9) at z≈3.09 (α≈0.001) is 27.88; Wilson–Hilferty lands close.
+        let c = chi_square_critical(9, 3.09);
+        assert!((c - 27.88).abs() < 1.0, "critical {c}");
+    }
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let h = [5u64, 10, 20, 5];
+        assert_close(ks_distance(&h, &h), 0.0, 1e-12, "ks self-distance");
+    }
+
+    #[test]
+    #[should_panic(expected = "means differ")]
+    fn mean_test_rejects_shifted_samples() {
+        let a: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i % 7) as f64 + 10.0).collect();
+        assert_means_equal(&a, &b, 4.5, 0.0, "shifted");
+    }
+}

@@ -135,11 +135,7 @@ impl FlowState {
     /// Panics if the dimensions differ.
     pub fn distance(&self, other: &FlowState) -> f64 {
         assert_eq!(self.shares.len(), other.shares.len(), "dimension mismatch");
-        self.shares
-            .iter()
-            .zip(&other.shares)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.shares.iter().zip(&other.shares).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -172,8 +168,7 @@ pub fn is_wardrop_equilibrium(game: &CongestionGame, state: &FlowState, eps: f64
         best = best.min(strategy_latency_with(game, &flows, StrategyId::new(i as u32)));
     }
     state.shares().iter().enumerate().all(|(i, &y)| {
-        y <= 0.0
-            || strategy_latency_with(game, &flows, StrategyId::new(i as u32)) <= best + eps
+        y <= 0.0 || strategy_latency_with(game, &flows, StrategyId::new(i as u32)) <= best + eps
     })
 }
 
@@ -220,8 +215,9 @@ impl ImitationFlow {
     pub fn derivative(&self, game: &CongestionGame, state: &FlowState) -> Vec<f64> {
         let flows = state.edge_flows(game);
         let k = game.num_strategies();
-        let lat: Vec<f64> =
-            (0..k).map(|i| strategy_latency_with(game, &flows, StrategyId::new(i as u32))).collect();
+        let lat: Vec<f64> = (0..k)
+            .map(|i| strategy_latency_with(game, &flows, StrategyId::new(i as u32)))
+            .collect();
         let mut dy = vec![0.0; k];
         let scale = self.lambda / self.damping;
         for p in 0..k {
@@ -297,11 +293,8 @@ mod tests {
     fn two_links(a1: f64, a2: f64) -> CongestionGame {
         // Unit-demand continuous model over ℓ(x) = a·x latencies; player
         // count 1 is irrelevant to the flow dynamics.
-        CongestionGame::singleton(
-            vec![Affine::linear(a1).into(), Affine::linear(a2).into()],
-            1,
-        )
-        .unwrap()
+        CongestionGame::singleton(vec![Affine::linear(a1).into(), Affine::linear(a2).into()], 1)
+            .unwrap()
     }
 
     #[test]
@@ -337,10 +330,7 @@ mod tests {
     #[test]
     fn beckmann_minimum_is_the_equilibrium() {
         let game = two_links(1.0, 3.0);
-        let phi_eq = beckmann_potential(
-            &game,
-            &FlowState::new(&game, vec![0.75, 0.25]).unwrap(),
-        );
+        let phi_eq = beckmann_potential(&game, &FlowState::new(&game, vec![0.75, 0.25]).unwrap());
         for y in [0.0f64, 0.2, 0.5, 0.7, 0.8, 1.0] {
             let phi = beckmann_potential(
                 &game,

@@ -22,8 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let game = LinearSingleton::build_game(&speeds, n)?;
     let ls = LinearSingleton::analyze(&game)?;
     println!("fractional optimum: every server at latency {:.2}", ls.fractional_optimum_cost());
-    for e in 0..speeds.len() {
-        println!("  server {e}: a = {:.2}, optimal fractional load {:.0}", speeds[e], ls.fractional_load(e));
+    for (e, a) in speeds.iter().enumerate() {
+        println!(
+            "  server {e}: a = {:.2}, optimal fractional load {:.0}",
+            a,
+            ls.fractional_load(e)
+        );
     }
 
     // All requests start on the two slowest servers.
@@ -35,13 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pure imitation: converges fast, but can only use servers somebody
     // already uses — servers 0..=3 stay idle forever!
-    let mut sim =
-        Simulation::new(&game, ImitationProtocol::paper_default().into(), start.clone())?;
+    let mut sim = Simulation::new(&game, ImitationProtocol::paper_default().into(), start.clone())?;
     let out = sim.run(
-        &StopSpec::new(vec![
-            StopCondition::ImitationStable,
-            StopCondition::MaxRounds(100_000),
-        ]),
+        &StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(100_000)]),
         &mut rng,
     )?;
     println!(

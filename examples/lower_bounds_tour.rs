@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cut = 0b010110u64;
     let mut state = state_from_cut(&game, cut)?;
     println!("MaxCut instance on 6 nodes; starting cut value {:.0}", mc.cut_value(cut));
-    let out = best_response_dynamics(&game, &mut state, 0.0, 10_000, PivotRule::BestGain, &mut rng)?;
+    let out =
+        best_response_dynamics(&game, &mut state, 0.0, 10_000, PivotRule::BestGain, &mut rng)?;
     println!(
         "best-response dynamics converged after {} steps — every step was a \
          cut-improving node flip (gain = cut improvement / 2)",
@@ -49,7 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.reachable_count(idx)
     );
     let mut sim_state = init;
-    let seq = sequential_imitation(&tripled, &mut sim_state, 0.0, 100_000, PivotRule::Random, &mut rng)?;
+    let seq =
+        sequential_imitation(&tripled, &mut sim_state, 0.0, 100_000, PivotRule::Random, &mut rng)?;
     println!("a random improving walk stabilized after {} imitation steps", seq.steps);
 
     // 3. The Ω(n) instance: one improving move hidden among n players. The
@@ -78,6 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             total as f64 / runs as f64
         );
     }
-    println!("\nthe wait grows linearly in n — no sampling protocol can satisfy *all* agents fast.");
+    println!(
+        "\nthe wait grows linearly in n — no sampling protocol can satisfy *all* agents fast."
+    );
     Ok(())
 }

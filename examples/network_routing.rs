@@ -18,11 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // edges, and a nearly free bridge.
     let a = 10.0 / n as f64;
     let (graph, s, t) = builders::braess([
-        Affine::linear(a).into(),    // s → a, ℓ = 10·x/n
-        Constant::new(10.0).into(),  // s → b
-        Constant::new(10.0).into(),  // a → t
-        Affine::linear(a).into(),    // b → t, ℓ = 10·x/n
-        Constant::new(0.5).into(),   // a → b (the bridge)
+        Affine::linear(a).into(),   // s → a, ℓ = 10·x/n
+        Constant::new(10.0).into(), // s → b
+        Constant::new(10.0).into(), // a → t
+        Affine::linear(a).into(),   // b → t, ℓ = 10·x/n
+        Constant::new(0.5).into(),  // a → b (the bridge)
     ]);
     let net = NetworkGame::build(graph, s, t, n, 100)?;
     println!("enumerated {} s–t paths over {} edges", net.paths().len(), net.graph().num_edges());
@@ -40,8 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     counts[1] = n - n / 8; // the bridge path (enumeration order: s-a-t, s-a-b-t, s-b-t)
     counts[2] = n / 16;
     let start = congames::State::from_counts(net.game(), counts)?;
-    println!("\nstart: potential {:.1}, average latency {:.4}",
-        potential(net.game(), &start), average_latency(net.game(), &start));
+    println!(
+        "\nstart: potential {:.1}, average latency {:.4}",
+        potential(net.game(), &start),
+        average_latency(net.game(), &start)
+    );
 
     let mut sim = Simulation::new(net.game(), ImitationProtocol::paper_default().into(), start)?;
     let nu = sim.params().nu;

@@ -6,8 +6,8 @@
 //! ```
 
 use congames::{
-    Affine, ApproxEquilibrium, CongestionGame, ImitationProtocol, RecordConfig, Simulation,
-    State, StopCondition, StopSpec,
+    Affine, ApproxEquilibrium, CongestionGame, ImitationProtocol, RecordConfig, Simulation, State,
+    StopCondition, StopSpec,
 };
 use rand::SeedableRng;
 
@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's protocol with λ = 1/4; parameters (d, ν, β, ℓ_min) are
     // derived from the game automatically.
     let protocol = ImitationProtocol::paper_default().into();
-    let mut sim = Simulation::new(&game, protocol, start)?
-        .with_recording(RecordConfig::every_round());
+    let mut sim =
+        Simulation::new(&game, protocol, start)?.with_recording(RecordConfig::every_round());
     let params = *sim.params();
     println!("game parameters: d = {}, ν = {}", params.d, params.nu);
 

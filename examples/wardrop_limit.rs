@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let flow = ImitationFlow::for_game(&cont_game);
     let mut y = FlowState::new(&cont_game, vec![0.1, 0.1, 0.8])?;
-    println!("continuous model: Beckmann potential {:.4} at start", beckmann_potential(&cont_game, &y));
+    println!(
+        "continuous model: Beckmann potential {:.4} at start",
+        beckmann_potential(&cont_game, &y)
+    );
     let steps = flow.run(&cont_game, &mut y, 0.25, 1e-6, 1_000_000);
     println!(
         "flow converged in {steps} Euler steps: shares {:?} (Wardrop: {})",

@@ -11,8 +11,7 @@
 //! more — see the examples).
 
 use congames::dynamics::{
-    ExplorationProtocol, ImitationProtocol, NuRule, Protocol, Simulation, StopCondition,
-    StopSpec,
+    ExplorationProtocol, ImitationProtocol, NuRule, Protocol, Simulation, StopCondition, StopSpec,
 };
 use congames::model::{average_latency, potential, LinearSingleton};
 use congames::{Affine, CongestionGame, State};
@@ -81,7 +80,9 @@ impl Options {
                     let v = it.next().ok_or("--links needs a value")?;
                     o.links = v
                         .split(',')
-                        .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad link `{s}`: {e}")))
+                        .map(|s| {
+                            s.trim().parse::<f64>().map_err(|e| format!("bad link `{s}`: {e}"))
+                        })
                         .collect::<Result<_, _>>()?;
                 }
                 "--players" => {
@@ -205,13 +206,10 @@ fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
         average_latency(game, &state),
         state.loads()
     );
-    let mut sim =
-        Simulation::new(game, opts.protocol()?, state).map_err(|e| e.to_string())?;
-    let stop = StopSpec::new(vec![
-        StopCondition::ImitationStable,
-        StopCondition::MaxRounds(opts.rounds),
-    ])
-    .with_check_every(4);
+    let mut sim = Simulation::new(game, opts.protocol()?, state).map_err(|e| e.to_string())?;
+    let stop =
+        StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(opts.rounds)])
+            .with_check_every(4);
     let out = sim.run(&stop, &mut rng).map_err(|e| e.to_string())?;
     println!(
         "after {} rounds ({:?}): Φ = {:.3}, L_av = {:.4}, loads {:?}",

@@ -18,11 +18,9 @@ fn single_player_class_is_inert_under_imitation() {
     // One player has nobody to imitate: every round is a no-op.
     let game = links(vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()], 1);
     let state = State::from_counts(&game, vec![1, 0]).unwrap();
-    let proto: Protocol =
-        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+    let proto: Protocol = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
     for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
-        let mut sim =
-            Simulation::new(&game, proto, state.clone()).unwrap().with_engine(engine);
+        let mut sim = Simulation::new(&game, proto, state.clone()).unwrap().with_engine(engine);
         let mut rng = seeded_rng(1, engine as u64);
         for _ in 0..50 {
             let stats = sim.step(&mut rng).unwrap();
@@ -36,12 +34,9 @@ fn single_player_class_is_inert_under_imitation() {
 fn zero_player_game_runs_without_panic() {
     let game = links(vec![Affine::linear(1.0).into()], 0);
     let state = State::from_counts(&game, vec![0]).unwrap();
-    let mut sim =
-        Simulation::new(&game, ImitationProtocol::paper_default().into(), state).unwrap();
+    let mut sim = Simulation::new(&game, ImitationProtocol::paper_default().into(), state).unwrap();
     let mut rng = seeded_rng(2, 0);
-    let out = sim
-        .run(&StopSpec::new(vec![StopCondition::ImitationStable]), &mut rng)
-        .unwrap();
+    let out = sim.run(&StopSpec::new(vec![StopCondition::ImitationStable]), &mut rng).unwrap();
     assert_eq!(out.rounds, 0);
     assert_eq!(out.reason, StopReason::ImitationStable);
 }
@@ -52,8 +47,7 @@ fn virtual_agents_discover_empty_strategies() {
     // sampleable, so imitation escapes the lost-strategy trap (Section 6,
     // option 2).
     let game = links(vec![Constant::new(100.0).into(), Constant::new(1.0).into()], 64);
-    let state =
-        State::from_counts(&game, vec![64, 0]).unwrap().with_virtual_agents(&game);
+    let state = State::from_counts(&game, vec![64, 0]).unwrap().with_virtual_agents(&game);
     let proto: Protocol = ImitationProtocol::paper_default()
         .with_virtual_agents(true)
         .with_nu_rule(NuRule::None)
@@ -138,14 +132,11 @@ fn potential_target_stop_fires() {
 fn check_every_delays_detection_but_not_correctness() {
     let game = links(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], 50);
     let state = State::from_counts(&game, vec![40, 10]).unwrap();
-    let proto: Protocol =
-        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+    let proto: Protocol = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
     let mut fine = Simulation::new(&game, proto, state.clone()).unwrap();
     let mut coarse = Simulation::new(&game, proto, state).unwrap();
-    let spec_fine = StopSpec::new(vec![
-        StopCondition::ImitationStable,
-        StopCondition::MaxRounds(10_000),
-    ]);
+    let spec_fine =
+        StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(10_000)]);
     let spec_coarse = spec_fine.clone().with_check_every(64);
     let mut r1 = seeded_rng(7, 0);
     let mut r2 = seeded_rng(7, 0);
@@ -185,25 +176,18 @@ fn multi_class_games_migrate_within_classes_only() {
     b.add_class(
         "a",
         40,
-        vec![
-            congames::Strategy::singleton(shared),
-            congames::Strategy::singleton(pa),
-        ],
+        vec![congames::Strategy::singleton(shared), congames::Strategy::singleton(pa)],
     )
     .unwrap();
     b.add_class(
         "b",
         40,
-        vec![
-            congames::Strategy::singleton(shared),
-            congames::Strategy::singleton(pb),
-        ],
+        vec![congames::Strategy::singleton(shared), congames::Strategy::singleton(pb)],
     )
     .unwrap();
     let game = b.build().unwrap();
     let state = State::from_counts(&game, vec![30, 10, 30, 10]).unwrap();
-    let proto: Protocol =
-        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
+    let proto: Protocol = ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into();
     let mut sim = Simulation::new(&game, proto, state).unwrap();
     let mut rng = seeded_rng(8, 0);
     for _ in 0..200 {

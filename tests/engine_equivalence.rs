@@ -1,0 +1,257 @@
+//! Cross-engine equivalence: the `Aggregate` engine (per-origin
+//! multinomials, `O(S²)` per round) and the `PlayerLevel` engine (explicit
+//! per-player iteration, `O(n)` per round) must realize **statistically
+//! identical** dynamics — same per-round migration distribution, hence the
+//! same distribution over trajectories.
+//!
+//! This suite is the correctness bedrock for every future performance PR:
+//! sharding, batching, or fusing a round engine must keep these tests
+//! green. It compares the two engines across game families (linear,
+//! affine, and superlinear singletons; an overlapping-strategy general
+//! game; the Braess network) and protocols (imitation, exploration,
+//! combined), using the tolerance machinery of `congames-testutil`:
+//!
+//! * z-tests on mean final potential and mean average latency after a
+//!   fixed number of rounds (z = 4.5 → a correct engine pair fails with
+//!   probability ≈ 7e-6 per comparison), and
+//! * a two-sample Kolmogorov–Smirnov test on the full final-occupancy
+//!   distribution of a tracked strategy.
+//!
+//! Every trial seed derives from `congames_testutil::rng::fixture_rng`, so
+//! failures replay exactly.
+
+use congames::dynamics::{
+    EngineKind, ExplorationProtocol, ImitationProtocol, Protocol, Simulation,
+};
+use congames::model::{average_latency, potential, CongestionGame, State};
+use congames_testutil::games;
+use congames_testutil::rng::fixture_rng;
+use congames_testutil::sim::{occupancy_histogram, trial_stats};
+use congames_testutil::stats::{assert_means_equal, ks_distance, ks_threshold};
+
+/// Number of independent trials per engine for the mean comparisons.
+const TRIALS: u64 = 256;
+/// Rounds simulated per trial: enough mixing to leave the start state's
+/// neighborhood, short enough that distributions retain spread.
+const ROUNDS: u64 = 12;
+/// z tolerance for mean comparisons (two-sided ≈ 7e-6 false-failure rate).
+const Z: f64 = 4.5;
+
+fn potential_stat(game: &CongestionGame, state: &State) -> f64 {
+    potential(game, state)
+}
+
+fn latency_stat(game: &CongestionGame, state: &State) -> f64 {
+    average_latency(game, state)
+}
+
+/// Compare both engines on one `(game, start, protocol)` configuration.
+fn assert_engines_agree(label: &str, game: &CongestionGame, start: &State, protocol: Protocol) {
+    let stats: [(&str, congames_testutil::sim::StateStat); 2] =
+        [("potential", potential_stat), ("avg_latency", latency_stat)];
+    for (stat_name, stat) in stats {
+        let agg = trial_stats(
+            &format!("{label}/agg"),
+            game,
+            protocol,
+            start,
+            EngineKind::Aggregate,
+            ROUNDS,
+            TRIALS,
+            stat,
+        );
+        let player = trial_stats(
+            &format!("{label}/player"),
+            game,
+            protocol,
+            start,
+            EngineKind::PlayerLevel,
+            ROUNDS,
+            TRIALS,
+            stat,
+        );
+        // Relative floor: protects the comparison when both engines have
+        // essentially converged and the sample variance is ~0.
+        let scale = agg.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1.0);
+        assert_means_equal(
+            &agg,
+            &player,
+            Z,
+            1e-9 * scale,
+            &format!("{label}: {stat_name} after {ROUNDS} rounds"),
+        );
+    }
+}
+
+/// KS comparison of the final-occupancy distribution of strategy 0.
+fn assert_occupancy_distributions_agree(
+    label: &str,
+    game: &CongestionGame,
+    start: &State,
+    protocol: Protocol,
+) {
+    let trials = 400u64;
+    let agg = occupancy_histogram(
+        &format!("{label}/occ-agg"),
+        game,
+        protocol,
+        start,
+        EngineKind::Aggregate,
+        ROUNDS,
+        trials,
+        0,
+    );
+    let player = occupancy_histogram(
+        &format!("{label}/occ-player"),
+        game,
+        protocol,
+        start,
+        EngineKind::PlayerLevel,
+        ROUNDS,
+        trials,
+        0,
+    );
+    let d = ks_distance(&agg, &player);
+    let thresh = ks_threshold(trials as usize, trials as usize, 1e-4);
+    assert!(
+        d <= thresh,
+        "{label}: occupancy KS distance {d:.4} exceeds {thresh:.4} over {trials} trials"
+    );
+}
+
+#[test]
+fn linear_singleton_imitation() {
+    let game = games::linear_singleton(4, 200);
+    let start = games::geometric_state(&game);
+    assert_engines_agree(
+        "eq/linear-imit",
+        &game,
+        &start,
+        ImitationProtocol::paper_default().into(),
+    );
+}
+
+#[test]
+fn linear_singleton_exploration() {
+    let game = games::linear_singleton(4, 200);
+    let start = games::geometric_state(&game);
+    assert_engines_agree(
+        "eq/linear-expl",
+        &game,
+        &start,
+        ExplorationProtocol::paper_default().into(),
+    );
+}
+
+#[test]
+fn affine_singleton_combined_protocol() {
+    let game = games::affine_singleton(150);
+    let start = games::geometric_state(&game);
+    assert_engines_agree("eq/affine-comb", &game, &start, Protocol::combined_default());
+}
+
+#[test]
+fn monomial_singleton_imitation() {
+    let game = games::monomial_singleton(120);
+    let start = games::geometric_state(&game);
+    assert_engines_agree(
+        "eq/monomial-imit",
+        &game,
+        &start,
+        ImitationProtocol::paper_default().into(),
+    );
+}
+
+#[test]
+fn overlapping_general_game_imitation() {
+    let game = games::overlapping_pairs(100);
+    let start = games::geometric_state(&game);
+    assert_engines_agree(
+        "eq/overlap-imit",
+        &game,
+        &start,
+        ImitationProtocol::paper_default().into(),
+    );
+}
+
+#[test]
+fn braess_network_imitation() {
+    let net = games::braess_network(128);
+    let start = games::geometric_state(net.game());
+    assert_engines_agree(
+        "eq/braess-imit",
+        net.game(),
+        &start,
+        ImitationProtocol::paper_default().into(),
+    );
+}
+
+#[test]
+fn braess_network_combined_protocol() {
+    let net = games::braess_network(128);
+    let start = games::geometric_state(net.game());
+    assert_engines_agree("eq/braess-comb", net.game(), &start, Protocol::combined_default());
+}
+
+#[test]
+fn occupancy_distribution_linear_singleton() {
+    let game = games::linear_singleton(3, 60);
+    let start = games::geometric_state(&game);
+    assert_occupancy_distributions_agree(
+        "eq/occ-linear",
+        &game,
+        &start,
+        ImitationProtocol::paper_default().into(),
+    );
+}
+
+#[test]
+fn occupancy_distribution_braess() {
+    let net = games::braess_network(60);
+    let start = games::geometric_state(net.game());
+    assert_occupancy_distributions_agree(
+        "eq/occ-braess",
+        net.game(),
+        &start,
+        ImitationProtocol::paper_default().into(),
+    );
+}
+
+/// Both engines are individually deterministic given a seed: replaying the
+/// same fixture stream must reproduce the trajectory bit-for-bit.
+#[test]
+fn engines_replay_deterministically() {
+    let game = games::affine_singleton(90);
+    let start = games::geometric_state(&game);
+    for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
+        let run = |label: &str| -> Vec<Vec<u64>> {
+            let mut sim =
+                Simulation::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                    .expect("valid simulation")
+                    .with_engine(engine);
+            let mut rng = fixture_rng(label, 0);
+            (0..20)
+                .map(|_| {
+                    sim.step(&mut rng).expect("step");
+                    sim.state().counts().to_vec()
+                })
+                .collect()
+        };
+        assert_eq!(run("eq/replay"), run("eq/replay"), "{engine:?} diverged under replay");
+    }
+}
+
+/// The start states themselves are engine-independent fixtures; pin their
+/// shape so drift in the fixtures cannot masquerade as engine agreement.
+#[test]
+fn fixture_states_are_stable() {
+    let game = games::linear_singleton(4, 200);
+    let start = games::geometric_state(&game);
+    // 200 players at geometric weights 2^-1.. = 100, 50, 25, 12; the
+    // 13-player remainder lands on the first strategy.
+    assert_eq!(start.counts(), &[113, 50, 25, 12]);
+    let net = games::braess_network(128);
+    let start = games::geometric_state(net.game());
+    assert_eq!(start.counts().iter().sum::<u64>(), 128);
+    assert!(start.counts().iter().all(|&c| c > 0));
+}

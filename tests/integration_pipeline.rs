@@ -28,8 +28,7 @@ fn imitation_reaches_approx_equilibrium_on_braess() {
     counts[1] = 256;
     counts[2] = 256;
     let start = State::from_counts(game, counts).unwrap();
-    let mut sim =
-        Simulation::new(game, ImitationProtocol::paper_default().into(), start).unwrap();
+    let mut sim = Simulation::new(game, ImitationProtocol::paper_default().into(), start).unwrap();
     let nu = sim.params().nu;
     let eq = ApproxEquilibrium::new(0.05, 0.01, nu).unwrap();
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
@@ -56,8 +55,7 @@ fn potential_never_drops_below_phi_star_along_any_run() {
     let game = net.game();
     let phi_star = net.min_potential().unwrap();
     let start = State::from_counts(game, vec![384, 64, 64]).unwrap();
-    let mut sim =
-        Simulation::new(game, ImitationProtocol::paper_default().into(), start).unwrap();
+    let mut sim = Simulation::new(game, ImitationProtocol::paper_default().into(), start).unwrap();
     let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
     for _ in 0..500 {
         sim.step(&mut rng).unwrap();
@@ -84,15 +82,9 @@ fn flow_phi_star_is_reached_by_best_response_descent() {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
     for counts in [vec![64u64, 0, 0], vec![0, 64, 0], vec![20, 24, 20]] {
         let mut state = State::from_counts(game, counts).unwrap();
-        let out = best_response_dynamics(
-            game,
-            &mut state,
-            0.0,
-            100_000,
-            PivotRule::BestGain,
-            &mut rng,
-        )
-        .unwrap();
+        let out =
+            best_response_dynamics(game, &mut state, 0.0, 100_000, PivotRule::BestGain, &mut rng)
+                .unwrap();
         assert!(out.converged);
         assert!(
             (out.potential - phi_star).abs() < 1e-6,
@@ -132,11 +124,8 @@ fn nu_free_imitation_reaches_nash_within_support_on_parallel_links() {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
     let out = sim
         .run(
-            &StopSpec::new(vec![
-                StopCondition::ImitationStable,
-                StopCondition::MaxRounds(500_000),
-            ])
-            .with_check_every(4),
+            &StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(500_000)])
+                .with_check_every(4),
             &mut rng,
         )
         .unwrap();
@@ -146,9 +135,8 @@ fn nu_free_imitation_reaches_nash_within_support_on_parallel_links() {
 
 #[test]
 fn grid_network_game_runs_end_to_end() {
-    let (g, s, t) = builders::grid(3, 3, |e| {
-        Affine::new(0.5 + (e.index() % 3) as f64 * 0.25, 1.0).into()
-    });
+    let (g, s, t) =
+        builders::grid(3, 3, |e| Affine::new(0.5 + (e.index() % 3) as f64 * 0.25, 1.0).into());
     let net = NetworkGame::build(g, s, t, 300, 1000).unwrap();
     assert_eq!(net.game().num_strategies(), 6);
     let start = State::all_on_first(net.game());

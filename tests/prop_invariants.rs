@@ -12,10 +12,8 @@ use proptest::prelude::*;
 /// (random non-empty resource subsets), plus a consistent random state.
 fn arb_game_and_counts() -> impl Strategy<Value = (CongestionGame, Vec<u64>)> {
     (2usize..=6, 2usize..=5, 1u64..60).prop_flat_map(|(m, s, n)| {
-        let subsets = proptest::collection::vec(
-            proptest::collection::vec(0u32..m as u32, 1..=m),
-            s..=s,
-        );
+        let subsets =
+            proptest::collection::vec(proptest::collection::vec(0u32..m as u32, 1..=m), s..=s);
         let weights = proptest::collection::vec(1u64..=10, s..=s);
         let coeffs = proptest::collection::vec((1u32..=4, 1u32..=3), m..=m);
         (subsets, weights, coeffs).prop_map(move |(subsets, weights, coeffs)| {
@@ -36,8 +34,7 @@ fn arb_game_and_counts() -> impl Strategy<Value = (CongestionGame, Vec<u64>)> {
                 .collect();
             // Distribute n players proportionally to the random weights.
             let total_w: u64 = weights.iter().sum();
-            let mut counts: Vec<u64> =
-                weights.iter().map(|w| n * w / total_w).collect();
+            let mut counts: Vec<u64> = weights.iter().map(|w| n * w / total_w).collect();
             let assigned: u64 = counts.iter().sum();
             counts[0] += n - assigned;
             b.add_class("players", n, strategies).expect("non-empty class");

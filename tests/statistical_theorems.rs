@@ -2,9 +2,7 @@
 //! versions of the claim experiments, run as part of the test suite.
 
 use congames::dynamics::{ImitationProtocol, NuRule, Simulation, StopCondition, StopSpec};
-use congames::lowerbounds::{
-    tripled_initial_state, tripled_threshold_game, MaxCutInstance,
-};
+use congames::lowerbounds::{tripled_initial_state, tripled_threshold_game, MaxCutInstance};
 use congames::model::{LinearSingleton, State};
 use congames::sampling::seeded_rng;
 use congames::{Affine, EngineKind};
@@ -31,12 +29,9 @@ fn mean_potential_is_supermartingale() {
     let rounds = 60;
     let mut mean = vec![0.0f64; rounds + 1];
     for s in 0..seeds {
-        let mut sim = Simulation::new(
-            net.game(),
-            ImitationProtocol::paper_default().into(),
-            start.clone(),
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::new(net.game(), ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap();
         let mut rng = seeded_rng(100, s);
         mean[0] += sim.potential();
         for record in mean.iter_mut().take(rounds + 1).skip(1) {
@@ -62,12 +57,9 @@ fn lemma2_ratio_holds() {
     let mut sum_virtual = 0.0;
     let mut sum_realized = 0.0;
     for s in 0..48u64 {
-        let mut sim = Simulation::new(
-            net.game(),
-            ImitationProtocol::paper_default().into(),
-            start.clone(),
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::new(net.game(), ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap();
         let mut rng = seeded_rng(200, s);
         for _ in 0..40 {
             sum_virtual += sim.expected_virtual_gain();
@@ -99,8 +91,7 @@ fn price_of_imitation_is_bounded() {
         }
         let state = State::from_counts(&game, counts).unwrap();
         let mut sim =
-            Simulation::new(&game, ImitationProtocol::paper_default().into(), state)
-                .unwrap();
+            Simulation::new(&game, ImitationProtocol::paper_default().into(), state).unwrap();
         let out = sim
             .run(
                 &StopSpec::new(vec![
@@ -134,8 +125,10 @@ fn tripled_clones_never_collapse_concurrently() {
             for class in 0..4usize {
                 let out = sim.state().counts()[2 * class];
                 let inn = sim.state().counts()[2 * class + 1];
-                assert!(out + inn == 3 && out < 3 && inn < 3,
-                    "class {class} collapsed: ({out}, {inn})");
+                assert!(
+                    out + inn == 3 && out < 3 && inn < 3,
+                    "class {class} collapsed: ({out}, {inn})"
+                );
             }
         }
     }
@@ -150,8 +143,7 @@ fn engines_agree_on_network_game() {
     let reps = 600;
     let rounds = 5;
     let mut means = [0.0f64; 2];
-    for (ei, engine) in [EngineKind::Aggregate, EngineKind::PlayerLevel].into_iter().enumerate()
-    {
+    for (ei, engine) in [EngineKind::Aggregate, EngineKind::PlayerLevel].into_iter().enumerate() {
         let mut sum = 0.0;
         for rep in 0..reps {
             let mut sim = Simulation::new(

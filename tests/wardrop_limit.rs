@@ -12,10 +12,7 @@ use congames::{Affine, CongestionGame};
 /// Player-normalized two-link game: ℓ_e(x) = a_e·x/n.
 fn scaled_game(n: u64) -> CongestionGame {
     CongestionGame::singleton(
-        vec![
-            Affine::linear(1.0 / n as f64).into(),
-            Affine::linear(3.0 / n as f64).into(),
-        ],
+        vec![Affine::linear(1.0 / n as f64).into(), Affine::linear(3.0 / n as f64).into()],
         n,
     )
     .unwrap()
@@ -23,11 +20,8 @@ fn scaled_game(n: u64) -> CongestionGame {
 
 /// The continuous-model game over the same latencies with unit demand.
 fn continuous_game() -> CongestionGame {
-    CongestionGame::singleton(
-        vec![Affine::linear(1.0).into(), Affine::linear(3.0).into()],
-        1,
-    )
-    .unwrap()
+    CongestionGame::singleton(vec![Affine::linear(1.0).into(), Affine::linear(3.0).into()], 1)
+        .unwrap()
 }
 
 /// Mean trajectory distance between the atomic dynamics (share vector) and
@@ -56,8 +50,7 @@ fn mean_gap(n: u64, rounds: usize, seeds: u64) -> f64 {
         for _ in 0..rounds {
             sim.step(&mut rng).unwrap();
             flow.step(&cont_game, &mut cont, 1.0);
-            let atomic_share =
-                FlowState::from_atomic(&atomic_game, sim.state()).unwrap();
+            let atomic_share = FlowState::from_atomic(&atomic_game, sim.state()).unwrap();
             worst = worst.max(atomic_share.distance(&cont));
         }
         total += worst;
@@ -70,10 +63,7 @@ fn atomic_dynamics_approach_the_continuous_flow() {
     let gaps: Vec<f64> = [64u64, 512, 4096].iter().map(|&n| mean_gap(n, 30, 12)).collect();
     // The sup-norm trajectory gap must shrink with n (sampling noise is
     // O(1/√n)), and be small in absolute terms for the largest n.
-    assert!(
-        gaps[0] > gaps[2],
-        "gap did not shrink: {gaps:?}"
-    );
+    assert!(gaps[0] > gaps[2], "gap did not shrink: {gaps:?}");
     assert!(gaps[2] < 0.05, "large-n gap too big: {gaps:?}");
 }
 

@@ -1,0 +1,176 @@
+//! Offline, in-tree substitute for the crates.io `criterion` crate.
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate implements the `criterion` API subset the benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros (simple-form).
+//!
+//! Measurements are real but deliberately simple: each benchmark is warmed
+//! up for ~20 ms, then timed in batches for ~200 ms, and the mean
+//! time per iteration is printed as
+//! `<group>/<id> ... <mean> ns/iter (<total iters> iters)`.
+//! There is no statistical analysis, HTML report, or saved baseline — for
+//! regression hunting, redirect the output and diff.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Wall-clock budget spent warming each benchmark up.
+const WARM_UP: Duration = Duration::from_millis(20);
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into() }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.to_string(), f);
+    }
+}
+
+/// A named group of benchmarks (`<group>/<id>` labels).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this runner is time-budgeted, so the
+    /// requested sample count does not change the measurement.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `<group>/<id>`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+    }
+
+    /// Benchmark `f` with an input value under `<group>/<id>`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(&format!("{}/{}", self.name, id), |b| f(b, input));
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark of `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Label a parameter-only benchmark.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, running it repeatedly within the time budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: find a per-batch iteration count that is long enough to
+        // swamp timer overhead, while learning the rough per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{label:<48} (no iterations recorded)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    println!("{label:<48} {ns:>14.1} ns/iter ({} iters)", b.iters_done);
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,64 @@
+//! Strategies for collections (currently: `Vec`).
+
+use crate::{Strategy, TestRng};
+
+/// An inclusive range of collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    /// Smallest admissible size.
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Largest admissible size (inclusive).
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty size range");
+        SizeRange { lo, hi }
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rand::Rng::gen_range(rng.rng(), self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec`s of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}

@@ -1,0 +1,144 @@
+//! The deterministic case runner and its regression-file persistence.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{ProptestConfig, TestCaseError, TestRng};
+
+/// Default universe seed; override with `PROPTEST_RNG_SEED=<u64>`.
+const GLOBAL_SEED: u64 = 0xC0DE_5EED_2009_0808;
+
+/// Maximum number of `prop_assume!` rejections tolerated per test before
+/// the generator is declared unable to satisfy the assumptions.
+const MAX_REJECTS: u64 = 65_536;
+
+/// FNV-1a, used to give every test its own deterministic seed stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer, mixing the universe seed, test hash, and case index.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(31) ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn global_seed() -> u64 {
+    std::env::var("PROPTEST_RNG_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(GLOBAL_SEED)
+}
+
+fn case_budget(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(config.cases)
+}
+
+/// `proptest-regressions/<stem>.txt` next to the crate being tested.
+fn regression_path(source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    let root = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+    Path::new(&root).join("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Parse the pinned/regression seeds recorded for one test.
+fn regression_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some(test_name) {
+            if let Some(seed) = parts.next().and_then(|s| s.parse().ok()) {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
+}
+
+/// Record a freshly failing seed (idempotent).
+fn save_regression(path: &Path, test_name: &str, seed: u64) {
+    if regression_seeds(path, test_name).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let mut text = fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Proptest regression seeds. Lines are `<test name> <u64 seed>`; each\n\
+         # listed case re-runs before the random cases on every execution.\n"
+            .to_string()
+    });
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&format!("{test_name} {seed}\n"));
+    let _ = fs::write(path, text);
+}
+
+/// Run one property test to completion, regression cases first.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when a case fails or when the
+/// assumptions reject too many generated inputs.
+pub fn run<F>(config: &ProptestConfig, source_file: &str, test_name: &str, mut test: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let path = regression_path(source_file);
+    for seed in regression_seeds(&path, test_name) {
+        let mut rng = TestRng::from_seed(seed);
+        match test(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "[proptest] {test_name}: regression case seed={seed} failed:\n{msg}\n\
+                 (recorded in {})",
+                path.display()
+            ),
+        }
+    }
+
+    let universe = global_seed();
+    let budget = case_budget(config);
+    let test_hash = fnv1a(test_name);
+    let mut passed: u32 = 0;
+    let mut attempts: u64 = 0;
+    let mut rejects: u64 = 0;
+    while passed < budget {
+        let seed = mix(universe, test_hash, attempts);
+        attempts += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match test(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= MAX_REJECTS,
+                    "[proptest] {test_name}: gave up after {MAX_REJECTS} prop_assume! rejections"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                save_regression(&path, test_name, seed);
+                panic!(
+                    "[proptest] {test_name}: case {passed} (seed={seed}, universe={universe}) \
+                     failed:\n{msg}\nSeed recorded in {} for replay.",
+                    path.display()
+                );
+            }
+        }
+    }
+}

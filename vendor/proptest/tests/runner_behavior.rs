@@ -1,0 +1,53 @@
+//! Behavioral tests of the substitute proptest runner itself: the macro
+//! front-end, determinism, and the `prop_assume!` reject path. (The
+//! failure → regression-file → replay loop lives in its own binary,
+//! `regression_roundtrip.rs`, because it mutates `CARGO_MANIFEST_DIR`.)
+
+use proptest::prelude::*;
+use proptest::runner;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The macro front-end compiles and runs: tuples, flat_map, vec, any.
+    #[test]
+    fn macro_front_end_works(
+        (len, base) in (1usize..=4).prop_flat_map(|l| {
+            (proptest::collection::vec(0u32..10, l..=l), 0u64..100).prop_map(move |(v, b)| {
+                (v.len(), b)
+            })
+        }),
+        flag in any::<bool>(),
+    ) {
+        prop_assert!((1..=4).contains(&len));
+        prop_assert!(base < 100);
+        let _ = flag;
+    }
+
+    /// `prop_assume!` rejections retry instead of failing.
+    #[test]
+    fn assume_filters_cases(x in 0u32..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+}
+
+/// One deterministic pass: the same test body observes the same generated
+/// values run-to-run (the runner derives case seeds, not OS entropy).
+#[test]
+fn runner_is_deterministic() {
+    let collect = || {
+        let mut seen = Vec::new();
+        runner::run(
+            &ProptestConfig::with_cases(16),
+            "tests/runner_behavior.rs",
+            "runner_is_deterministic_inner",
+            |rng| {
+                seen.push(rand::Rng::gen::<u64>(rng.rng()));
+                Ok(())
+            },
+        );
+        seen
+    };
+    assert_eq!(collect(), collect());
+}
