@@ -1,7 +1,9 @@
 //! Deterministic multi-seed trial running, optionally in parallel.
+//!
+//! Built on [`congames_dynamics::run_indexed`], the shared panic-transparent
+//! indexed parallel map that also powers `congames_dynamics::Ensemble`.
 
 use congames_sampling::split_seed;
-use std::sync::Mutex;
 
 /// Run `trials` independent trials of `f`, where trial `i` receives the
 /// derived seed `split_seed(base_seed, i)`. Trials are distributed over up
@@ -10,7 +12,11 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// Panics if `trials == 0`, if `threads == 0`, or if a trial panics.
+/// Panics if `trials == 0` or `threads == 0`. If a trial panics, the
+/// remaining workers stop and the **original panic payload** is re-raised
+/// on the calling thread (the lowest-index payload when several trials
+/// panic concurrently) — the root cause is never buried under a secondary
+/// "scoped thread panicked" shell.
 pub fn run_trials<T: Send>(
     trials: usize,
     base_seed: u64,
@@ -19,29 +25,7 @@ pub fn run_trials<T: Send>(
 ) -> Vec<T> {
     assert!(trials > 0, "need at least one trial");
     assert!(threads > 0, "need at least one thread");
-    if threads == 1 || trials == 1 {
-        return run_trials_sequential(trials, base_seed, f);
-    }
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(trials) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let out = f(split_seed(base_seed, i as u64));
-                results.lock().expect("results lock poisoned")[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock poisoned")
-        .into_iter()
-        .map(|r| r.expect("every trial index was claimed"))
-        .collect()
+    congames_dynamics::run_indexed(trials, threads, |i| f(split_seed(base_seed, i as u64)))
 }
 
 /// Sequential version of [`run_trials`] (same seed derivation, same output
@@ -94,5 +78,43 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         let _ = run_trials(0, 0, 1, |s| s);
+    }
+
+    /// Regression: a panicking trial used to surface as the scope's generic
+    /// "a scoped thread panicked", burying the trial's own message. The
+    /// runner must re-raise the original payload.
+    #[test]
+    #[should_panic(expected = "trial exploded: injected failure")]
+    fn panicking_trial_propagates_root_cause() {
+        let bad = split_seed(11, 3);
+        run_trials(8, 11, 4, |seed| {
+            if seed == bad {
+                panic!("trial exploded: injected failure");
+            }
+            seed
+        });
+    }
+
+    /// Sibling trials complete (or stop cleanly) when one panics: the
+    /// surviving results are simply discarded, but no sibling dies on a
+    /// poisoned lock, so the propagated message stays the injected one.
+    #[test]
+    fn sibling_trials_do_not_poison() {
+        let bad = split_seed(13, 0);
+        let result = std::panic::catch_unwind(|| {
+            run_trials(6, 13, 2, |seed| {
+                if seed == bad {
+                    panic!("first trial dies");
+                }
+                seed
+            })
+        });
+        let payload = result.expect_err("the injected panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("first trial dies"), "unexpected payload: {msg}");
     }
 }

@@ -1,9 +1,15 @@
 //! Throughput of one concurrent round: aggregate vs player-level engines,
-//! across population and strategy-space sizes. The aggregate engine's cost
-//! must be independent of `n`; the player-level engine's linear in `n`.
+//! across population and strategy-space sizes, plus the [`Ensemble`]
+//! batch runner. The aggregate engine's cost must be independent of `n`;
+//! the player-level engine's linear in `n`; ensemble wall-clock must drop
+//! with the thread count while producing identical results.
+//!
+//! CI runs this bench in quick mode (`BENCH_QUICK=1`) and archives the
+//! numbers as `BENCH_throughput.json` (`BENCH_JSON=…`), so the repo's
+//! perf trajectory is tracked commit over commit.
 
 use congames_bench::games::{poly_links, skewed_two_hot};
-use congames_dynamics::{EngineKind, ImitationProtocol, NuRule, Simulation};
+use congames_dynamics::{EngineKind, Ensemble, ImitationProtocol, NuRule, Simulation, StopSpec};
 use congames_sampling::seeded_rng;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -41,5 +47,35 @@ fn bench_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds);
+/// One iteration = a full 16-replica ensemble of 32-round runs; the
+/// thread sweep shows the parallel speedup (results are identical across
+/// the sweep by construction).
+fn bench_ensemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble");
+    let n = 10_000u64;
+    let game = poly_links(8, 2, n);
+    let start = skewed_two_hot(&game);
+    let stop = StopSpec::max_rounds(32);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("trials16_rounds32", format!("t{threads}")),
+            &threads,
+            |b, &threads| {
+                let ensemble = Ensemble::new(
+                    &game,
+                    ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+                    start.clone(),
+                )
+                .expect("valid ensemble")
+                .trials(16)
+                .base_seed(7)
+                .threads(threads);
+                b.iter(|| ensemble.run_with(&stop, |_, out| out.rounds).expect("ensemble run"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_ensemble);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Common measurement helpers for the experiment binaries.
 
 use congames_analysis::Summary;
-use congames_dynamics::{Protocol, RunOutcome, Simulation, StopSpec};
+use congames_dynamics::{Ensemble, Protocol, RunOutcome, Simulation, StopSpec};
 use congames_model::{CongestionGame, State};
 use congames_sampling::seeded_rng;
 
@@ -23,8 +23,9 @@ pub fn run_once(
     sim.run(stop, &mut rng).expect("simulation run succeeds")
 }
 
-/// Measure rounds-to-stop over `trials` seeds (parallel) and summarize.
-/// `threads` comes from [`default_threads`] in the binaries.
+/// Measure rounds-to-stop over `trials` seeds (parallel, via
+/// [`Ensemble`]) and summarize. `threads` comes from [`default_threads`]
+/// in the binaries; the summary is identical for every thread count.
 pub fn rounds_summary(
     game: &CongestionGame,
     protocol: Protocol,
@@ -34,15 +35,19 @@ pub fn rounds_summary(
     base_seed: u64,
     threads: usize,
 ) -> Summary {
-    let rounds = congames_analysis::run_trials(trials, base_seed, threads, |seed| {
-        run_once(game, protocol, state.clone(), stop, seed).rounds as f64
-    });
+    let rounds = Ensemble::new(game, protocol, state.clone())
+        .expect("valid ensemble configuration")
+        .trials(trials)
+        .base_seed(base_seed)
+        .threads(threads)
+        .run_with(stop, |_, outcome| outcome.rounds as f64)
+        .expect("ensemble run succeeds");
     Summary::of(&rounds)
 }
 
 /// A conservative thread count for trial parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4)
+    Ensemble::default_threads()
 }
 
 /// Format a float with engineering-friendly precision.

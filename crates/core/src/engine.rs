@@ -18,12 +18,12 @@ use congames_model::{
     potential, potential_delta_for_load_change, CongestionGame, GameError, GameParams, Migration,
     ResourceId, State, StrategyId,
 };
-use congames_sampling::multinomial_with_rest;
+use congames_sampling::multinomial_with_rest_into;
 use rand::Rng;
 
 use crate::error::DynamicsError;
 use crate::expectation::PairFlow;
-use crate::protocol::{Protocol, SelfSampling};
+use crate::protocol::{ImitationProtocol, Protocol, SelfSampling};
 use crate::stopping::{RunOutcome, StopCondition, StopReason, StopSpec};
 use crate::trajectory::{capture_record, RecordConfig, Trajectory};
 
@@ -46,7 +46,83 @@ pub struct RoundStats {
     pub delta_potential: f64,
 }
 
+/// Flat CSR-style buffer of the positive-probability `(from, to)` pairs of
+/// one round, grouped by origin: origin `j` owns the pair slice
+/// `offsets[j]..offsets[j+1]` of `pair_to`/`pair_prob`.
+///
+/// Reused across rounds so the aggregate kernel performs no steady-state
+/// heap allocations.
+#[derive(Debug, Default)]
+struct PairBuffer {
+    origins: Vec<StrategyId>,
+    /// `origins.len() + 1` offsets into `pair_to`/`pair_prob`.
+    offsets: Vec<usize>,
+    pair_to: Vec<StrategyId>,
+    pair_prob: Vec<f64>,
+}
+
+impl PairBuffer {
+    fn clear(&mut self) {
+        self.origins.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.pair_to.clear();
+        self.pair_prob.clear();
+    }
+
+    /// Append one pair; `for_each_pair` visits origins contiguously, so a
+    /// new origin group starts exactly when `from` changes.
+    fn push(&mut self, from: StrategyId, to: StrategyId, prob: f64) {
+        if self.origins.last() != Some(&from) {
+            self.offsets.push(self.pair_to.len());
+            self.origins.push(from);
+        }
+        self.pair_to.push(to);
+        self.pair_prob.push(prob);
+        *self.offsets.last_mut().expect("offsets is never empty") = self.pair_to.len();
+    }
+}
+
+/// Per-class dense μ memo for the player-level kernel, versioned by an
+/// epoch counter so it never needs clearing: slot
+/// `(from_local·S + to_local)·2 + is_explore` is fresh iff its epoch
+/// matches the current class visit.
+///
+/// Classes whose table would exceed [`MU_TABLE_MAX`] slots skip memoization
+/// entirely (recomputing μ is cheap thanks to the state's latency cache)
+/// to keep memory bounded.
+#[derive(Debug, Default)]
+struct MuTable {
+    /// `(epoch, μ)` per slot — fused so a hit costs one cache line.
+    slots: Vec<(u64, f64)>,
+    current: u64,
+}
+
+/// Upper bound on μ-memo slots (2 · S_class²); 2²¹ slots ≈ 32 MiB.
+const MU_TABLE_MAX: usize = 1 << 21;
+
+impl MuTable {
+    /// Start a new class visit with `slots` required entries. Returns
+    /// `false` if the class is too large to memoize.
+    fn begin(&mut self, slots: usize) -> bool {
+        if slots > MU_TABLE_MAX {
+            return false;
+        }
+        if self.slots.len() < slots {
+            self.slots.resize(slots, (0, 0.0));
+        }
+        self.current += 1;
+        true
+    }
+}
+
 /// A running simulation: a game, a protocol, and the evolving state.
+///
+/// Both round kernels are *zero-steady-state-allocation*: all per-round
+/// working memory (the CSR pair buffer, multinomial counts, the μ memo,
+/// move/commit buffers, and the state's latency cache) lives in reusable
+/// scratch owned by the simulation, so `step` touches the heap only while
+/// buffers warm up to their high-water marks.
 ///
 /// See the crate-level example for typical usage.
 #[derive(Debug)]
@@ -66,6 +142,11 @@ pub struct Simulation<'g> {
     /// Scratch buffers reused across rounds.
     migrations_buf: Vec<Migration>,
     old_loads_buf: Vec<u64>,
+    pairs_buf: PairBuffer,
+    counts_buf: Vec<u64>,
+    mu_table: MuTable,
+    moves_buf: Vec<(usize, StrategyId)>,
+    commit_buf: Vec<(u32, u32)>,
 }
 
 impl<'g> Simulation<'g> {
@@ -116,6 +197,8 @@ impl<'g> Simulation<'g> {
             class_offsets.push(off);
         }
         let potential = potential(game, &state);
+        let mut state = state;
+        state.ensure_latency_cache(game);
         Ok(Simulation {
             game,
             protocol,
@@ -129,6 +212,11 @@ impl<'g> Simulation<'g> {
             round: 0,
             migrations_buf: Vec::new(),
             old_loads_buf: Vec::new(),
+            pairs_buf: PairBuffer::default(),
+            counts_buf: Vec::new(),
+            mu_table: MuTable::default(),
+            moves_buf: Vec::new(),
+            commit_buf: Vec::new(),
         })
     }
 
@@ -191,6 +279,11 @@ impl<'g> Simulation<'g> {
     /// the *current* state, yielding the per-player probability (already
     /// combining imitation sampling, exploration sampling, and the mixture
     /// weight) and the anticipated latency gain.
+    ///
+    /// The latency work per pair (`ℓ_Q(x + 1_Q − 1_P)`) runs only when the
+    /// pair can actually be sampled: pure-imitation rounds skip every empty
+    /// destination without touching a latency function, which is the common
+    /// case near convergence.
     pub(crate) fn for_each_pair(&self, mut f: impl FnMut(StrategyId, StrategyId, f64, f64)) {
         let (explore_prob, imit, expl) = match &self.protocol {
             Protocol::Imitation(p) => (0.0, Some(p), None),
@@ -206,6 +299,25 @@ impl<'g> Simulation<'g> {
                 continue;
             }
             let s_c = class.num_strategies();
+            // Per-class constants of the imitation sampling weight.
+            let imit_total = match imit.map(ImitationProtocol::self_sampling) {
+                Some(SelfSampling::Exclude) => (n_c - 1) as f64,
+                Some(SelfSampling::Include) => n_c as f64,
+                None => 0.0,
+            } + if virtual_agents { s_c as f64 } else { 0.0 };
+            let imit_scale = if imit.is_some() && explore_prob < 1.0 && imit_total > 0.0 {
+                (1.0 - explore_prob) / imit_total
+            } else {
+                0.0
+            };
+            let explore_scale = if expl.is_some() && explore_prob > 0.0 && s_c > 0 {
+                explore_prob / s_c as f64
+            } else {
+                0.0
+            };
+            if imit_scale == 0.0 && explore_scale == 0.0 {
+                continue;
+            }
             for from_raw in class.strategy_range() {
                 let from = StrategyId::new(from_raw);
                 let x_from = self.state.counts()[from.index()];
@@ -219,27 +331,24 @@ impl<'g> Simulation<'g> {
                     }
                     let to = StrategyId::new(to_raw);
                     let x_to = self.state.counts()[to.index()];
-                    let mut prob = 0.0;
+                    // Sampling weight of `to` before any latency is looked
+                    // at; pairs nobody can sample are skipped outright.
+                    let w = x_to as f64 + if virtual_agents { 1.0 } else { 0.0 };
+                    let imit_w = if w > 0.0 { imit_scale * w } else { 0.0 };
+                    if imit_w == 0.0 && explore_scale == 0.0 {
+                        continue;
+                    }
                     let l_to = self.state.latency_after_move(self.game, from, to);
                     let gain = l_from - l_to;
-                    if let Some(p) = imit {
-                        if explore_prob < 1.0 {
-                            let w = x_to as f64 + if virtual_agents { 1.0 } else { 0.0 };
-                            let total = match p.self_sampling() {
-                                SelfSampling::Exclude => (n_c - 1) as f64,
-                                SelfSampling::Include => n_c as f64,
-                            } + if virtual_agents { s_c as f64 } else { 0.0 };
-                            if w > 0.0 && total > 0.0 {
-                                let mu = imitation_mu(p, &self.params, l_from, gain);
-                                prob += (1.0 - explore_prob) * (w / total) * mu;
-                            }
-                        }
+                    let mut prob = 0.0;
+                    if imit_w > 0.0 {
+                        let p = imit.expect("imit_w > 0 implies imitation component");
+                        prob += imit_w * imitation_mu(p, &self.params, l_from, gain);
                     }
-                    if let Some(p) = expl {
-                        if explore_prob > 0.0 && s_c > 0 {
-                            let mu = exploration_mu(p, &self.params, l_from, gain, s_c, n_c);
-                            prob += explore_prob * mu / s_c as f64;
-                        }
+                    if explore_scale > 0.0 {
+                        let p = expl.expect("explore_scale > 0 implies exploration component");
+                        prob +=
+                            explore_scale * exploration_mu(p, &self.params, l_from, gain, s_c, n_c);
                     }
                     if prob > 0.0 {
                         f(from, to, prob, gain);
@@ -299,6 +408,9 @@ impl<'g> Simulation<'g> {
         }
         self.potential += delta;
         self.round += 1;
+        // Re-validate the per-strategy latency sums (the apply above kept
+        // the per-resource entries fresh for only the touched resources).
+        self.state.ensure_latency_cache(self.game);
         let moved: u64 = migrations.iter().map(|m| m.count).sum();
         self.migrations_buf = migrations;
         self.old_loads_buf = old_loads;
@@ -310,24 +422,39 @@ impl<'g> Simulation<'g> {
         rng: &mut impl Rng,
         migrations: &mut Vec<Migration>,
     ) -> Result<(), DynamicsError> {
-        // Group the pair probabilities by origin, then draw one multinomial
-        // per origin. `for_each_pair` visits origins contiguously.
-        let mut pending: Vec<(StrategyId, Vec<(StrategyId, f64)>)> = Vec::new();
-        self.for_each_pair(|from, to, prob, _gain| match pending.last_mut() {
-            Some((f, v)) if *f == from => v.push((to, prob)),
-            _ => pending.push((from, vec![(to, prob)])),
-        });
-        for (from, dests) in pending {
+        // Group the pair probabilities by origin in the reusable CSR pair
+        // buffer, then draw one multinomial per origin into the reusable
+        // counts buffer. `for_each_pair` visits origins contiguously.
+        let mut pairs = std::mem::take(&mut self.pairs_buf);
+        pairs.clear();
+        self.for_each_pair(|from, to, prob, _gain| pairs.push(from, to, prob));
+        let mut counts = std::mem::take(&mut self.counts_buf);
+        let mut result = Ok(());
+        for (j, &from) in pairs.origins.iter().enumerate() {
+            let slice = pairs.offsets[j]..pairs.offsets[j + 1];
             let x_from = self.state.counts()[from.index()];
-            let probs: Vec<f64> = dests.iter().map(|(_, p)| *p).collect();
-            let (counts, _stay) = multinomial_with_rest(rng, x_from, &probs)?;
-            for ((to, _), k) in dests.into_iter().zip(counts) {
-                if k > 0 {
-                    migrations.push(Migration::new(from, to, k));
+            match multinomial_with_rest_into(
+                rng,
+                x_from,
+                &pairs.pair_prob[slice.clone()],
+                &mut counts,
+            ) {
+                Ok(_stay) => {
+                    for (&to, &k) in pairs.pair_to[slice].iter().zip(&counts) {
+                        if k > 0 {
+                            migrations.push(Migration::new(from, to, k));
+                        }
+                    }
+                }
+                Err(e) => {
+                    result = Err(e.into());
+                    break;
                 }
             }
         }
-        Ok(())
+        self.pairs_buf = pairs;
+        self.counts_buf = counts;
+        result
     }
 
     fn player_round(
@@ -344,14 +471,13 @@ impl<'g> Simulation<'g> {
             }
         };
         let virtual_agents = imit.is_some_and(|p| p.virtual_agents());
-        // Cache ℓ_P and pairwise μ for the round (decisions all use the
-        // pre-round state).
-        let s_total = self.game.num_strategies();
-        let mut l_cache: Vec<f64> = vec![f64::NAN; s_total];
-        let mut mu_cache: std::collections::HashMap<(u32, u32, bool), f64> =
-            std::collections::HashMap::new();
-        let players = self.players.as_ref().expect("ensure_players ran");
-        let mut moves: Vec<(usize, StrategyId)> = Vec::new();
+        // Decisions all use the pre-round state; μ values repeat across
+        // players of one class, so memoize them in the dense epoch table.
+        // Classes modify disjoint player/strategy ranges, so each class can
+        // decide *and* commit before the next is visited.
+        let mut mu_table = std::mem::take(&mut self.mu_table);
+        let mut moves = std::mem::take(&mut self.moves_buf);
+        let mut commit = std::mem::take(&mut self.commit_buf);
         for (ci, class) in self.game.classes().iter().enumerate() {
             let n_c = class.players();
             if n_c == 0 {
@@ -360,90 +486,122 @@ impl<'g> Simulation<'g> {
             let s_c = class.num_strategies();
             let start = self.class_offsets[ci];
             let my_range = class.strategy_range();
-            for local in 0..n_c as usize {
-                let idx = start + local;
-                let from = players[idx];
-                let explore = explore_prob > 0.0 && rng.gen::<f64>() < explore_prob;
-                let to: StrategyId;
-                let is_explore: bool;
-                if explore {
-                    let pick = rng.gen_range(0..s_c) as u32 + my_range.start;
-                    to = StrategyId::new(pick);
-                    is_explore = true;
-                } else {
-                    let p = match imit {
-                        Some(p) => p,
-                        None => continue,
-                    };
-                    // Sample another agent uniformly (optionally self /
-                    // virtual agents).
-                    let real_pool = match p.self_sampling() {
-                        SelfSampling::Exclude => n_c - 1,
-                        SelfSampling::Include => n_c,
-                    };
-                    let pool = real_pool + if virtual_agents { s_c as u64 } else { 0 };
-                    if pool == 0 {
-                        continue;
-                    }
-                    let draw = rng.gen_range(0..pool);
-                    if draw < real_pool {
-                        let mut j = draw as usize;
-                        if p.self_sampling() == SelfSampling::Exclude && j >= local {
-                            j += 1;
+            let memoize = mu_table.begin(s_c.saturating_mul(s_c).saturating_mul(2));
+            moves.clear();
+            {
+                let players = self.players.as_ref().expect("ensure_players ran");
+                let class_players = &players[start..start + n_c as usize];
+                // Per-class sampling-pool constants.
+                let self_exclude = imit.is_some_and(|p| p.self_sampling() == SelfSampling::Exclude);
+                let real_pool = if self_exclude { n_c - 1 } else { n_c };
+                let pool = real_pool + if virtual_agents { s_c as u64 } else { 0 };
+                for (local, &from) in class_players.iter().enumerate() {
+                    let explore = explore_prob > 0.0 && rng.gen::<f64>() < explore_prob;
+                    let to: StrategyId;
+                    let is_explore: bool;
+                    // The migration test's uniform variate: the imitation
+                    // path derives it from the *same* 64-bit draw that
+                    // picks the sampled agent (the quotient selects the
+                    // agent, the remainder is uniform conditional on it),
+                    // halving the per-player RNG cost.
+                    let mut test_u: Option<f64> = None;
+                    if explore {
+                        let pick = rng.gen_range(0..s_c) as u32 + my_range.start;
+                        to = StrategyId::new(pick);
+                        is_explore = true;
+                    } else {
+                        if imit.is_none() || pool == 0 {
+                            continue;
                         }
-                        to = players[start + j];
-                    } else {
-                        to = StrategyId::new(my_range.start + (draw - real_pool) as u32);
+                        // Sample another agent uniformly (optionally self /
+                        // virtual agents) by multiply-shift.
+                        let wide = rng.next_u64() as u128 * pool as u128;
+                        let draw = (wide >> 64) as u64;
+                        test_u = Some((wide as u64 >> 11) as f64 * (1.0 / (1u64 << 53) as f64));
+                        if draw < real_pool {
+                            // Branchless self-exclusion shift: `j >= local`
+                            // is data-dependent and unpredictable, so a
+                            // conditional jump here would mispredict often.
+                            let j =
+                                draw as usize + ((draw as usize >= local) & self_exclude) as usize;
+                            to = class_players[j];
+                        } else {
+                            to = StrategyId::new(my_range.start + (draw - real_pool) as u32);
+                        }
+                        is_explore = false;
                     }
-                    is_explore = false;
-                }
-                if to == from {
-                    continue;
-                }
-                let mu = *mu_cache.entry((from.raw(), to.raw(), is_explore)).or_insert_with(|| {
-                    let l_from = if l_cache[from.index()].is_nan() {
-                        let v = self.state.strategy_latency(self.game, from);
-                        l_cache[from.index()] = v;
-                        v
+                    // `to == from` flows through: its μ is 0 by definition
+                    // (zero gain), so it never migrates — and keeping it on
+                    // the straight-line path avoids an unpredictable branch
+                    // on a freshly gathered value.
+                    let slot = ((from.raw() - my_range.start) as usize * s_c
+                        + (to.raw() - my_range.start) as usize)
+                        * 2
+                        + is_explore as usize;
+                    let mu = if memoize && mu_table.slots[slot].0 == mu_table.current {
+                        mu_table.slots[slot].1
                     } else {
-                        l_cache[from.index()]
+                        let l_from = self.state.strategy_latency(self.game, from);
+                        let l_to = self.state.latency_after_move(self.game, from, to);
+                        let gain = l_from - l_to;
+                        let mu = if is_explore {
+                            exploration_mu(
+                                &expl.expect("explore implies protocol"),
+                                &self.params,
+                                l_from,
+                                gain,
+                                s_c,
+                                n_c,
+                            )
+                        } else {
+                            imitation_mu(
+                                &imit.expect("imitate implies protocol"),
+                                &self.params,
+                                l_from,
+                                gain,
+                            )
+                        };
+                        if memoize {
+                            mu_table.slots[slot] = (mu_table.current, mu);
+                        }
+                        mu
                     };
-                    let l_to = self.state.latency_after_move(self.game, from, to);
-                    let gain = l_from - l_to;
-                    if is_explore {
-                        exploration_mu(
-                            &expl.expect("explore implies protocol"),
-                            &self.params,
-                            l_from,
-                            gain,
-                            s_c,
-                            n_c,
-                        )
-                    } else {
-                        imitation_mu(
-                            &imit.expect("imitate implies protocol"),
-                            &self.params,
-                            l_from,
-                            gain,
-                        )
+                    if mu > 0.0 {
+                        let u = match test_u {
+                            Some(u) => u,
+                            None => rng.gen::<f64>(),
+                        };
+                        if u < mu {
+                            moves.push((start + local, to));
+                        }
                     }
-                });
-                if mu > 0.0 && rng.gen::<f64>() < mu {
-                    moves.push((idx, to));
                 }
             }
+            // Commit the class: update the player array, then aggregate the
+            // realized (from, to) pairs by sorting the reusable buffer —
+            // deterministic order, no per-round allocation.
+            let players = self.players.as_mut().expect("ensure_players ran");
+            commit.clear();
+            for &(idx, to) in &moves {
+                let from = players[idx];
+                players[idx] = to;
+                commit.push((from.raw(), to.raw()));
+            }
+            commit.sort_unstable();
+            let mut i = 0usize;
+            while i < commit.len() {
+                let (f, t) = commit[i];
+                let mut k = 0u64;
+                while i < commit.len() && commit[i] == (f, t) {
+                    k += 1;
+                    i += 1;
+                }
+                migrations.push(Migration::new(StrategyId::new(f), StrategyId::new(t), k));
+            }
         }
-        // Commit: update the player array and aggregate into migrations.
-        let players = self.players.as_mut().expect("ensure_players ran");
-        let mut agg: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
-        for (idx, to) in moves {
-            let from = players[idx];
-            players[idx] = to;
-            *agg.entry((from.raw(), to.raw())).or_insert(0) += 1;
-        }
-        for ((f, t), k) in agg {
-            migrations.push(Migration::new(StrategyId::new(f), StrategyId::new(t), k));
-        }
+        self.mu_table = mu_table;
+        self.moves_buf = moves;
+        self.commit_buf = commit;
         Ok(())
     }
 

@@ -1,0 +1,317 @@
+//! Deterministic parallel ensembles of simulations.
+//!
+//! Verifying the paper's statistical claims (the Lemma 2 drift bound,
+//! Theorem 7's pseudopolynomial convergence) means running thousands of
+//! independent replicas of the same simulation. [`Ensemble`] is the
+//! subsystem for that: it runs `trials` replicas of a [`Simulation`] across
+//! a pool of scoped threads, deriving the replica seeds with
+//! [`congames_sampling::split_seed`], and returns the outcomes **in trial
+//! order** — the result is bit-identical for any thread count, because each
+//! replica's randomness depends only on `(base_seed, trial_index)` and
+//! never on scheduling.
+//!
+//! The lower-level [`run_indexed`] primitive (a panic-transparent indexed
+//! parallel map) is exported for harnesses that fan out non-simulation
+//! work; `congames-analysis::run_trials` builds on it.
+
+use congames_model::{CongestionGame, State};
+use congames_sampling::split_seed;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::{EngineKind, Simulation};
+use crate::error::DynamicsError;
+use crate::protocol::Protocol;
+use crate::stopping::{RunOutcome, StopSpec};
+use crate::trajectory::RecordConfig;
+
+/// Run `f(0), f(1), …, f(tasks − 1)` across up to `threads` scoped worker
+/// threads and return the results **in index order**.
+///
+/// Work is claimed dynamically (an atomic counter), so the schedule adapts
+/// to uneven task durations — but because results are written to their own
+/// slot, the output never depends on the schedule.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`. If a task panics, the remaining workers stop
+/// claiming new tasks and the **original panic payload** is re-raised on
+/// the calling thread (the lowest-index payload when several tasks panic
+/// concurrently), so the root cause is what the caller sees — not a
+/// secondary "scoped thread panicked" shell.
+pub fn run_indexed<T: Send>(tasks: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    assert!(threads > 0, "need at least one thread");
+    if tasks == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || tasks == 1 {
+        // Sequential fast path: panics already propagate untouched.
+        return (0..tasks).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    type Panic = Box<dyn std::any::Any + Send + 'static>;
+    let first_panic: Mutex<Option<(usize, Panic)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(tasks) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks || abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(out) => {
+                        let mut slot =
+                            slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *slot = Some(out);
+                    }
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut first =
+                            first_panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if first.as_ref().map_or(true, |(j, _)| i < *j) {
+                            *first = Some((i, payload));
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, payload)) =
+        first_panic.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every task index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// A batch of independent simulation replicas: one game, protocol, and
+/// start state, run `trials` times with per-trial seeds derived from a
+/// base seed, optionally across threads.
+///
+/// Replica `i` always receives the RNG `SmallRng::seed_from_u64(
+/// split_seed(base_seed, i))` and a fresh copy of the start state, so the
+/// returned outcomes are **bit-identical regardless of the thread count**
+/// and reproducible across runs.
+///
+/// # Example
+///
+/// ```
+/// use congames_dynamics::{Ensemble, ImitationProtocol, StopSpec};
+/// use congames_model::{Affine, CongestionGame, State};
+///
+/// let game = CongestionGame::singleton(
+///     vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+///     100,
+/// )?;
+/// let start = State::from_counts(&game, vec![90, 10])?;
+/// let outcomes = Ensemble::new(&game, ImitationProtocol::paper_default().into(), start)?
+///     .trials(8)
+///     .base_seed(42)
+///     .threads(4)
+///     .run(&StopSpec::max_rounds(50))?;
+/// assert_eq!(outcomes.len(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Ensemble<'g> {
+    game: &'g CongestionGame,
+    protocol: Protocol,
+    start: State,
+    engine: EngineKind,
+    record: RecordConfig,
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl<'g> Ensemble<'g> {
+    /// Create an ensemble of simulations of `protocol` on `game` starting
+    /// from `start`, with 1 trial, base seed 0, [`Ensemble::default_threads`]
+    /// threads, the default engine, and no recording.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`Simulation::new`] would: mismatched state, or a
+    /// virtual-agent protocol/state disagreement. Validation happens here,
+    /// once, instead of surfacing from every replica.
+    pub fn new(
+        game: &'g CongestionGame,
+        protocol: Protocol,
+        start: State,
+    ) -> Result<Self, DynamicsError> {
+        // Probe-construct one simulation to validate the configuration.
+        Simulation::new(game, protocol, start.clone())?;
+        Ok(Ensemble {
+            game,
+            protocol,
+            start,
+            engine: EngineKind::default(),
+            record: RecordConfig::disabled(),
+            trials: 1,
+            base_seed: 0,
+            threads: Self::default_threads(),
+        })
+    }
+
+    /// A conservative thread count for trial parallelism: the machine's
+    /// available parallelism, capped at 8.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4)
+    }
+
+    /// Select the round engine for every replica.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Configure trajectory recording for every replica.
+    pub fn recording(mut self, record: RecordConfig) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Set the number of replicas.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Set the base seed replica seeds derive from.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Set the worker-thread budget (clamped to at least 1). The results
+    /// are identical for every choice; only wall-clock time changes.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The seed replica `trial` derives its RNG from.
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        split_seed(self.base_seed, trial as u64)
+    }
+
+    /// Run every replica until `stop` fires; outcomes in trial order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (lowest trial index) replica error, if any.
+    pub fn run(&self, stop: &StopSpec) -> Result<Vec<RunOutcome>, DynamicsError> {
+        self.run_with(stop, |_, outcome| outcome)
+    }
+
+    /// Run every replica and map `(finished simulation, outcome)` through
+    /// `f` — use this to extract final-state statistics without cloning
+    /// whole trajectories. Results are in trial order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (lowest trial index) replica error, if any.
+    pub fn run_with<T: Send>(
+        &self,
+        stop: &StopSpec,
+        f: impl Fn(&Simulation<'_>, RunOutcome) -> T + Sync,
+    ) -> Result<Vec<T>, DynamicsError> {
+        let results = run_indexed(self.trials, self.threads, |trial| {
+            let mut sim = Simulation::new(self.game, self.protocol, self.start.clone())?
+                .with_engine(self.engine)
+                .with_recording(self.record);
+            let mut rng = SmallRng::seed_from_u64(self.trial_seed(trial));
+            let outcome = sim.run(stop, &mut rng)?;
+            Ok(f(&sim, outcome))
+        });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ImitationProtocol;
+    use crate::stopping::{StopCondition, StopReason};
+    use congames_model::Affine;
+
+    fn two_links(n: u64) -> CongestionGame {
+        CongestionGame::singleton(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], n)
+            .unwrap()
+    }
+
+    #[test]
+    fn run_indexed_orders_results() {
+        let out = run_indexed(16, 4, |i| i * 3);
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(run_indexed(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+        assert!(run_indexed(0, 2, |i| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "task 7 says hi")]
+    fn run_indexed_propagates_original_panic() {
+        run_indexed(32, 4, |i| {
+            if i == 7 {
+                panic!("task 7 says hi");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn ensemble_is_thread_count_invariant() {
+        let game = two_links(200);
+        let start = State::from_counts(&game, vec![150, 50]).unwrap();
+        let stop =
+            StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(2_000)]);
+        let run = |threads: usize| {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap()
+                .trials(12)
+                .base_seed(99)
+                .threads(threads)
+                .run_with(&stop, |sim, out| {
+                    (out.rounds, out.potential.to_bits(), sim.state().counts().to_vec())
+                })
+                .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert!(one.iter().all(|(r, _, _)| *r < 2_000));
+    }
+
+    #[test]
+    fn ensemble_validates_eagerly() {
+        let game = two_links(4);
+        let other = two_links(6);
+        let bad = State::from_counts(&other, vec![3, 3]).unwrap();
+        assert!(Ensemble::new(&game, ImitationProtocol::paper_default().into(), bad).is_err());
+    }
+
+    #[test]
+    fn ensemble_outcomes_carry_stop_reasons() {
+        let game = two_links(50);
+        let start = State::from_counts(&game, vec![25, 25]).unwrap();
+        let outcomes = Ensemble::new(&game, ImitationProtocol::paper_default().into(), start)
+            .unwrap()
+            .trials(3)
+            .run(&StopSpec::new(vec![StopCondition::ImitationStable]))
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.reason == StopReason::ImitationStable && o.rounds == 0));
+    }
+}

@@ -23,6 +23,25 @@
 //! multinomials in `O(S²)` time per round independent of the number of
 //! players.
 //!
+//! # Performance architecture
+//!
+//! Both round kernels are **zero-steady-state-allocation**: every piece of
+//! per-round working memory is reusable scratch owned by the [`Simulation`]
+//! (a flat CSR pair buffer and a multinomial counts buffer for the
+//! aggregate kernel; an epoch-versioned dense μ memo plus move/commit
+//! buffers for the player-level kernel) or by the `State` (the per-round
+//! latency cache, which memoizes `ℓ_e(x_e)`, `ℓ_e(x_e+1)`, and `ℓ_P(x)`
+//! and is maintained incrementally as migrations apply). An integration
+//! test pins this with a counting global allocator.
+//!
+//! # Ensembles
+//!
+//! The statistical experiments run thousands of replicas; [`Ensemble`]
+//! executes them across threads with `split_seed`-derived per-replica
+//! seeds and returns trial-ordered outcomes that are **bit-identical for
+//! any thread count**. The underlying panic-transparent parallel map,
+//! [`run_indexed`], is exported for non-simulation fan-out.
+//!
 //! # Example
 //!
 //! ```
@@ -55,6 +74,7 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+mod ensemble;
 mod error;
 mod expectation;
 mod protocol;
@@ -63,6 +83,7 @@ mod stopping;
 mod trajectory;
 
 pub use engine::{EngineKind, RoundStats, Simulation};
+pub use ensemble::{run_indexed, Ensemble};
 pub use error::DynamicsError;
 pub use expectation::PairFlow;
 pub use protocol::{

@@ -26,10 +26,17 @@ pub struct RoundRecord {
 }
 
 /// What to record along a run.
+///
+/// Recording happens only inside `Simulation::run`; manual `step` calls
+/// never record, whatever this is set to.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RecordConfig {
-    /// Record every `every` rounds (0 disables recording entirely). The
-    /// initial state and the final state are always recorded when non-zero.
+    /// Record every `every` rounds (0 disables recording entirely). When
+    /// non-zero, `Simulation::run` records the state it starts from
+    /// (round index `r₀`, its current round — not necessarily round 0)
+    /// and the state the stop condition fires in (deduplicated if that
+    /// round is on the cadence anyway). A run that fails mid-way returns
+    /// an error and no trajectory at all.
     pub every: u64,
     /// Also track the unsatisfied fraction against this test.
     pub approx: Option<ApproxEquilibrium>,

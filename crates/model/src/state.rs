@@ -26,11 +26,42 @@ impl Migration {
     }
 }
 
+/// Memoized latencies of the current state, plus reusable scratch buffers.
+///
+/// The cache is *opt-in*: it stays invalid (and costs nothing) until
+/// [`State::ensure_latency_cache`] is called. Once built, the latency
+/// accessors read from it in `O(1)` per resource, and the `apply_*` mutators
+/// keep the per-resource entries fresh incrementally (only resources whose
+/// load changed are re-evaluated), marking the per-strategy sums stale until
+/// the next `ensure_latency_cache` call. Simulation engines call `ensure`
+/// once per round, so steady-state rounds never re-walk resource lists or
+/// re-evaluate unchanged latency functions.
+#[derive(Debug, Clone, Default)]
+struct LatencyCache {
+    /// Whether `res`/`res_plus` match the current loads.
+    valid: bool,
+    /// Whether `strat` needs rebuilding from `res`.
+    strat_stale: bool,
+    /// `ℓ_e(x_e + x⁰_e)` per resource.
+    res: Vec<f64>,
+    /// `ℓ_e(x_e + x⁰_e + 1)` per resource.
+    res_plus: Vec<f64>,
+    /// `ℓ_P(x)` per strategy.
+    strat: Vec<f64>,
+    /// Scratch: resources touched by the current migration batch.
+    touched: Vec<u32>,
+    /// Scratch: per-strategy outflow of the current migration batch.
+    outflow: Vec<u64>,
+}
+
 /// A state `x` of a congestion game: the number of players on every strategy
 /// (`x_P`) plus the derived congestion of every resource (`x_e`).
 ///
 /// The two views are kept consistent by construction; resource loads are
-/// updated incrementally as migrations are applied.
+/// updated incrementally as migrations are applied. An optional latency
+/// cache (see [`State::ensure_latency_cache`]) memoizes `ℓ_e(x_e)`,
+/// `ℓ_e(x_e+1)`, and `ℓ_P(x)` for the hot simulation loops; equality and
+/// the `Debug` output cover only the logical state, never the cache.
 ///
 /// # Example
 ///
@@ -47,13 +78,36 @@ impl Migration {
 /// assert_eq!(state.count(StrategyId::new(1)), 1);
 /// # Ok::<(), congames_model::GameError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct State {
     counts: Vec<u64>,
     loads: Vec<u64>,
     /// Optional base load per resource (virtual agents, Section 6). These are
     /// added to the player-induced congestion before evaluating latencies.
     base_loads: Option<Vec<u64>>,
+    cache: LatencyCache,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &State) -> bool {
+        // The latency cache and scratch buffers are derived/ephemeral data;
+        // two states are equal iff their logical contents agree.
+        self.counts == other.counts
+            && self.loads == other.loads
+            && self.base_loads == other.base_loads
+    }
+}
+
+impl Eq for State {}
+
+impl std::fmt::Debug for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("State")
+            .field("counts", &self.counts)
+            .field("loads", &self.loads)
+            .field("base_loads", &self.base_loads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl State {
@@ -81,7 +135,7 @@ impl State {
             }
         }
         let loads = loads_from_counts(game, &counts);
-        Ok(State { counts, loads, base_loads: None })
+        Ok(State { counts, loads, base_loads: None, cache: LatencyCache::default() })
     }
 
     /// Create the state in which every player of every class uses the class's
@@ -93,7 +147,7 @@ impl State {
             counts[first] = class.players();
         }
         let loads = loads_from_counts(game, &counts);
-        State { counts, loads, base_loads: None }
+        State { counts, loads, base_loads: None, cache: LatencyCache::default() }
     }
 
     /// Attach base loads (one virtual agent per strategy, Section 6): each
@@ -109,6 +163,7 @@ impl State {
             }
         }
         self.base_loads = Some(base);
+        self.cache = LatencyCache::default();
         self
     }
 
@@ -155,19 +210,127 @@ impl State {
         self.counts.iter().filter(|&&c| c > 0).count()
     }
 
+    /// Build (or refresh) the latency cache for this state against `game`.
+    ///
+    /// After this call, [`State::resource_latency`],
+    /// [`State::strategy_latency`], [`State::strategy_latency_plus`], and
+    /// [`State::latency_after_move`] serve from memoized per-resource and
+    /// per-strategy tables instead of re-evaluating latency functions. The
+    /// `apply_*` mutators keep the per-resource entries fresh (re-evaluating
+    /// only resources whose load changed) and mark the per-strategy sums
+    /// stale; call `ensure_latency_cache` again (typically once per
+    /// simulated round) to rebuild them. The cache allocates only on first
+    /// use and on game-size changes — steady-state refreshes are
+    /// allocation-free.
+    ///
+    /// The cache is keyed to the *game that built it*: the accessors serve
+    /// cached values whenever the queried game has the same resource count
+    /// (a differently-sized game falls back to direct evaluation). Querying
+    /// a same-shape game with *different latency functions* would silently
+    /// return the cached game's values — call
+    /// [`State::invalidate_latency_cache`] first when moving a state
+    /// between such games (e.g. a coefficient-perturbation sweep).
+    pub fn ensure_latency_cache(&mut self, game: &CongestionGame) {
+        let cache = &mut self.cache;
+        if !cache.valid || cache.res.len() != game.num_resources() {
+            cache.res.clear();
+            cache.res_plus.clear();
+            cache.res.reserve(game.num_resources());
+            cache.res_plus.reserve(game.num_resources());
+            for i in 0..game.num_resources() {
+                let r = ResourceId::new(i as u32);
+                let eff = self.loads[i] + self.base_loads.as_ref().map_or(0, |b| b[i]);
+                cache.res.push(game.latency(r, eff));
+                cache.res_plus.push(game.latency(r, eff + 1));
+            }
+            cache.valid = true;
+            cache.strat_stale = true;
+        }
+        if cache.strat_stale || cache.strat.len() != game.num_strategies() {
+            let (strat, res) = (&mut cache.strat, &cache.res);
+            strat.clear();
+            strat.reserve(game.num_strategies());
+            for s in game.strategies() {
+                strat.push(s.resources().iter().map(|&r| res[r.index()]).sum());
+            }
+            cache.strat_stale = false;
+        }
+    }
+
+    /// Whether the latency cache currently mirrors the state (both the
+    /// per-resource and the per-strategy tables).
+    pub fn latency_cache_valid(&self) -> bool {
+        self.cache.valid && !self.cache.strat_stale
+    }
+
+    /// Drop the latency cache; subsequent latency queries recompute from the
+    /// latency functions until [`State::ensure_latency_cache`] runs again.
+    pub fn invalidate_latency_cache(&mut self) {
+        self.cache.valid = false;
+        self.cache.strat_stale = true;
+    }
+
+    /// Whether the cache can answer latency queries against `game`: built,
+    /// and sized for the same resource set.
+    #[inline]
+    fn cache_usable(&self, game: &CongestionGame) -> bool {
+        self.cache.valid && self.cache.res.len() == game.num_resources()
+    }
+
+    /// Re-evaluate the cached latencies of every resource in
+    /// `cache.touched` (sorted + deduped first), leaving `strat` stale.
+    fn refresh_touched_resources(&mut self, game: &CongestionGame) {
+        let cache = &mut self.cache;
+        if !cache.valid {
+            cache.touched.clear();
+            return;
+        }
+        if cache.touched.is_empty() {
+            return;
+        }
+        cache.touched.sort_unstable();
+        cache.touched.dedup();
+        for &raw in &cache.touched {
+            let i = raw as usize;
+            let eff = self.loads[i] + self.base_loads.as_ref().map_or(0, |b| b[i]);
+            let r = ResourceId::new(raw);
+            cache.res[i] = game.latency(r, eff);
+            cache.res_plus[i] = game.latency(r, eff + 1);
+        }
+        cache.touched.clear();
+        cache.strat_stale = true;
+    }
+
     /// Latency of resource `r` in this state.
     pub fn resource_latency(&self, game: &CongestionGame, r: ResourceId) -> f64 {
+        if self.cache_usable(game) {
+            return self.cache.res[r.index()];
+        }
         game.latency(r, self.effective_load(r))
     }
 
     /// Latency `ℓ_P(x)` of strategy `s` in this state.
     pub fn strategy_latency(&self, game: &CongestionGame, s: StrategyId) -> f64 {
+        if self.cache_usable(game) {
+            if !self.cache.strat_stale && self.cache.strat.len() == game.num_strategies() {
+                return self.cache.strat[s.index()];
+            }
+            return game.strategy(s).resources().iter().map(|&r| self.cache.res[r.index()]).sum();
+        }
         game.strategy(s).resources().iter().map(|&r| game.latency(r, self.effective_load(r))).sum()
     }
 
     /// Latency `ℓ_P(x + 1_P)` of strategy `s` with one extra player on it
     /// (the *ex-post* latency a joining player would see at worst).
     pub fn strategy_latency_plus(&self, game: &CongestionGame, s: StrategyId) -> f64 {
+        if self.cache_usable(game) {
+            return game
+                .strategy(s)
+                .resources()
+                .iter()
+                .map(|&r| self.cache.res_plus[r.index()])
+                .sum();
+        }
         game.strategy(s)
             .resources()
             .iter()
@@ -189,6 +352,17 @@ impl State {
         let from_r = from_s.resources();
         let mut total = 0.0;
         let mut i = 0usize;
+        if self.cache_usable(game) {
+            for &r in to_s.resources() {
+                while i < from_r.len() && from_r[i] < r {
+                    i += 1;
+                }
+                let shared = i < from_r.len() && from_r[i] == r;
+                total +=
+                    if shared { self.cache.res[r.index()] } else { self.cache.res_plus[r.index()] };
+            }
+            return total;
+        }
         for &r in to_s.resources() {
             // advance the sorted origin pointer to check membership
             while i < from_r.len() && from_r[i] < r {
@@ -250,13 +424,19 @@ impl State {
         let from_s = game.strategy(from);
         let to_s = game.strategy(to);
         let loads = &mut self.loads;
+        let touched = &mut self.cache.touched;
+        let track = self.cache.valid;
         from_s.diff_signed(to_s, |r, sign| {
             if sign < 0 {
                 loads[r.index()] -= count;
             } else {
                 loads[r.index()] += count;
             }
+            if track {
+                touched.push(r.raw());
+            }
         });
+        self.refresh_touched_resources(game);
         Ok(())
     }
 
@@ -275,8 +455,48 @@ impl State {
         game: &CongestionGame,
         migrations: &[Migration],
     ) -> Result<(), GameError> {
-        // Validate jointly first.
-        let mut outflow = vec![0u64; self.counts.len()];
+        // Validate jointly first. `outflow` is reusable scratch so steady
+        // rounds of a simulation stay allocation-free.
+        let mut outflow = std::mem::take(&mut self.cache.outflow);
+        outflow.clear();
+        outflow.resize(self.counts.len(), 0);
+        let validated = self.validate_batch(game, migrations, &mut outflow);
+        self.cache.outflow = outflow;
+        validated?;
+        for m in migrations {
+            if m.from == m.to || m.count == 0 {
+                continue;
+            }
+            self.counts[m.from.index()] -= m.count;
+            self.counts[m.to.index()] += m.count;
+            let from_s = game.strategy(m.from);
+            let to_s = game.strategy(m.to);
+            let loads = &mut self.loads;
+            let touched = &mut self.cache.touched;
+            let track = self.cache.valid;
+            from_s.diff_signed(to_s, |r, sign| {
+                if sign < 0 {
+                    loads[r.index()] -= m.count;
+                } else {
+                    loads[r.index()] += m.count;
+                }
+                if track {
+                    touched.push(r.raw());
+                }
+            });
+        }
+        self.refresh_touched_resources(game);
+        Ok(())
+    }
+
+    /// Check a migration batch for unknown ids, cross-class moves, and joint
+    /// over-draining (writing per-strategy outflows into `outflow`).
+    fn validate_batch(
+        &self,
+        game: &CongestionGame,
+        migrations: &[Migration],
+        outflow: &mut [u64],
+    ) -> Result<(), GameError> {
         for m in migrations {
             game.check_strategy(m.from)?;
             game.check_strategy(m.to)?;
@@ -296,23 +516,6 @@ impl State {
                     requested: out,
                 });
             }
-        }
-        for m in migrations {
-            if m.from == m.to || m.count == 0 {
-                continue;
-            }
-            self.counts[m.from.index()] -= m.count;
-            self.counts[m.to.index()] += m.count;
-            let from_s = game.strategy(m.from);
-            let to_s = game.strategy(m.to);
-            let loads = &mut self.loads;
-            from_s.diff_signed(to_s, |r, sign| {
-                if sign < 0 {
-                    loads[r.index()] -= m.count;
-                } else {
-                    loads[r.index()] += m.count;
-                }
-            });
         }
         Ok(())
     }
@@ -501,6 +704,95 @@ mod tests {
             s.apply_move(&game, sid(0), sid(1)),
             Err(GameError::CrossClassMigration { .. })
         ));
+    }
+
+    /// Every latency accessor must agree between the cached and the
+    /// uncached path, including after incremental updates.
+    #[test]
+    fn latency_cache_matches_direct_evaluation() {
+        let game = overlap_game(6);
+        let mut cached = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        cached.ensure_latency_cache(&game);
+        assert!(cached.latency_cache_valid());
+        let check = |cached: &State, plain: &State| {
+            for i in 0..game.num_resources() {
+                let r = rid(i as u32);
+                assert_eq!(cached.resource_latency(&game, r), plain.resource_latency(&game, r));
+            }
+            for i in 0..game.num_strategies() {
+                let s = sid(i as u32);
+                assert_eq!(cached.strategy_latency(&game, s), plain.strategy_latency(&game, s));
+                assert_eq!(
+                    cached.strategy_latency_plus(&game, s),
+                    plain.strategy_latency_plus(&game, s)
+                );
+                for j in 0..game.num_strategies() {
+                    assert_eq!(
+                        cached.latency_after_move(&game, s, sid(j as u32)),
+                        plain.latency_after_move(&game, s, sid(j as u32))
+                    );
+                }
+            }
+        };
+        check(&cached, &State::from_counts(&game, vec![2, 3, 1]).unwrap());
+        // Incremental maintenance across a batch of migrations.
+        let batch = [Migration::new(sid(0), sid(2), 2), Migration::new(sid(1), sid(0), 1)];
+        cached.apply_migrations(&game, &batch).unwrap();
+        cached.ensure_latency_cache(&game);
+        let mut plain = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        plain.apply_migrations(&game, &batch).unwrap();
+        check(&cached, &plain);
+        // Single moves keep the per-resource entries fresh too.
+        cached.apply_move(&game, sid(2), sid(1)).unwrap();
+        cached.ensure_latency_cache(&game);
+        plain.apply_move(&game, sid(2), sid(1)).unwrap();
+        check(&cached, &plain);
+    }
+
+    #[test]
+    fn latency_cache_with_virtual_agents() {
+        let game = overlap_game(3);
+        let mut s = State::from_counts(&game, vec![3, 0, 0]).unwrap().with_virtual_agents(&game);
+        s.ensure_latency_cache(&game);
+        // Cached path must see effective (base-augmented) loads: r1 carries
+        // base 2 + player load 3.
+        assert_eq!(s.resource_latency(&game, rid(1)), 5.0);
+        // s0 = {r0, r1} with effective loads 3+1 and 3+2.
+        assert_eq!(s.strategy_latency(&game, sid(0)), 4.0 + 5.0);
+    }
+
+    /// Moving a state between same-shape games with different latency
+    /// functions (a coefficient sweep) requires
+    /// [`State::invalidate_latency_cache`] per the documented contract;
+    /// after invalidation the new game's values are served.
+    #[test]
+    fn invalidation_handles_same_shape_game_swap() {
+        let game_a = two_link_game(4); // slopes 1, 2
+        let game_b = CongestionGame::singleton(
+            vec![Affine::linear(3.0).into(), Affine::linear(5.0).into()],
+            4,
+        )
+        .unwrap();
+        let mut s = State::from_counts(&game_a, vec![3, 1]).unwrap();
+        s.ensure_latency_cache(&game_a);
+        assert_eq!(s.strategy_latency(&game_a, sid(0)), 3.0);
+        s.invalidate_latency_cache();
+        assert_eq!(s.strategy_latency(&game_b, sid(0)), 9.0);
+        s.ensure_latency_cache(&game_b);
+        assert_eq!(s.strategy_latency(&game_b, sid(0)), 9.0);
+        assert_eq!(s.resource_latency(&game_b, rid(1)), 5.0);
+    }
+
+    #[test]
+    fn cache_is_invisible_to_equality_and_invalidation_works() {
+        let game = two_link_game(4);
+        let mut a = State::from_counts(&game, vec![3, 1]).unwrap();
+        let b = State::from_counts(&game, vec![3, 1]).unwrap();
+        a.ensure_latency_cache(&game);
+        assert_eq!(a, b, "cache state must not affect equality");
+        a.invalidate_latency_cache();
+        assert!(!a.latency_cache_valid());
+        assert_eq!(a.strategy_latency(&game, sid(0)), 3.0);
     }
 
     #[test]

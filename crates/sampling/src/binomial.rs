@@ -66,21 +66,38 @@ fn bernoulli_sum(rng: &mut impl Rng, n: u64, p: f64) -> u64 {
     x
 }
 
+/// Below this value of `q^n` the BINV inversion loses too much precision
+/// to be trusted (and at 0.0 it loops forever); see [`binv`].
+const BINV_R0_MIN: f64 = 1e-280;
+
 /// BINV: inversion of the CDF via the recurrence
 /// `P(X = x+1) = P(X = x) · (a/(x+1) − s)` with `s = p/q`, `a = (n+1)s`.
+///
+/// For `n·p < 10` and `p ≤ 1/2` the starting mass `q^n ≥ e^{-10·ln2/…}` is
+/// comfortably far from underflow, but callers with extreme parameters (or
+/// future dispatch changes) must not be handed an invalid sampler: if `q^n`
+/// is degenerate we *split* the draw — `Bin(n, p) = Bin(⌊n/2⌋, p) +
+/// Bin(⌈n/2⌉, p)` — which is exact, stays within BINV's own validity
+/// regime, and terminates because halving `n` strictly increases `q^{n}`.
+/// (The previous fallback jumped to BTPE, whose dominating density is only
+/// valid for `n·min(p,q) ≥ 10` — exactly the regime BINV is *not* in.)
 fn binv(rng: &mut impl Rng, n: u64, p: f64) -> u64 {
     let q = 1.0 - p;
     let s = p / q;
     let a = (n as f64 + 1.0) * s;
-    // q^n; safe because n·p < 10 implies q^n is far from underflow for the
-    // n that reach this branch in practice, but guard anyway.
     let r0 = q.powf(n as f64);
+    if r0.is_nan() || r0 <= BINV_R0_MIN {
+        // Degenerate starting mass: split the draw into two halves (each
+        // with a strictly larger q^n) and sum. `n ≥ 2` holds whenever the
+        // guard fires with finite inputs, so the recursion shrinks.
+        let half = n / 2;
+        if half == 0 {
+            return bernoulli_sum(rng, n, p);
+        }
+        return binv(rng, half, p) + binv(rng, n - half, p);
+    }
     loop {
         let mut r = r0;
-        if r <= 0.0 || !r.is_finite() {
-            // Pathological underflow; fall back to BTPE which handles it.
-            return btpe(rng, n, p);
-        }
         let mut u: f64 = rng.gen();
         let mut x: u64 = 0;
         loop {
@@ -342,6 +359,98 @@ mod tests {
         }
         // Critical value at alpha=0.001 for two samples of 30k is ~0.0159.
         assert!(ks < 0.016, "KS distance too large: {ks}");
+    }
+
+    /// Exact `Binomial(n, p)` cell probabilities for `k = 0..cells-1` plus a
+    /// pooled right tail, via the stable recurrence
+    /// `pmf(k+1) = pmf(k)·(n−k)/(k+1)·p/q` started from
+    /// `pmf(0) = exp(n·ln(1−p))`.
+    fn binomial_cell_probs(n: u64, p: f64, cells: usize) -> Vec<f64> {
+        let q = 1.0 - p;
+        let mut probs = Vec::with_capacity(cells + 1);
+        let mut pmf = (n as f64 * (-p).ln_1p()).exp();
+        let mut cum = 0.0;
+        for k in 0..cells {
+            probs.push(pmf);
+            cum += pmf;
+            pmf *= (n - k as u64) as f64 / (k as f64 + 1.0) * (p / q);
+        }
+        probs.push((1.0 - cum).max(0.0));
+        probs
+    }
+
+    /// Pearson χ² of observed counts against cell probabilities, with the
+    /// tail cell absorbing everything ≥ cells.
+    fn chi_square(observed: &[u64], probs: &[f64]) -> (f64, usize) {
+        let n: u64 = observed.iter().sum();
+        let mut stat = 0.0;
+        let mut df = 0usize;
+        for (&o, &e) in observed.iter().zip(probs) {
+            let expect = e * n as f64;
+            if expect < 5.0 {
+                assert!(
+                    (o as f64 - expect).abs() < 30.0,
+                    "sparse cell deviates wildly: observed {o}, expected {expect}"
+                );
+                continue;
+            }
+            let d = o as f64 - expect;
+            stat += d * d / expect;
+            df += 1;
+        }
+        (stat, df.saturating_sub(1))
+    }
+
+    /// Pathological parameters — astronomically large `n` with `p` scaled so
+    /// `n·p = 5` stays in the BINV regime. The old fallback could hand such
+    /// draws to BTPE (invalid for `n·p < 10`); the sampler must match the
+    /// exact binomial distribution, verified by χ².
+    #[test]
+    fn huge_n_tiny_p_matches_exact_distribution() {
+        let n: u64 = 1 << 40;
+        let p = 5.0 / n as f64;
+        let draws = 40_000usize;
+        let cells = 16usize;
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut hist = vec![0u64; cells + 1];
+        for _ in 0..draws {
+            let x = binomial(&mut rng, n, p).unwrap();
+            hist[(x as usize).min(cells)] += 1;
+        }
+        let probs = binomial_cell_probs(n, p, cells);
+        let (stat, df) = chi_square(&hist, &probs);
+        // Wilson–Hilferty critical value at z ≈ 4.5 (one-sided ~3e-6).
+        let k = df as f64;
+        let t = 1.0 - 2.0 / (9.0 * k) + 4.5 * (2.0 / (9.0 * k)).sqrt();
+        let critical = k * t * t * t;
+        assert!(stat < critical, "chi^2 {stat:.2} over {df} df exceeds {critical:.2}: {hist:?}");
+    }
+
+    /// Drive `binv` directly into the `q^n` underflow branch (parameters no
+    /// public dispatch produces) and check the split recursion still
+    /// samples the exact distribution's first two moments.
+    #[test]
+    fn binv_underflow_split_keeps_moments() {
+        let n = 4000u64;
+        let p = 0.45; // q^n = 0.55^4000 underflows to 0.0
+        assert_eq!((1.0f64 - p).powf(n as f64), 0.0, "test must hit the underflow branch");
+        let draws = 40_000usize;
+        let mut rng = SmallRng::seed_from_u64(78);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..draws {
+            let x = binv(&mut rng, n, p) as f64;
+            assert!(x <= n as f64);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / draws as f64;
+        let var = sumsq / draws as f64 - mean * mean;
+        let true_mean = n as f64 * p;
+        let true_var = true_mean * (1.0 - p);
+        let se = (true_var / draws as f64).sqrt();
+        assert!((mean - true_mean).abs() < 5.0 * se, "split mean {mean} vs {true_mean}");
+        assert!((var - true_var).abs() < 0.1 * true_var, "split var {var} vs {true_var}");
     }
 
     #[test]

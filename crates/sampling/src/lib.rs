@@ -34,5 +34,5 @@ mod seeds;
 pub use alias::AliasTable;
 pub use binomial::binomial;
 pub use error::SamplingError;
-pub use multinomial::{multinomial, multinomial_with_rest};
+pub use multinomial::{multinomial, multinomial_with_rest, multinomial_with_rest_into};
 pub use seeds::{seeded_rng, split_seed, SeedSequence};

@@ -31,15 +31,30 @@ pub fn multinomial(rng: &mut impl Rng, n: u64, probs: &[f64]) -> Result<Vec<u64>
     if (total - 1.0).abs() > 1e-9 {
         return Err(SamplingError::InvalidWeights { message: "probabilities must sum to 1" });
     }
-    let (mut counts, rest) = conditional_binomials(rng, n, probs, total)?;
-    // Numerical slack can leave a handful of trials unassigned; they belong
-    // to the last category by the normalization above.
+    let mut counts = vec![0u64; probs.len()];
+    let rest = conditional_binomials(rng, n, probs, total, &mut counts)?;
+    // Numerical slack can leave a handful of trials unassigned. Assign them
+    // to the *largest*-probability category: dumping them into whatever
+    // category happens to be last would hand trials to a zero-probability
+    // destination whenever `probs` ends in 0.
     if rest > 0 {
-        if let Some(last) = counts.last_mut() {
-            *last += rest;
-        }
+        counts[slack_index(probs)] += rest;
     }
     Ok(counts)
+}
+
+/// The category that absorbs numerical slack: the index of the largest
+/// probability (ties break to the first). Routing slack here keeps the
+/// relative distortion minimal and — the important invariant — never
+/// assigns trials to a zero-probability category.
+fn slack_index(probs: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, &p) in probs.iter().enumerate().skip(1) {
+        if p > probs[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// Sample counts from the *sub*-probability vector `probs`
@@ -60,6 +75,28 @@ pub fn multinomial_with_rest(
     n: u64,
     probs: &[f64],
 ) -> Result<(Vec<u64>, u64), SamplingError> {
+    let mut counts = Vec::new();
+    let rest = multinomial_with_rest_into(rng, n, probs, &mut counts)?;
+    Ok((counts, rest))
+}
+
+/// Allocation-free variant of [`multinomial_with_rest`]: clears and fills
+/// the caller-provided `counts` buffer (growing it only if its capacity is
+/// insufficient) and returns the rest count.
+///
+/// This is the primitive the aggregate round engine calls once per origin
+/// strategy per round; reusing `counts` across calls keeps the round loop
+/// free of steady-state heap allocations.
+///
+/// # Errors
+///
+/// Same contract as [`multinomial_with_rest`].
+pub fn multinomial_with_rest_into(
+    rng: &mut impl Rng,
+    n: u64,
+    probs: &[f64],
+    counts: &mut Vec<u64>,
+) -> Result<u64, SamplingError> {
     validate_probs(probs)?;
     let total: f64 = probs.iter().sum();
     if total > 1.0 + 1e-9 {
@@ -67,7 +104,9 @@ pub fn multinomial_with_rest(
             message: "sub-probabilities must sum to at most 1",
         });
     }
-    conditional_binomials(rng, n, probs, 1.0)
+    counts.clear();
+    counts.resize(probs.len(), 0);
+    conditional_binomials(rng, n, probs, 1.0, counts)
 }
 
 fn validate_probs(probs: &[f64]) -> Result<(), SamplingError> {
@@ -82,14 +121,15 @@ fn validate_probs(probs: &[f64]) -> Result<(), SamplingError> {
     Ok(())
 }
 
-/// Shared inner loop: sequentially draw `Bin(remaining, p_i / mass_left)`.
+/// Shared inner loop: sequentially draw `Bin(remaining, p_i / mass_left)`
+/// into the pre-zeroed `counts` slice; returns the unassigned remainder.
 fn conditional_binomials(
     rng: &mut impl Rng,
     n: u64,
     probs: &[f64],
     total_mass: f64,
-) -> Result<(Vec<u64>, u64), SamplingError> {
-    let mut counts = vec![0u64; probs.len()];
+    counts: &mut [u64],
+) -> Result<u64, SamplingError> {
     let mut remaining = n;
     let mut mass_left = total_mass;
     for (i, &p) in probs.iter().enumerate() {
@@ -108,7 +148,7 @@ fn conditional_binomials(
         remaining -= k;
         mass_left -= p;
     }
-    Ok((counts, remaining))
+    Ok(remaining)
 }
 
 #[cfg(test)]
@@ -175,6 +215,43 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let c = multinomial(&mut rng, 100, &[0.0, 1.0, 0.0]).unwrap();
         assert_eq!(c, vec![0, 100, 0]);
+    }
+
+    /// Regression: numerical slack (`rest > 0` after the conditional
+    /// binomials) used to be dumped into the *last* category even when its
+    /// probability is exactly zero, so a zero-probability destination could
+    /// receive trials. The slack must go to the largest-probability
+    /// category instead.
+    #[test]
+    fn slack_never_lands_on_zero_probability_category() {
+        // The routing rule itself, including a trailing zero and ties.
+        assert_eq!(slack_index(&[0.2, 0.5, 0.3, 0.0]), 1);
+        assert_eq!(slack_index(&[0.0, 1.0]), 1);
+        assert_eq!(slack_index(&[0.5, 0.5]), 0, "ties break to the first index");
+        // End-to-end invariant over a perturbed vector whose total is only
+        // 1 within the 1e-9 tolerance: zero-probability categories must
+        // stay empty for every draw, slack or not.
+        let probs = [0.2, 0.0, 0.3, 0.49999999995, 0.0];
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..2000 {
+            let c = multinomial(&mut rng, 10_000, &probs).unwrap();
+            assert_eq!(c.iter().sum::<u64>(), 10_000);
+            assert_eq!(c[1], 0, "zero-probability category received trials: {c:?}");
+            assert_eq!(c[4], 0, "zero-probability category received trials: {c:?}");
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_matches() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            let (c, rest) = multinomial_with_rest(&mut a, 300, &[0.1, 0.25]).unwrap();
+            let rest2 = multinomial_with_rest_into(&mut b, 300, &[0.1, 0.25], &mut buf).unwrap();
+            assert_eq!(c, buf);
+            assert_eq!(rest, rest2);
+        }
     }
 
     #[test]

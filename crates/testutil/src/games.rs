@@ -63,6 +63,30 @@ pub fn overlapping_pairs(n: u64) -> CongestionGame {
     b.build().expect("valid overlapping fixture")
 }
 
+/// An asymmetric two-class game on 3 shared resources: class "a" (`n_a`
+/// players) chooses between `{0,1}` and `{1,2}`, class "b" (`n_b` players)
+/// between `{2}` and `{0}`. The classes interact through every resource,
+/// so cross-class congestion matters, but imitation samples only within a
+/// class — the multi-class case the engines must agree on.
+pub fn two_class_overlap(n_a: u64, n_b: u64) -> CongestionGame {
+    let mut b = CongestionGame::builder();
+    let r0 = b.add_resource(Affine::linear(1.0).into());
+    let r1 = b.add_resource(Affine::new(0.5, 1.0).into());
+    let r2 = b.add_resource(Affine::linear(2.0).into());
+    b.add_class(
+        "a",
+        n_a,
+        vec![
+            Strategy::new(vec![r0, r1]).expect("non-empty strategy"),
+            Strategy::new(vec![r1, r2]).expect("non-empty strategy"),
+        ],
+    )
+    .expect("non-empty class");
+    b.add_class("b", n_b, vec![Strategy::singleton(r2), Strategy::singleton(r0)])
+        .expect("non-empty class");
+    b.build().expect("valid two-class fixture")
+}
+
 /// The Braess network with `n` players: source→sink via two two-edge routes
 /// plus the zero-latency shortcut, the canonical network game.
 pub fn braess_network(n: u64) -> NetworkGame {

@@ -10,8 +10,10 @@
 //! CLI covers the singleton-game slice of the library (the API covers far
 //! more — see the examples).
 
+use congames::analysis::Summary;
 use congames::dynamics::{
-    ExplorationProtocol, ImitationProtocol, NuRule, Protocol, Simulation, StopCondition, StopSpec,
+    EngineKind, Ensemble, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, Simulation,
+    StopCondition, StopSpec,
 };
 use congames::model::{average_latency, potential, LinearSingleton};
 use congames::{Affine, CongestionGame, State};
@@ -36,8 +38,11 @@ const USAGE: &str = "usage:
   congames optimum --links a1,a2,... --players N
   congames run     --links a1,a2,... --players N [--protocol imitation|exploration|combined]
                    [--rounds R] [--lambda L] [--seed S] [--no-nu]
+                   [--trials T] [--threads K] [--engine aggregate|player]
 
-links are linear latencies l(x) = a*x, comma-separated coefficients.";
+links are linear latencies l(x) = a*x, comma-separated coefficients.
+with --trials > 1 an ensemble of T independent replicas runs in parallel
+(results are identical for every --threads value) and a summary is printed.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?.as_str();
@@ -60,6 +65,9 @@ struct Options {
     lambda: f64,
     seed: u64,
     use_nu: bool,
+    trials: usize,
+    threads: usize,
+    engine: EngineKind,
 }
 
 impl Options {
@@ -72,6 +80,9 @@ impl Options {
             lambda: 0.25,
             seed: 42,
             use_nu: true,
+            trials: 1,
+            threads: Ensemble::default_threads(),
+            engine: EngineKind::Aggregate,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -117,6 +128,33 @@ impl Options {
                         .map_err(|e| format!("bad seed: {e}"))?;
                 }
                 "--no-nu" => o.use_nu = false,
+                "--trials" => {
+                    o.trials = it
+                        .next()
+                        .ok_or("--trials needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad trial count: {e}"))?;
+                    if o.trials == 0 {
+                        return Err("--trials must be positive".into());
+                    }
+                }
+                "--threads" => {
+                    o.threads = it
+                        .next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?;
+                    if o.threads == 0 {
+                        return Err("--threads must be positive".into());
+                    }
+                }
+                "--engine" => {
+                    o.engine = match it.next().ok_or("--engine needs a value")?.as_str() {
+                        "aggregate" => EngineKind::Aggregate,
+                        "player" | "player-level" => EngineKind::PlayerLevel,
+                        other => return Err(format!("unknown engine `{other}`")),
+                    };
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -206,10 +244,15 @@ fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
         average_latency(game, &state),
         state.loads()
     );
-    let mut sim = Simulation::new(game, opts.protocol()?, state).map_err(|e| e.to_string())?;
     let stop =
         StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(opts.rounds)])
             .with_check_every(4);
+    if opts.trials > 1 {
+        return simulate_ensemble(game, opts, state, &stop);
+    }
+    let mut sim = Simulation::new(game, opts.protocol()?, state)
+        .map_err(|e| e.to_string())?
+        .with_engine(opts.engine);
     let out = sim.run(&stop, &mut rng).map_err(|e| e.to_string())?;
     println!(
         "after {} rounds ({:?}): Φ = {:.3}, L_av = {:.4}, loads {:?}",
@@ -219,5 +262,34 @@ fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
         average_latency(game, sim.state()),
         sim.state().loads()
     );
+    Ok(())
+}
+
+/// Run `--trials` independent replicas in parallel and print per-ensemble
+/// summaries; the numbers are identical for every `--threads` value.
+fn simulate_ensemble(
+    game: &CongestionGame,
+    opts: &Options,
+    start: State,
+    stop: &StopSpec,
+) -> Result<(), String> {
+    let results = Ensemble::new(game, opts.protocol()?, start)
+        .map_err(|e| e.to_string())?
+        .engine(opts.engine)
+        .trials(opts.trials)
+        .base_seed(opts.seed)
+        .threads(opts.threads)
+        .run_with(stop, |sim, out| {
+            (out.rounds as f64, out.potential, average_latency(game, sim.state()))
+        })
+        .map_err(|e| e.to_string())?;
+    let rounds: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let potentials: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let latencies: Vec<f64> = results.iter().map(|r| r.2).collect();
+    let (r, p, l) = (Summary::of(&rounds), Summary::of(&potentials), Summary::of(&latencies));
+    println!("ensemble of {} trials ({} threads, seed {}):", opts.trials, opts.threads, opts.seed);
+    println!("  rounds: mean {:.1} (min {:.0}, max {:.0})", r.mean(), r.min(), r.max());
+    println!("  final Φ: mean {:.3} ± {:.3}", p.mean(), p.sd());
+    println!("  final L_av: mean {:.4} ± {:.4}", l.mean(), l.sd());
     Ok(())
 }

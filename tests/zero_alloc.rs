@@ -1,0 +1,128 @@
+//! Steady-state allocation pin for the round kernels.
+//!
+//! The scratch-buffer engine design promises **zero heap allocations per
+//! round in steady state** for both kernels: all per-round working memory
+//! (CSR pair buffer, multinomial counts, μ memo, move/commit buffers,
+//! the state's latency cache, migration scratch) is owned by the
+//! [`Simulation`] and reused. This test installs a counting global
+//! allocator, warms a simulation past its buffer high-water marks, and then
+//! asserts that further rounds perform no allocation at all.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! perturb the global counter.
+
+use congames::dynamics::{EngineKind, ImitationProtocol, NuRule, Protocol, Simulation};
+use congames::model::{Affine, CongestionGame, State};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, only incrementing a counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Eight asymmetric linear links with a heavily skewed start: the dynamics
+/// churn for a few hundred rounds before freezing, so a window placed
+/// right after warm-up exercises every kernel code path (pair enumeration,
+/// multinomials, the μ memo, the commit sort, migration application)
+/// while buffers are already at their high-water marks — the largest
+/// flows happen in the *first* rounds.
+fn game() -> CongestionGame {
+    CongestionGame::singleton(
+        (0..8).map(|i| Affine::linear(1.0 + 0.25 * i as f64).into()).collect(),
+        4096,
+    )
+    .expect("valid game")
+}
+
+fn skewed_start(game: &CongestionGame) -> State {
+    let mut counts = vec![64u64; game.num_strategies()];
+    counts[0] = 4096 - 7 * 64;
+    State::from_counts(game, counts).expect("valid start")
+}
+
+fn assert_steady_state_alloc_free(
+    engine: EngineKind,
+    protocol: Protocol,
+    label: &str,
+    require_steady_migrations: bool,
+) {
+    let game = game();
+    let mut sim = Simulation::new(&game, protocol, skewed_start(&game))
+        .expect("valid simulation")
+        .with_engine(engine);
+    let mut rng = SmallRng::seed_from_u64(1234);
+    // Warm-up: the first rounds carry the largest flows, so 50 rounds
+    // drive every scratch buffer to its high-water mark.
+    let mut migrated = 0u64;
+    for _ in 0..50 {
+        migrated += sim.step(&mut rng).expect("warm-up round").migrations;
+    }
+    assert!(migrated > 0, "{label}: warm-up must exercise the migration path");
+    let before = allocations();
+    let mut migrated = 0u64;
+    for _ in 0..100 {
+        migrated += sim.step(&mut rng).expect("steady-state round").migrations;
+    }
+    let after = allocations();
+    if require_steady_migrations {
+        // All positive-gain dynamics eventually freeze (the potential is a
+        // supermartingale), so only configurations whose churn provably
+        // outlasts the window assert ongoing migrations.
+        assert!(migrated > 0, "{label}: the measured window must still migrate");
+    }
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} heap allocations in 100 measured rounds",
+        after - before
+    );
+}
+
+#[test]
+fn round_kernels_do_not_allocate_in_steady_state() {
+    let base = ImitationProtocol::paper_default().with_nu_rule(NuRule::None);
+    let imitation: Protocol = base.into();
+    let combined =
+        Protocol::combined(base, congames::dynamics::ExplorationProtocol::paper_default(), 0.25)
+            .expect("valid combined protocol");
+    for (protocol, name, steady) in [(imitation, "imitation", true), (combined, "combined", true)] {
+        assert_steady_state_alloc_free(
+            EngineKind::Aggregate,
+            protocol,
+            &format!("aggregate/{name}"),
+            steady,
+        );
+        assert_steady_state_alloc_free(
+            EngineKind::PlayerLevel,
+            protocol,
+            &format!("player-level/{name}"),
+            steady,
+        );
+    }
+}

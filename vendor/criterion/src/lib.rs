@@ -12,11 +12,20 @@
 //! `<group>/<id> ... <mean> ns/iter (<total iters> iters)`.
 //! There is no statistical analysis, HTML report, or saved baseline — for
 //! regression hunting, redirect the output and diff.
+//!
+//! Two environment variables support CI perf tracking:
+//!
+//! * `BENCH_QUICK=1` shrinks the warm-up/measure budgets to 5 ms / 50 ms
+//!   (noisier, but fast enough to run on every commit), and
+//! * `BENCH_JSON=<path>` additionally writes all results of the run as a
+//!   machine-readable JSON file
+//!   (`{"benchmarks": [{"id": …, "ns_per_iter": …, "iters": …}, …]}`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], criterion-style.
@@ -24,10 +33,58 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// `true` when `BENCH_QUICK` requests the shortened time budgets.
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Wall-clock budget spent warming each benchmark up.
-const WARM_UP: Duration = Duration::from_millis(20);
+fn warm_up_budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(20)
+    }
+}
+
 /// Wall-clock budget spent measuring each benchmark.
-const MEASURE: Duration = Duration::from_millis(200);
+fn measure_budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(200)
+    }
+}
+
+/// All results of this process, for the optional `BENCH_JSON` report.
+fn results() -> &'static Mutex<Vec<(String, f64, u64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64, u64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Write the collected results to the path named by `BENCH_JSON`, if set.
+/// Called by [`criterion_main!`] after all groups ran; harmless to call
+/// again (the file is simply rewritten).
+pub fn write_json_report() {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let collected = results().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (id, ns, iters)) in collected.iter().enumerate() {
+        let comma = if i + 1 < collected.len() { "," } else { "" };
+        // Benchmark ids are ASCII identifiers/slashes; escape quotes and
+        // backslashes anyway so the report is always valid JSON.
+        let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"id\": \"{escaped}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write BENCH_JSON to {path:?}: {e}");
+    }
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -123,7 +180,7 @@ impl Bencher {
         // swamp timer overhead, while learning the rough per-iter cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARM_UP {
+        while warm_start.elapsed() < warm_up_budget() {
             black_box(f());
             warm_iters += 1;
         }
@@ -132,7 +189,7 @@ impl Bencher {
 
         let start = Instant::now();
         let mut iters: u64 = 0;
-        while start.elapsed() < MEASURE {
+        while start.elapsed() < measure_budget() {
             for _ in 0..batch {
                 black_box(f());
             }
@@ -152,6 +209,11 @@ fn run_benchmark(label: &str, mut f: impl FnMut(&mut Bencher)) {
     }
     let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
     println!("{label:<48} {ns:>14.1} ns/iter ({} iters)", b.iters_done);
+    results().lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((
+        label.to_string(),
+        ns,
+        b.iters_done,
+    ));
 }
 
 /// Bundle benchmark functions into a runnable group function.
@@ -165,12 +227,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` for a `harness = false` bench target.
+/// Generate `main` for a `harness = false` bench target. After all groups
+/// run, a JSON report is written when `BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
