@@ -1,5 +1,6 @@
 //! Minimal CSV output (quote-free values only, as produced by experiments).
 
+use congames_dynamics::PerRoundStats;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -92,6 +93,30 @@ impl CsvWriter {
     pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
         std::fs::write(path, self.to_csv())
     }
+}
+
+/// Render a streamed per-round ensemble reduction as CSV: one row per
+/// recorded round index with the mean round number, the mean Rosenthal
+/// potential with its 95% confidence half-width, and the mean migration
+/// count — the reduced per-round series a 10⁵-trial sweep exports without
+/// ever materializing per-trial trajectories.
+///
+/// # Example
+///
+/// ```
+/// use congames_analysis::per_round_stats_csv;
+/// use congames_dynamics::PerRoundStats;
+///
+/// let csv = per_round_stats_csv(&PerRoundStats::new()).to_csv();
+/// assert_eq!(csv, "round,mean_potential,ci95_potential,mean_migrations\n");
+/// ```
+pub fn per_round_stats_csv(stats: &PerRoundStats) -> CsvWriter {
+    let mut csv =
+        CsvWriter::new(vec!["round", "mean_potential", "ci95_potential", "mean_migrations"]);
+    for r in stats.rounds() {
+        csv.row(&[r.round.mean(), r.potential.mean(), r.potential.ci95(), r.migrations.mean()]);
+    }
+    csv
 }
 
 #[cfg(test)]

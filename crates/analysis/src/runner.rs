@@ -10,32 +10,31 @@ use congames_sampling::split_seed;
 /// to `threads` `std::thread::scope` threads; results are returned **in trial
 /// order**, so the output is independent of scheduling.
 ///
+/// Zero trials return an empty `Vec` — the workspace-wide empty-input
+/// contract shared with `congames_dynamics::run_indexed` and
+/// `Ensemble::run_reduced` (whose zero-trial result is the identity
+/// reduction).
+///
 /// # Panics
 ///
-/// Panics if `trials == 0` or `threads == 0`. If a trial panics, the
-/// remaining workers stop and the **original panic payload** is re-raised
-/// on the calling thread (the lowest-index payload when several trials
-/// panic concurrently) — the root cause is never buried under a secondary
-/// "scoped thread panicked" shell.
+/// Panics if `threads == 0`. If a trial panics, the remaining workers stop
+/// and the **original panic payload** is re-raised on the calling thread
+/// (the lowest-index payload when several trials panic concurrently) — the
+/// root cause is never buried under a secondary "scoped thread panicked"
+/// shell.
 pub fn run_trials<T: Send>(
     trials: usize,
     base_seed: u64,
     threads: usize,
     f: impl Fn(u64) -> T + Sync,
 ) -> Vec<T> {
-    assert!(trials > 0, "need at least one trial");
     assert!(threads > 0, "need at least one thread");
     congames_dynamics::run_indexed(trials, threads, |i| f(split_seed(base_seed, i as u64)))
 }
 
 /// Sequential version of [`run_trials`] (same seed derivation, same output
-/// order).
-///
-/// # Panics
-///
-/// Panics if `trials == 0`.
+/// order, same empty-input contract: zero trials → empty `Vec`).
 pub fn run_trials_sequential<T>(trials: usize, base_seed: u64, f: impl Fn(u64) -> T) -> Vec<T> {
-    assert!(trials > 0, "need at least one trial");
     (0..trials).map(|i| f(split_seed(base_seed, i as u64))).collect()
 }
 
@@ -74,10 +73,15 @@ mod tests {
         assert_eq!(out, expect);
     }
 
+    /// The unified empty-input contract: zero trials reduce to the empty
+    /// result instead of panicking, matching `run_indexed(0, ..)` and the
+    /// identity reduction of `Ensemble::run_reduced`.
     #[test]
-    #[should_panic(expected = "at least one trial")]
-    fn zero_trials_rejected() {
-        let _ = run_trials(0, 0, 1, |s| s);
+    fn zero_trials_yield_empty() {
+        let par: Vec<u64> = run_trials(0, 0, 1, |s| s);
+        assert!(par.is_empty());
+        let seq: Vec<u64> = run_trials_sequential(0, 0, |s| s);
+        assert!(seq.is_empty());
     }
 
     /// Regression: a panicking trial used to surface as the scope's generic

@@ -56,6 +56,42 @@ impl Summary {
         }
     }
 
+    /// Build a summary from an online (streamed) reduction without ever
+    /// materializing the sample: count/mean/sd come from the exact
+    /// streaming moments, min/max from the exact envelope, and the
+    /// quartiles from the quantile sketch (within its configured relative
+    /// accuracy).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use congames_analysis::Summary;
+    /// use congames_dynamics::{Reducer, ScalarStats};
+    ///
+    /// let mut stats = ScalarStats::new();
+    /// for x in [1.0, 2.0, 3.0, 4.0] {
+    ///     stats.absorb(x);
+    /// }
+    /// let s = Summary::from_reduced(&stats);
+    /// assert_eq!(s.mean(), 2.5);
+    /// assert_eq!(s.count(), 4);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reduction is empty or any statistic is non-finite.
+    pub fn from_reduced(stats: &congames_dynamics::ScalarStats) -> Summary {
+        assert!(stats.count() > 0, "cannot summarize an empty sample");
+        let (count, mean, sd) = (stats.count() as usize, stats.mean(), stats.sd());
+        let (min, max) = (stats.min(), stats.max());
+        let (q25, median, q75) = (stats.quantile(0.25), stats.quantile(0.5), stats.quantile(0.75));
+        assert!(
+            [mean, sd, min, max, q25, median, q75].iter().all(|v| v.is_finite()),
+            "summary statistics must be finite"
+        );
+        Summary { count, mean, sd, min, max, median, q25, q75 }
+    }
+
     /// Sample size.
     pub fn count(&self) -> usize {
         self.count

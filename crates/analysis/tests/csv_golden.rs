@@ -1,0 +1,54 @@
+//! Golden-file pin for the reduced per-round CSV export.
+//!
+//! The values are chosen so every statistic is exactly representable
+//! (means of equal or symmetric samples; a `ci95` that reduces to the
+//! bare 1.96 z-factor), making the rendered text stable down to the last
+//! character. If the export format changes intentionally, regenerate
+//! `tests/golden/per_round_stats.csv` and say so in the changelog.
+
+use congames_analysis::per_round_stats_csv;
+use congames_dynamics::{PerRoundStats, Reducer, RoundRecord};
+
+fn rec(round: u64, potential: f64, migrations: u64) -> RoundRecord {
+    RoundRecord {
+        round,
+        potential,
+        l_av: potential / 10.0,
+        l_av_plus: potential / 10.0,
+        max_latency: potential,
+        migrations,
+        support: 2,
+        unsatisfied_fraction: None,
+    }
+}
+
+fn trial_one() -> Vec<RoundRecord> {
+    vec![rec(0, 1.0, 0), rec(1, 5.0, 2)]
+}
+
+fn trial_two() -> Vec<RoundRecord> {
+    vec![rec(0, 3.0, 0), rec(1, 5.0, 4)]
+}
+
+#[test]
+fn per_round_csv_matches_golden_file() {
+    let mut stats = PerRoundStats::new();
+    stats.absorb(trial_one());
+    stats.absorb(trial_two());
+    let rendered = per_round_stats_csv(&stats).to_csv();
+    let golden = include_str!("golden/per_round_stats.csv");
+    assert_eq!(rendered, golden, "reduced per-round CSV drifted from the golden file");
+}
+
+#[test]
+fn merged_reduction_renders_the_same_csv() {
+    // Absorb each trial into its own partial and merge — the parallel
+    // ensemble's reduction shape — and require the identical export.
+    let mut a = PerRoundStats::new();
+    a.absorb(trial_one());
+    let mut b = a.identity();
+    b.absorb(trial_two());
+    a.merge(b);
+    let golden = include_str!("golden/per_round_stats.csv");
+    assert_eq!(per_round_stats_csv(&a).to_csv(), golden);
+}

@@ -1,7 +1,10 @@
 //! Common measurement helpers for the experiment binaries.
 
 use congames_analysis::Summary;
-use congames_dynamics::{Ensemble, Protocol, RunOutcome, Simulation, StopSpec};
+use congames_dynamics::{
+    Ensemble, FinalSummary, MapItem, Protocol, RunOutcome, RunSummary, ScalarStats, Simulation,
+    StopSpec,
+};
 use congames_model::{CongestionGame, State};
 use congames_sampling::seeded_rng;
 
@@ -24,8 +27,12 @@ pub fn run_once(
 }
 
 /// Measure rounds-to-stop over `trials` seeds (parallel, via
-/// [`Ensemble`]) and summarize. `threads` comes from [`default_threads`]
-/// in the binaries; the summary is identical for every thread count.
+/// [`Ensemble::run_reduced`]) and summarize. `threads` comes from
+/// [`default_threads`] in the binaries; the summary is identical for every
+/// thread count. The reduction is fully streamed — count/mean/sd/min/max
+/// are exact online moments and the quartiles come from a counted
+/// quantile sketch (within 1% relative error) — so memory stays `O(1)` in
+/// the trial count.
 pub fn rounds_summary(
     game: &CongestionGame,
     protocol: Protocol,
@@ -35,14 +42,19 @@ pub fn rounds_summary(
     base_seed: u64,
     threads: usize,
 ) -> Summary {
-    let rounds = Ensemble::new(game, protocol, state.clone())
+    let stats = Ensemble::new(game, protocol, state.clone())
         .expect("valid ensemble configuration")
         .trials(trials)
         .base_seed(base_seed)
         .threads(threads)
-        .run_with(stop, |_, outcome| outcome.rounds as f64)
-        .expect("ensemble run succeeds");
-    Summary::of(&rounds)
+        .run_reduced(
+            stop,
+            |_trial| FinalSummary,
+            MapItem::new(|s: RunSummary| s.rounds as f64, ScalarStats::new()),
+        )
+        .expect("ensemble run succeeds")
+        .into_inner();
+    Summary::from_reduced(&stats)
 }
 
 /// A conservative thread count for trial parallelism.

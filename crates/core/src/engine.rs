@@ -23,8 +23,9 @@ use rand::Rng;
 
 use crate::error::DynamicsError;
 use crate::expectation::PairFlow;
+use crate::observe::Observer;
 use crate::protocol::{ImitationProtocol, Protocol, SelfSampling};
-use crate::stopping::{RunOutcome, StopCondition, StopReason, StopSpec};
+use crate::stopping::{RunOutcome, RunSummary, StopCondition, StopReason, StopSpec};
 use crate::trajectory::{capture_record, RecordConfig, Trajectory};
 
 /// Which round engine to use.
@@ -139,6 +140,10 @@ pub struct Simulation<'g> {
     class_offsets: Vec<usize>,
     potential: f64,
     round: u64,
+    /// Players that migrated in the most recent round (0 before any
+    /// round), so a run resuming from a manually-stepped state can record
+    /// its start round truthfully.
+    last_migrations: u64,
     /// Scratch buffers reused across rounds.
     migrations_buf: Vec<Migration>,
     old_loads_buf: Vec<u64>,
@@ -210,6 +215,7 @@ impl<'g> Simulation<'g> {
             class_offsets,
             potential,
             round: 0,
+            last_migrations: 0,
             migrations_buf: Vec::new(),
             old_loads_buf: Vec::new(),
             pairs_buf: PairBuffer::default(),
@@ -412,6 +418,7 @@ impl<'g> Simulation<'g> {
         // the per-resource entries fresh for only the touched resources).
         self.state.ensure_latency_cache(self.game);
         let moved: u64 = migrations.iter().map(|m| m.count).sum();
+        self.last_migrations = moved;
         self.migrations_buf = migrations;
         self.old_loads_buf = old_loads;
         Ok(RoundStats { migrations: moved, delta_potential: delta })
@@ -605,11 +612,16 @@ impl<'g> Simulation<'g> {
         Ok(())
     }
 
-    /// Run until a stop condition fires.
+    /// Run until a stop condition fires, materializing the recorded
+    /// rounds into a [`Trajectory`].
     ///
     /// Conditions are evaluated on the state *before* each round (so a
     /// satisfied initial state reports `rounds = 0`); expensive checks run
-    /// at the spec's cadence.
+    /// at the spec's cadence (see [`StopSpec`] for which conditions the
+    /// cadence gates). This is a convenience wrapper over
+    /// [`Simulation::run_observed`] with the [`Trajectory`] stock
+    /// observer; streaming consumers should call `run_observed` directly
+    /// and never pay for the materialization.
     ///
     /// # Errors
     ///
@@ -620,11 +632,47 @@ impl<'g> Simulation<'g> {
         rng: &mut impl Rng,
     ) -> Result<RunOutcome, DynamicsError> {
         let mut trajectory = Trajectory::new();
-        let mut last_migrations = 0u64;
+        let summary = self.run_observed(stop, rng, &mut trajectory)?;
+        Ok(RunOutcome {
+            reason: summary.reason,
+            rounds: summary.rounds,
+            potential: summary.potential,
+            trajectory,
+        })
+    }
+
+    /// Run until a stop condition fires, streaming each recorded round
+    /// into `observer` instead of materializing a trajectory.
+    ///
+    /// The observer sees exactly the records [`Simulation::run`] would
+    /// have stored: with a non-zero recording cadence, the record of the
+    /// round the run starts in, one record per cadence round, and the
+    /// record of the stop round (deduplicated when on the cadence); with
+    /// recording disabled it sees nothing. The returned [`RunSummary`]
+    /// carries the stop reason, round count, and final potential — pass it
+    /// to [`Observer::finish`] to extract the observer's output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::step`] failures.
+    pub fn run_observed<O: Observer>(
+        &mut self,
+        stop: &StopSpec,
+        rng: &mut impl Rng,
+        observer: &mut O,
+    ) -> Result<RunSummary, DynamicsError> {
+        // Seed from the simulation's own counter so a resumed run's start
+        // record reports the migrations of the round that produced it.
+        let mut last_migrations = self.last_migrations;
+        let start_round = self.round;
         loop {
-            let recording = self.record.every > 0 && (self.round % self.record.every == 0);
+            // The starting round is recorded even when a manually-stepped
+            // simulation resumes off the cadence — the documented contract
+            // is "start record, cadence records, stop record".
+            let recording = self.record.every > 0
+                && (self.round == start_round || self.round % self.record.every == 0);
             if recording {
-                trajectory.push(capture_record(
+                observer.observe(&capture_record(
                     self.game,
                     &self.state,
                     self.round,
@@ -635,7 +683,7 @@ impl<'g> Simulation<'g> {
             }
             if let Some(reason) = self.check_stop(stop) {
                 if self.record.every > 0 && !recording {
-                    trajectory.push(capture_record(
+                    observer.observe(&capture_record(
                         self.game,
                         &self.state,
                         self.round,
@@ -644,12 +692,7 @@ impl<'g> Simulation<'g> {
                         self.record.approx.as_ref(),
                     ));
                 }
-                return Ok(RunOutcome {
-                    reason,
-                    rounds: self.round,
-                    potential: self.potential,
-                    trajectory,
-                });
+                return Ok(RunSummary { reason, rounds: self.round, potential: self.potential });
             }
             let stats = self.step(rng)?;
             last_migrations = stats.migrations;
@@ -878,6 +921,29 @@ mod tests {
         assert_eq!(out.trajectory.records().len(), 11); // rounds 0..=10
         assert_eq!(out.trajectory.records()[0].round, 0);
         assert!(out.trajectory.records()[0].potential >= out.trajectory.records()[10].potential);
+    }
+
+    /// A run resuming from a manually-stepped, off-cadence round still
+    /// records its starting round — the documented "start record, cadence
+    /// records, stop record" contract.
+    #[test]
+    fn recording_captures_an_off_cadence_start_round() {
+        let game = two_links(100);
+        let state = State::from_counts(&game, vec![80, 20]).unwrap();
+        let mut sim = Simulation::new(&game, imit(), state)
+            .unwrap()
+            .with_recording(RecordConfig { every: 3, approx: None });
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut moved = 0;
+        for _ in 0..4 {
+            moved = sim.step(&mut rng).unwrap().migrations; // round 4, off cadence
+        }
+        let out = sim.run(&StopSpec::max_rounds(10), &mut rng).unwrap();
+        let rounds: Vec<u64> = out.trajectory.records().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![4, 6, 9, 10], "start, cadence, and stop records");
+        // The start record carries the migrations of the manual step that
+        // produced round 4, not a placeholder zero.
+        assert_eq!(out.trajectory.records()[0].migrations, moved);
     }
 
     #[test]

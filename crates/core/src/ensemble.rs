@@ -10,30 +10,52 @@
 //! replica's randomness depends only on `(base_seed, trial_index)` and
 //! never on scheduling.
 //!
+//! Two batch shapes are offered. [`Ensemble::run`] / [`Ensemble::run_with`]
+//! materialize one value per replica; [`Ensemble::run_reduced`] streams
+//! every replica's observed output into a [`Reducer`] so a 10⁵-trial sweep
+//! reduces online in memory independent of the trial count — same
+//! bit-identical-across-thread-counts guarantee, via a reduction tree that
+//! is a function of the trial count alone.
+//!
 //! The lower-level [`run_indexed`] primitive (a panic-transparent indexed
 //! parallel map) is exported for harnesses that fan out non-simulation
-//! work; `congames-analysis::run_trials` builds on it.
+//! work; `congames-analysis::run_trials` builds on it. All batch entry
+//! points share one empty-input contract: zero tasks/trials yield an empty
+//! result (for the reducer path, the untouched identity reduction) rather
+//! than panicking.
 
 use congames_model::{CongestionGame, State};
 use congames_sampling::split_seed;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, PoisonError};
 
 use crate::engine::{EngineKind, Simulation};
 use crate::error::DynamicsError;
+use crate::observe::Observer;
 use crate::protocol::Protocol;
+use crate::reduce::Reducer;
 use crate::stopping::{RunOutcome, StopSpec};
 use crate::trajectory::RecordConfig;
+
+/// Trials per reduction block in [`Ensemble::run_reduced`]. The block
+/// structure is a function of the trial count alone — never of the thread
+/// count or schedule — which is what makes reduced results bit-identical
+/// across thread counts.
+const REDUCE_BLOCK: usize = 32;
 
 /// Run `f(0), f(1), …, f(tasks − 1)` across up to `threads` scoped worker
 /// threads and return the results **in index order**.
 ///
 /// Work is claimed dynamically (an atomic counter), so the schedule adapts
 /// to uneven task durations — but because results are written to their own
-/// slot, the output never depends on the schedule.
+/// slot, the output never depends on the schedule. Zero tasks return an
+/// empty `Vec` — the workspace-wide empty-input contract shared with
+/// `congames_analysis::run_trials` and [`Ensemble::run_reduced`] (which
+/// returns its identity reduction).
 ///
 /// # Panics
 ///
@@ -185,6 +207,12 @@ impl<'g> Ensemble<'g> {
     }
 
     /// Set the number of replicas.
+    ///
+    /// Zero is allowed and uniform across the batch APIs: [`Ensemble::run`]
+    /// and [`Ensemble::run_with`] return an empty `Vec`, and
+    /// [`Ensemble::run_reduced`] returns the untouched reducer (the
+    /// *identity reduction*) — the same contract as [`run_indexed`] with
+    /// zero tasks and `congames_analysis::run_trials` with zero trials.
     pub fn trials(mut self, trials: usize) -> Self {
         self.trials = trials;
         self
@@ -238,6 +266,266 @@ impl<'g> Ensemble<'g> {
             Ok(f(&sim, outcome))
         });
         results.into_iter().collect()
+    }
+
+    /// Run one replica and fold its observed output into `partial`.
+    fn reduce_one_trial<O: Observer>(
+        &self,
+        trial: usize,
+        stop: &StopSpec,
+        observer_factory: &(impl Fn(usize) -> O + Sync),
+    ) -> Result<O::Output, DynamicsError> {
+        let mut sim = Simulation::new(self.game, self.protocol, self.start.clone())?
+            .with_engine(self.engine)
+            .with_recording(self.record);
+        let mut rng = SmallRng::seed_from_u64(self.trial_seed(trial));
+        let mut observer = observer_factory(trial);
+        let summary = sim.run_observed(stop, &mut rng, &mut observer)?;
+        Ok(observer.finish(&summary))
+    }
+
+    /// Run every replica and fold the per-trial observer outputs into
+    /// `reducer` **online** — the memory-bounded path for large sweeps: no
+    /// per-trial `Trajectory`, outcome `Vec`, or any other
+    /// `O(trials · rounds)` collection is ever materialized. Live memory is
+    /// `O(threads · (observer + reducer partial))`; for the stock
+    /// [`RecordSeries`](crate::RecordSeries) →
+    /// [`PerRoundStats`](crate::PerRoundStats) pipeline that is
+    /// `O(threads · recorded_rounds)`, independent of the trial count.
+    ///
+    /// `observer_factory(trial)` builds the per-trial observer (give the
+    /// ensemble a [`RecordConfig`] via [`Ensemble::recording`] if the
+    /// observer wants per-round records; summary-only observers such as
+    /// [`FinalSummary`](crate::FinalSummary) need no recording at all).
+    ///
+    /// # Determinism
+    ///
+    /// Trials are partitioned into fixed-size consecutive blocks
+    /// (currently 32 trials); each block partial starts from
+    /// `reducer.identity()`, absorbs its trials in trial order, and the
+    /// partials are merged into the accumulator **in block order**. The
+    /// reduction tree therefore depends only on the trial count, so the
+    /// returned reducer is **bit-identical for every thread count** — the
+    /// same contract the outcome-level APIs pin for threads 1/2/8.
+    /// Workers claim blocks dynamically but a bounded reorder window (a
+    /// small multiple of the thread count) keeps pending partials — and
+    /// hence memory — bounded even when early blocks run long.
+    ///
+    /// With zero trials the reducer is returned untouched (the identity
+    /// reduction; see [`Ensemble::trials`]).
+    ///
+    /// # Errors
+    ///
+    /// A failing replica aborts the sweep early (remaining workers stop
+    /// claiming trials) and the lowest-trial-index error observed is
+    /// returned; a panicking replica or reducer likewise aborts and the
+    /// original payload is re-raised, as in [`run_indexed`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use congames_dynamics::{
+    ///     ConvergenceHistogram, Ensemble, FinalSummary, ImitationProtocol, StopCondition,
+    ///     StopReason, StopSpec,
+    /// };
+    /// use congames_model::{Affine, CongestionGame, State};
+    ///
+    /// let game = CongestionGame::singleton(
+    ///     vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+    ///     100,
+    /// )?;
+    /// let start = State::from_counts(&game, vec![80, 20])?;
+    /// let stop =
+    ///     StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(5_000)]);
+    /// let histogram = Ensemble::new(&game, ImitationProtocol::paper_default().into(), start)?
+    ///     .trials(64)
+    ///     .base_seed(7)
+    ///     .run_reduced(&stop, |_trial| FinalSummary, ConvergenceHistogram::new())?;
+    /// assert_eq!(histogram.total(), 64);
+    /// assert!(histogram.reason(StopReason::ImitationStable).count() > 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn run_reduced<O, R>(
+        &self,
+        stop: &StopSpec,
+        observer_factory: impl Fn(usize) -> O + Sync,
+        reducer: R,
+    ) -> Result<R, DynamicsError>
+    where
+        O: Observer,
+        R: Reducer<Item = O::Output> + Send + Sync,
+    {
+        let trials = self.trials;
+        let mut acc = reducer;
+        if trials == 0 {
+            return Ok(acc);
+        }
+        let blocks = trials.div_ceil(REDUCE_BLOCK);
+        let block_range = |b: usize| b * REDUCE_BLOCK..((b + 1) * REDUCE_BLOCK).min(trials);
+        let threads = self.threads.min(blocks);
+        if threads <= 1 {
+            // Sequential path: same block structure, same merge order.
+            for block in 0..blocks {
+                let mut partial = acc.identity();
+                for trial in block_range(block) {
+                    partial.absorb(self.reduce_one_trial(trial, stop, &observer_factory)?);
+                }
+                acc.merge(partial);
+            }
+            return Ok(acc);
+        }
+
+        type Panic = Box<dyn std::any::Any + Send + 'static>;
+        struct MergeState<R> {
+            /// Next block index to hand out.
+            next_block: usize,
+            /// Blocks merged into `acc` so far (block `merged` is the next
+            /// one the in-order merge is waiting for).
+            merged: usize,
+            /// Finished partials waiting for their in-order merge slot.
+            pending: BTreeMap<usize, R>,
+            acc: Option<R>,
+            /// Lowest-trial-index replica error observed.
+            error: Option<(usize, DynamicsError)>,
+            /// Lowest-trial-index panic payload observed.
+            panic: Option<(usize, Panic)>,
+        }
+        let prototype = acc.identity();
+        let state = Mutex::new(MergeState {
+            next_block: 0,
+            merged: 0,
+            pending: BTreeMap::new(),
+            acc: Some(acc),
+            error: None,
+            panic: None,
+        });
+        let cv = Condvar::new();
+        // Set on the first error or panic: workers stop claiming blocks
+        // (and finish their current block early), so a failing sweep
+        // surfaces its failure promptly instead of simulating every
+        // remaining trial first — mirroring `run_indexed`'s abort flag.
+        let abort = AtomicBool::new(false);
+        // Reorder window: a worker only claims block `b` once block
+        // `b − window` has been merged, bounding `pending` (and therefore
+        // live partials) to `O(threads)` however uneven the block
+        // durations are.
+        let window = threads * 2;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let block = {
+                        let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
+                        loop {
+                            if st.next_block >= blocks || abort.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if st.next_block - st.merged < window {
+                                break;
+                            }
+                            st = cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                        }
+                        st.next_block += 1;
+                        st.next_block - 1
+                    };
+                    // Even `identity()` runs under a catch: a worker that
+                    // dies without parking its block would stall the
+                    // in-order pipeline, and window waiters would sleep
+                    // forever.
+                    let partial = catch_unwind(AssertUnwindSafe(|| prototype.identity()));
+                    let mut partial = match partial {
+                        Ok(p) => p,
+                        Err(payload) => {
+                            let trial = block * REDUCE_BLOCK;
+                            let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
+                            if st.panic.as_ref().map_or(true, |(t, _)| trial < *t) {
+                                st.panic = Some((trial, payload));
+                            }
+                            abort.store(true, Ordering::Relaxed);
+                            cv.notify_all();
+                            return;
+                        }
+                    };
+                    let mut error: Option<(usize, DynamicsError)> = None;
+                    let mut panic: Option<(usize, Panic)> = None;
+                    for trial in block_range(block) {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // The catch covers the reducer's `absorb` too: a
+                        // panicking accumulator (e.g. a quantile sketch fed
+                        // a NaN) must not kill the worker, or the in-order
+                        // merge pipeline would wait on its block forever.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            self.reduce_one_trial(trial, stop, &observer_factory)
+                                .map(|item| partial.absorb(item))
+                        }));
+                        match result {
+                            Ok(Ok(())) => {}
+                            Ok(Err(e)) => {
+                                error = Some((trial, e));
+                                break;
+                            }
+                            Err(payload) => {
+                                panic = Some((trial, payload));
+                                break;
+                            }
+                        }
+                    }
+                    let failed = error.is_some() || panic.is_some();
+                    let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Some((trial, e)) = error {
+                        if st.error.as_ref().map_or(true, |(t, _)| trial < *t) {
+                            st.error = Some((trial, e));
+                        }
+                    }
+                    if let Some((trial, p)) = panic {
+                        if st.panic.as_ref().map_or(true, |(t, _)| trial < *t) {
+                            st.panic = Some((trial, p));
+                        }
+                    }
+                    // Park the partial (possibly incomplete on error — the
+                    // reduction is discarded in that case, but parking it
+                    // keeps the in-order pipeline advancing), then drain
+                    // every partial whose merge slot has come up.
+                    st.pending.insert(block, partial);
+                    let mut advanced = false;
+                    loop {
+                        let slot = st.merged;
+                        let Some(ready) = st.pending.remove(&slot) else { break };
+                        let acc = st.acc.as_mut().expect("accumulator present during the run");
+                        // A panicking `merge` gets the same treatment as a
+                        // panicking `absorb`: record, abort, keep the
+                        // worker alive so the scope can unwind cleanly.
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| acc.merge(ready))) {
+                            let trial = slot * REDUCE_BLOCK;
+                            if st.panic.as_ref().map_or(true, |(t, _)| trial < *t) {
+                                st.panic = Some((trial, payload));
+                            }
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        st.merged += 1;
+                        advanced = true;
+                    }
+                    if failed {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if advanced || abort.load(Ordering::Relaxed) {
+                        // Merge progress unblocks window waiters; an abort
+                        // must wake them too so they can exit.
+                        cv.notify_all();
+                    }
+                });
+            }
+        });
+        let st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, payload)) = st.panic {
+            resume_unwind(payload);
+        }
+        if let Some((_, e)) = st.error {
+            return Err(e);
+        }
+        Ok(st.acc.expect("accumulator present after the run"))
     }
 }
 
@@ -301,6 +589,135 @@ mod tests {
         let other = two_links(6);
         let bad = State::from_counts(&other, vec![3, 3]).unwrap();
         assert!(Ensemble::new(&game, ImitationProtocol::paper_default().into(), bad).is_err());
+    }
+
+    #[test]
+    fn run_reduced_is_thread_count_invariant_and_matches_trial_order() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::{MapItem, ScalarStats};
+        use crate::stopping::RunSummary;
+        let game = two_links(120);
+        let start = State::from_counts(&game, vec![90, 30]).unwrap();
+        let stop = StopSpec::max_rounds(20);
+        // 70 trials = 3 reduction blocks, so the merge path is exercised.
+        let run = |threads: usize| {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap()
+                .trials(70)
+                .base_seed(5)
+                .threads(threads)
+                .run_reduced(
+                    &stop,
+                    |_trial| FinalSummary,
+                    MapItem::new(|s: RunSummary| s.potential, ScalarStats::new()),
+                )
+                .unwrap()
+                .into_inner()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2), "2 threads changed the reduction");
+        assert_eq!(one, run(8), "8 threads changed the reduction");
+        assert_eq!(one.count(), 70);
+        // The collecting reducer preserves trial order exactly.
+        let collected: Vec<u64> =
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap()
+                .trials(70)
+                .base_seed(5)
+                .threads(4)
+                .run_reduced(
+                    &stop,
+                    |_trial| FinalSummary,
+                    MapItem::new(|s: RunSummary| s.rounds, Vec::new()),
+                )
+                .unwrap()
+                .into_inner();
+        let reference: Vec<u64> =
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap()
+                .trials(70)
+                .base_seed(5)
+                .run_with(&stop, |_, out| out.rounds)
+                .unwrap();
+        assert_eq!(collected, reference);
+    }
+
+    #[test]
+    fn run_reduced_zero_trials_is_the_identity_reduction() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::ConvergenceHistogram;
+        let game = two_links(10);
+        let start = State::from_counts(&game, vec![5, 5]).unwrap();
+        let out = Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+            .unwrap()
+            .trials(0)
+            .run_reduced(
+                &StopSpec::max_rounds(5),
+                |_trial| FinalSummary,
+                ConvergenceHistogram::new(),
+            )
+            .unwrap();
+        assert_eq!(out.total(), 0);
+        // The materializing APIs agree: zero trials → empty Vec.
+        assert!(Ensemble::new(&game, ImitationProtocol::paper_default().into(), start)
+            .unwrap()
+            .trials(0)
+            .run(&StopSpec::max_rounds(5))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "observer factory exploded")]
+    fn run_reduced_propagates_original_panic() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::ConvergenceHistogram;
+        let game = two_links(20);
+        let start = State::from_counts(&game, vec![15, 5]).unwrap();
+        let _ = Ensemble::new(&game, ImitationProtocol::paper_default().into(), start)
+            .unwrap()
+            .trials(80)
+            .threads(4)
+            .run_reduced(
+                &StopSpec::max_rounds(5),
+                |trial| {
+                    if trial == 41 {
+                        panic!("observer factory exploded");
+                    }
+                    FinalSummary
+                },
+                ConvergenceHistogram::new(),
+            );
+    }
+
+    /// A reducer that panics inside `absorb` (here: a `MapItem` projection)
+    /// must neither hang the in-order merge pipeline nor surface as the
+    /// scope's generic panic — the original payload is re-raised.
+    #[test]
+    #[should_panic(expected = "absorb exploded")]
+    fn run_reduced_propagates_reducer_panics() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::{MapItem, Welford};
+        use crate::stopping::RunSummary;
+        let game = two_links(20);
+        let start = State::from_counts(&game, vec![15, 5]).unwrap();
+        let _ = Ensemble::new(&game, ImitationProtocol::paper_default().into(), start)
+            .unwrap()
+            .trials(80)
+            .threads(4)
+            .run_reduced(
+                &StopSpec::max_rounds(5),
+                |_trial| FinalSummary,
+                MapItem::new(
+                    |s: RunSummary| {
+                        if s.rounds <= 5 {
+                            panic!("absorb exploded");
+                        }
+                        s.potential
+                    },
+                    Welford::new(),
+                ),
+            );
     }
 
     #[test]

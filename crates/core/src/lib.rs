@@ -42,6 +42,20 @@
 //! any thread count**. The underlying panic-transparent parallel map,
 //! [`run_indexed`], is exported for non-simulation fan-out.
 //!
+//! # Streaming observers and reducers
+//!
+//! Per-round metrics stream through the [`Observer`] trait
+//! ([`Simulation::run_observed`] feeds one [`RoundRecord`] per recorded
+//! round; [`Trajectory`] is just the stock materializing observer), and
+//! ensembles fold per-trial outputs into a [`Reducer`]
+//! (`identity`/`absorb`/`merge`) via [`Ensemble::run_reduced`] — so a
+//! 10⁵-trial sweep reduces online with memory independent of the trial
+//! count, still bit-identical for every thread count. Stock reducers cover
+//! per-round-index mean/variance/CI ([`PerRoundStats`], built on
+//! [`Welford`]), min/max envelopes ([`MinMax`]), convergence-round
+//! histograms keyed by stop reason ([`ConvergenceHistogram`]), and a
+//! counted, reservoir-free quantile summary ([`QuantileSketch`]).
+//!
 //! # Example
 //!
 //! ```
@@ -77,7 +91,9 @@ mod engine;
 mod ensemble;
 mod error;
 mod expectation;
+mod observe;
 mod protocol;
+mod reduce;
 pub mod sequential;
 mod stopping;
 mod trajectory;
@@ -86,9 +102,14 @@ pub use engine::{EngineKind, RoundStats, Simulation};
 pub use ensemble::{run_indexed, Ensemble};
 pub use error::DynamicsError;
 pub use expectation::PairFlow;
+pub use observe::{FinalSummary, Observer, RecordSeries};
 pub use protocol::{
     Damping, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, SelfSampling,
 };
+pub use reduce::{
+    ConvergenceHistogram, MapItem, MinMax, PerRoundStats, QuantileSketch, ReasonStats, Reducer,
+    RoundIndexStats, ScalarStats, Welford, STOP_REASONS,
+};
 pub use sequential::{PivotRule, SequentialOutcome};
-pub use stopping::{RunOutcome, StopCondition, StopReason, StopSpec};
+pub use stopping::{RunOutcome, RunSummary, StopCondition, StopReason, StopSpec};
 pub use trajectory::{RecordConfig, RoundRecord, Trajectory};

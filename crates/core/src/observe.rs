@@ -1,0 +1,197 @@
+//! Streaming observation of simulation runs.
+//!
+//! [`Observer`] is the read side of the recording layer: `Simulation::run`
+//! and `Simulation::run_observed` feed one [`RoundRecord`] per recorded
+//! round (cadence and extra metrics come from the simulation's
+//! [`RecordConfig`](crate::RecordConfig)) into whatever observer the caller
+//! provides. [`Trajectory`] — the materialized time series the library
+//! started with — is just one stock observer; streaming consumers
+//! (ensemble reducers, live dashboards, on-line statistics) implement the
+//! trait instead of collecting records first.
+//!
+//! The companion write side is [`Reducer`](crate::Reducer): an ensemble
+//! folds every trial's [`Observer::Output`] into a reducer without ever
+//! materializing a per-trial collection (see `Ensemble::run_reduced`).
+
+use crate::stopping::RunSummary;
+use crate::trajectory::{RoundRecord, Trajectory};
+
+/// A streaming consumer of per-round metrics.
+///
+/// `Simulation::run_observed` calls [`observe`](Observer::observe) once per
+/// recorded round, in round order, and the caller then converts the
+/// observer into its per-run output with [`finish`](Observer::finish). The
+/// records an observer sees are exactly those a [`Trajectory`] would have
+/// stored: the record of the round the run starts in, one record per
+/// cadence round, and the record of the round the stop condition fires in
+/// (deduplicated when it is on the cadence anyway). With recording disabled
+/// (`RecordConfig::disabled()`), `observe` is never called — but `finish`
+/// still receives the final [`RunSummary`], so summary-only observers such
+/// as [`FinalSummary`] work without any recording overhead.
+///
+/// # Example
+///
+/// ```
+/// use congames_dynamics::{
+///     ImitationProtocol, Observer, RecordConfig, RoundRecord, RunSummary, Simulation, StopSpec,
+/// };
+/// use congames_model::{Affine, CongestionGame, State};
+/// use rand::SeedableRng;
+///
+/// /// Observes the minimum potential seen along the run.
+/// struct MinPotential(f64);
+/// impl Observer for MinPotential {
+///     type Output = f64;
+///     fn observe(&mut self, record: &RoundRecord) {
+///         self.0 = self.0.min(record.potential);
+///     }
+///     fn finish(self, _summary: &RunSummary) -> f64 {
+///         self.0
+///     }
+/// }
+///
+/// let game = CongestionGame::singleton(
+///     vec![Affine::linear(1.0).into(), Affine::linear(2.0).into()],
+///     100,
+/// )?;
+/// let start = State::from_counts(&game, vec![90, 10])?;
+/// let mut sim = Simulation::new(&game, ImitationProtocol::paper_default().into(), start)?
+///     .with_recording(RecordConfig::every_round());
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let mut observer = MinPotential(f64::INFINITY);
+/// let summary = sim.run_observed(&StopSpec::max_rounds(50), &mut rng, &mut observer)?;
+/// let min_potential = observer.finish(&summary);
+/// assert!(min_potential <= summary.potential);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait Observer {
+    /// What one observed run turns into (fed to a `Reducer` by ensembles).
+    type Output;
+
+    /// Called once per recorded round, in round order.
+    fn observe(&mut self, record: &RoundRecord);
+
+    /// Convert the observer into its per-run output once the run stopped.
+    fn finish(self, summary: &RunSummary) -> Self::Output;
+}
+
+/// The no-op observer: ignores every record.
+impl Observer for () {
+    type Output = ();
+
+    fn observe(&mut self, _record: &RoundRecord) {}
+
+    fn finish(self, _summary: &RunSummary) -> Self::Output {}
+}
+
+/// [`Trajectory`] is the stock *materializing* observer: it stores every
+/// record it sees, reproducing the classic `RunOutcome::trajectory`.
+impl Observer for Trajectory {
+    type Output = Trajectory;
+
+    fn observe(&mut self, record: &RoundRecord) {
+        self.push(*record);
+    }
+
+    fn finish(self, _summary: &RunSummary) -> Trajectory {
+        self
+    }
+}
+
+/// Stock observer that ignores per-round records and yields the run's
+/// [`RunSummary`] — the cheapest observer for convergence statistics
+/// (pair it with [`ConvergenceHistogram`](crate::ConvergenceHistogram) and
+/// keep recording disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FinalSummary;
+
+impl Observer for FinalSummary {
+    type Output = RunSummary;
+
+    fn observe(&mut self, _record: &RoundRecord) {}
+
+    fn finish(self, summary: &RunSummary) -> RunSummary {
+        *summary
+    }
+}
+
+/// Stock observer that collects the run's records into a `Vec` — the
+/// per-trial input of [`PerRoundStats`](crate::PerRoundStats). Unlike a
+/// full [`Trajectory`]-per-trial ensemble, the vector lives only until the
+/// reducer absorbs it, so an ensemble's live memory stays
+/// `O(threads · recorded_rounds)` instead of `O(trials · rounds)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordSeries {
+    records: Vec<RoundRecord>,
+}
+
+impl RecordSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for RecordSeries {
+    type Output = Vec<RoundRecord>;
+
+    fn observe(&mut self, record: &RoundRecord) {
+        self.records.push(*record);
+    }
+
+    fn finish(self, _summary: &RunSummary) -> Vec<RoundRecord> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stopping::StopReason;
+
+    fn rec(round: u64, potential: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            potential,
+            l_av: 1.0,
+            l_av_plus: 1.0,
+            max_latency: 1.0,
+            migrations: 0,
+            support: 1,
+            unsatisfied_fraction: None,
+        }
+    }
+
+    fn summary() -> RunSummary {
+        RunSummary { reason: StopReason::MaxRounds, rounds: 2, potential: 5.0 }
+    }
+
+    #[test]
+    fn trajectory_is_an_observer() {
+        let mut t = Trajectory::new();
+        t.observe(&rec(0, 10.0));
+        t.observe(&rec(1, 8.0));
+        let t = t.finish(&summary());
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[1].round, 1);
+    }
+
+    #[test]
+    fn final_summary_passes_the_summary_through() {
+        let mut o = FinalSummary;
+        o.observe(&rec(0, 10.0));
+        let s = o.finish(&summary());
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.reason, StopReason::MaxRounds);
+    }
+
+    #[test]
+    fn record_series_collects() {
+        let mut o = RecordSeries::new();
+        o.observe(&rec(0, 3.0));
+        o.observe(&rec(1, 2.0));
+        let v = o.finish(&summary());
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].potential, 3.0);
+    }
+}

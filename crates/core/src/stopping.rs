@@ -5,24 +5,43 @@ use congames_model::ApproxEquilibrium;
 use crate::trajectory::Trajectory;
 
 /// A condition that ends a run.
+///
+/// Conditions come in two cost classes, and [`StopSpec::check_every`]
+/// applies only to the expensive one:
+///
+/// * **Cheap, checked every round** (exempt from `check_every`):
+///   [`StopCondition::MaxRounds`] and [`StopCondition::PotentialAtMost`]
+///   read values the simulation already maintains, so they fire on the
+///   exact round they become true — whatever the cadence.
+/// * **Expensive, cadence-gated**: [`StopCondition::ImitationStable`],
+///   [`StopCondition::ApproxEquilibrium`], and
+///   [`StopCondition::NashEquilibrium`] cost `O(S²·k)` per evaluation and
+///   are only evaluated on rounds with `round % check_every == 0`, so
+///   detection can lag by up to `check_every − 1` rounds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum StopCondition {
-    /// Stop after this many rounds.
+    /// Stop after this many rounds. Cheap: checked every round, never
+    /// gated by [`StopSpec::check_every`].
     MaxRounds(u64),
     /// Stop when the state is imitation-stable (no player can gain more than
     /// the protocol's effective `ν` by imitating within the support). For
     /// innovative protocols prefer [`StopCondition::NashEquilibrium`].
+    /// Expensive: only evaluated at the [`StopSpec::check_every`] cadence.
     ImitationStable,
     /// Stop when the state is a (δ,ε,ν)-equilibrium (Definition 1).
+    /// Expensive: only evaluated at the [`StopSpec::check_every`] cadence.
     ApproxEquilibrium(ApproxEquilibrium),
     /// Stop when the state is an `ε`-Nash equilibrium with additive
     /// tolerance `tol` over the *full* strategy space.
+    /// Expensive: only evaluated at the [`StopSpec::check_every`] cadence.
     NashEquilibrium {
         /// Additive tolerance (0 = exact Nash).
         tol: f64,
     },
     /// Stop when the potential is at most this value (e.g. `(1+ε)·Φ*`).
+    /// Cheap: checked every round, never gated by
+    /// [`StopSpec::check_every`].
     PotentialAtMost(f64),
 }
 
@@ -45,8 +64,14 @@ pub enum StopReason {
 /// A set of stop conditions plus a check cadence.
 ///
 /// Equilibrium checks cost `O(S²·k)`; `check_every` trades detection latency
-/// against per-round overhead (cheap conditions — round budget, potential
-/// target — are always checked every round).
+/// against per-round overhead. The cadence gates **only** the expensive
+/// conditions ([`StopCondition::ImitationStable`],
+/// [`StopCondition::ApproxEquilibrium`],
+/// [`StopCondition::NashEquilibrium`]); the cheap conditions
+/// ([`StopCondition::MaxRounds`], [`StopCondition::PotentialAtMost`]) are
+/// exempt and checked every round, so a round budget fires exactly even at
+/// `check_every > 1` while an equilibrium reached on an off-cadence round
+/// is detected at the next cadence round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StopSpec {
     conditions: Vec<StopCondition>,
@@ -64,7 +89,9 @@ impl StopSpec {
         StopSpec::new(vec![StopCondition::MaxRounds(rounds)])
     }
 
-    /// Check expensive conditions every `every` rounds (≥ 1).
+    /// Check expensive conditions every `every` rounds (≥ 1). Cheap
+    /// conditions (round budget, potential target) stay exempt and are
+    /// checked every round; see the type-level docs for the split.
     pub fn with_check_every(mut self, every: u64) -> Self {
         self.check_every = every.max(1);
         self
@@ -79,6 +106,23 @@ impl StopSpec {
     pub fn check_every(&self) -> u64 {
         self.check_every
     }
+}
+
+/// The trajectory-free result of a run: what stopped it, when, and at
+/// which potential.
+///
+/// This is what `Simulation::run_observed` returns — per-round data flows
+/// through the caller's [`Observer`](crate::Observer) instead of being
+/// materialized. [`RunOutcome`] is this summary plus a recorded
+/// [`Trajectory`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Which condition fired.
+    pub reason: StopReason,
+    /// Rounds executed (the stop condition was detected after this many).
+    pub rounds: u64,
+    /// Final potential.
+    pub potential: f64,
 }
 
 /// The result of a run.

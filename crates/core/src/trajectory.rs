@@ -15,8 +15,9 @@ pub struct RoundRecord {
     pub l_av_plus: f64,
     /// Maximum latency of a used strategy.
     pub max_latency: f64,
-    /// Number of players that migrated in the round ending here (0 for the
-    /// initial record).
+    /// Number of players that migrated in the round ending here (0 for a
+    /// record of round 0; a run resumed from a manually-stepped state
+    /// reports the migrations of the step that produced its start round).
     pub migrations: u64,
     /// Number of strategies in use.
     pub support: usize,
@@ -27,16 +28,18 @@ pub struct RoundRecord {
 
 /// What to record along a run.
 ///
-/// Recording happens only inside `Simulation::run`; manual `step` calls
-/// never record, whatever this is set to.
+/// Recording happens only inside `Simulation::run` /
+/// `Simulation::run_observed` (which captures each record and hands it to
+/// the caller's [`Observer`](crate::Observer)); manual `step` calls never
+/// record, whatever this is set to.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RecordConfig {
     /// Record every `every` rounds (0 disables recording entirely). When
-    /// non-zero, `Simulation::run` records the state it starts from
-    /// (round index `r₀`, its current round — not necessarily round 0)
-    /// and the state the stop condition fires in (deduplicated if that
-    /// round is on the cadence anyway). A run that fails mid-way returns
-    /// an error and no trajectory at all.
+    /// non-zero, a run records the state it starts from (round index
+    /// `r₀`, its current round — not necessarily round 0) and the state
+    /// the stop condition fires in (deduplicated if that round is on the
+    /// cadence anyway). A run that fails mid-way returns an error and no
+    /// trajectory at all.
     pub every: u64,
     /// Also track the unsatisfied fraction against this test.
     pub approx: Option<ApproxEquilibrium>,
@@ -46,6 +49,11 @@ impl RecordConfig {
     /// Record every round.
     pub fn every_round() -> Self {
         RecordConfig { every: 1, approx: None }
+    }
+
+    /// Record every `every` rounds (0 disables recording).
+    pub fn every(every: u64) -> Self {
+        RecordConfig { every, approx: None }
     }
 
     /// Record every round, including the unsatisfied fraction of `approx`.

@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use congames::dynamics::{
+    ConvergenceHistogram, Ensemble, FinalSummary, PerRoundStats, RecordSeries, StopReason,
+};
 use congames::{
     Affine, ApproxEquilibrium, CongestionGame, ImitationProtocol, RecordConfig, Simulation, State,
     StopCondition, StopSpec,
@@ -63,5 +66,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nfinal link loads: {:?}", sim.state().loads());
+
+    // ----- Streamed ensemble sweep ------------------------------------
+    //
+    // The paper's statistics live in *ensembles*, not single runs. The
+    // observer/reducer API reduces a sweep online: per-trial outputs are
+    // absorbed into tiny accumulators as trials finish, so memory is
+    // independent of the trial count (no per-trial trajectories), and the
+    // result is bit-identical for every thread count.
+    let m = 8;
+    let n = 1_000u64;
+    let game = CongestionGame::singleton(
+        (0..m).map(|i| Affine::linear(1.0 + i as f64).into()).collect(),
+        n,
+    )?;
+    let mut counts = vec![10u64; m];
+    counts[m - 1] = n - 10 * (m as u64 - 1);
+    let start = State::from_counts(&game, counts)?;
+    let protocol = ImitationProtocol::paper_default();
+    let stop = StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(5_000)])
+        .with_check_every(4);
+
+    // Sweep 1: where do 100 000 replicas stop, and after how many rounds?
+    // `FinalSummary` skips per-round recording entirely; the histogram is
+    // a few hundred bytes however many trials stream through it.
+    let trials = 100_000;
+    let histogram = Ensemble::new(&game, protocol.into(), start.clone())?
+        .trials(trials)
+        .base_seed(7)
+        .run_reduced(&stop, |_trial| FinalSummary, ConvergenceHistogram::new())?;
+    println!("\nstreamed sweep: {} replicas", histogram.total());
+    let stable = histogram.reason(StopReason::ImitationStable);
+    println!(
+        "imitation-stable: {} of {} trials, rounds mean {:.1} ± {:.1} (min {:.0}, max {:.0})",
+        stable.count(),
+        trials,
+        stable.rounds.mean(),
+        stable.rounds.ci95(),
+        stable.envelope.min(),
+        stable.envelope.max(),
+    );
+
+    // Sweep 2: the mean potential trajectory with confidence bands — the
+    // per-round-index Welford reduction replaces "collect every
+    // trajectory, then average".
+    let stats = Ensemble::new(&game, protocol.into(), start)?
+        .trials(2_000)
+        .base_seed(8)
+        .recording(RecordConfig::every_round())
+        .run_reduced(&stop, |_trial| RecordSeries::new(), PerRoundStats::new())?;
+    println!("\nround   mean Φ ± ci95        trials at index");
+    for r in stats.rounds().iter().step_by((stats.len() / 8).max(1)) {
+        println!(
+            "{:<7.0} {:<10.1} ± {:<7.2} {}",
+            r.round.mean(),
+            r.potential.mean(),
+            r.potential.ci95(),
+            r.potential.count(),
+        );
+    }
     Ok(())
 }

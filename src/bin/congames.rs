@@ -12,10 +12,12 @@
 
 use congames::analysis::Summary;
 use congames::dynamics::{
-    EngineKind, Ensemble, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, Simulation,
-    StopCondition, StopSpec,
+    ConvergenceHistogram, EngineKind, Ensemble, ExplorationProtocol, FinalSummary,
+    ImitationProtocol, MapItem, NuRule, PerRoundStats, Protocol, ReasonStats, RecordSeries,
+    RunSummary, ScalarStats, Simulation, StopCondition, StopSpec,
 };
 use congames::model::{average_latency, potential, LinearSingleton};
+use congames::RecordConfig;
 use congames::{Affine, CongestionGame, State};
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -39,10 +41,15 @@ const USAGE: &str = "usage:
   congames run     --links a1,a2,... --players N [--protocol imitation|exploration|combined]
                    [--rounds R] [--lambda L] [--seed S] [--no-nu]
                    [--trials T] [--threads K] [--engine aggregate|player]
+                   [--reduce mean|quantiles|convergence]
 
 links are linear latencies l(x) = a*x, comma-separated coefficients.
 with --trials > 1 an ensemble of T independent replicas runs in parallel
-(results are identical for every --threads value) and a summary is printed.";
+(results are identical for every --threads value) and a summary is printed.
+--reduce streams the ensemble through an online reducer (memory independent
+of the trial count): `mean` prints the per-round mean potential with 95%
+confidence bands, `quantiles` the convergence-round and final-potential
+quantiles, `convergence` a stop-reason histogram.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?.as_str();
@@ -68,6 +75,15 @@ struct Options {
     trials: usize,
     threads: usize,
     engine: EngineKind,
+    reduce: Option<ReduceMode>,
+}
+
+/// Which streaming reduction `--reduce` asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReduceMode {
+    Mean,
+    Quantiles,
+    Convergence,
 }
 
 impl Options {
@@ -83,6 +99,7 @@ impl Options {
             trials: 1,
             threads: Ensemble::default_threads(),
             engine: EngineKind::Aggregate,
+            reduce: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -155,6 +172,14 @@ impl Options {
                         other => return Err(format!("unknown engine `{other}`")),
                     };
                 }
+                "--reduce" => {
+                    o.reduce = Some(match it.next().ok_or("--reduce needs a value")?.as_str() {
+                        "mean" => ReduceMode::Mean,
+                        "quantiles" => ReduceMode::Quantiles,
+                        "convergence" => ReduceMode::Convergence,
+                        other => return Err(format!("unknown reduction `{other}`")),
+                    });
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -163,6 +188,9 @@ impl Options {
         }
         if o.players == 0 {
             return Err("--players is required and must be positive".into());
+        }
+        if o.reduce.is_some() && o.trials <= 1 {
+            return Err("--reduce summarizes an ensemble; pass --trials > 1".into());
         }
         Ok(o)
     }
@@ -273,23 +301,120 @@ fn simulate_ensemble(
     start: State,
     stop: &StopSpec,
 ) -> Result<(), String> {
-    let results = Ensemble::new(game, opts.protocol()?, start)
+    let ensemble = Ensemble::new(game, opts.protocol()?, start)
         .map_err(|e| e.to_string())?
         .engine(opts.engine)
         .trials(opts.trials)
         .base_seed(opts.seed)
-        .threads(opts.threads)
-        .run_with(stop, |sim, out| {
-            (out.rounds as f64, out.potential, average_latency(game, sim.state()))
-        })
-        .map_err(|e| e.to_string())?;
-    let rounds: Vec<f64> = results.iter().map(|r| r.0).collect();
-    let potentials: Vec<f64> = results.iter().map(|r| r.1).collect();
-    let latencies: Vec<f64> = results.iter().map(|r| r.2).collect();
-    let (r, p, l) = (Summary::of(&rounds), Summary::of(&potentials), Summary::of(&latencies));
+        .threads(opts.threads);
     println!("ensemble of {} trials ({} threads, seed {}):", opts.trials, opts.threads, opts.seed);
-    println!("  rounds: mean {:.1} (min {:.0}, max {:.0})", r.mean(), r.min(), r.max());
-    println!("  final Φ: mean {:.3} ± {:.3}", p.mean(), p.sd());
-    println!("  final L_av: mean {:.4} ± {:.4}", l.mean(), l.sd());
+    match opts.reduce {
+        None => {
+            let results = ensemble
+                .run_with(stop, |sim, out| {
+                    (out.rounds as f64, out.potential, average_latency(game, sim.state()))
+                })
+                .map_err(|e| e.to_string())?;
+            let rounds: Vec<f64> = results.iter().map(|r| r.0).collect();
+            let potentials: Vec<f64> = results.iter().map(|r| r.1).collect();
+            let latencies: Vec<f64> = results.iter().map(|r| r.2).collect();
+            let (r, p, l) =
+                (Summary::of(&rounds), Summary::of(&potentials), Summary::of(&latencies));
+            println!("  rounds: mean {:.1} (min {:.0}, max {:.0})", r.mean(), r.min(), r.max());
+            println!("  final Φ: mean {:.3} ± {:.3}", p.mean(), p.sd());
+            println!("  final L_av: mean {:.4} ± {:.4}", l.mean(), l.sd());
+        }
+        Some(ReduceMode::Mean) => {
+            // Stream per-round statistics: record on a cadence that keeps
+            // the table ≲ 64 indices however long the run budget is. Each
+            // trial's forced stop record can land off the cadence, which
+            // would blend different round numbers into one index — filter
+            // to on-cadence records so every printed row averages one
+            // exact round across trials.
+            let cadence = (opts.rounds / 64).max(1);
+            let stats = ensemble
+                .recording(RecordConfig::every(cadence))
+                .run_reduced(
+                    stop,
+                    |_trial| RecordSeries::new(),
+                    MapItem::new(
+                        move |records: Vec<congames::dynamics::RoundRecord>| {
+                            records.into_iter().filter(|r| r.round % cadence == 0).collect()
+                        },
+                        PerRoundStats::new(),
+                    ),
+                )
+                .map_err(|e| e.to_string())?
+                .into_inner();
+            println!(
+                "  per-round means over {} trials (recorded every {} rounds):",
+                stats.trials(),
+                cadence
+            );
+            println!(
+                "  {:>8}  {:>14}  {:>12}  {:>10}",
+                "round", "mean Φ ± ci95", "mean L_av", "moves"
+            );
+            let step = (stats.len() / 16).max(1);
+            for r in stats.rounds().iter().step_by(step) {
+                println!(
+                    "  {:>8.0}  {:>9.2} ± {:<6.2} {:>10.4}  {:>10.2}",
+                    r.round.mean(),
+                    r.potential.mean(),
+                    r.potential.ci95(),
+                    r.l_av.mean(),
+                    r.migrations.mean(),
+                );
+            }
+        }
+        Some(ReduceMode::Quantiles) => {
+            let (rounds, potential) = ensemble
+                .run_reduced(
+                    stop,
+                    |_trial| FinalSummary,
+                    (
+                        MapItem::new(|s: RunSummary| s.rounds as f64, ScalarStats::new()),
+                        MapItem::new(|s: RunSummary| s.potential, ScalarStats::new()),
+                    ),
+                )
+                .map_err(|e| e.to_string())?;
+            let (rounds, potential) = (rounds.into_inner(), potential.into_inner());
+            println!("  {:>10}  {:>12}  {:>12}", "quantile", "rounds", "final Φ");
+            for q in [0.10, 0.25, 0.50, 0.75, 0.90] {
+                println!(
+                    "  {:>10}  {:>12.1}  {:>12.3}",
+                    format!("q{:02.0}", q * 100.0),
+                    rounds.quantile(q),
+                    potential.quantile(q),
+                );
+            }
+            println!(
+                "  rounds mean {:.1} ± {:.1}, range [{:.0}, {:.0}]",
+                rounds.mean(),
+                rounds.ci95(),
+                rounds.min(),
+                rounds.max()
+            );
+        }
+        Some(ReduceMode::Convergence) => {
+            let hist = ensemble
+                .run_reduced(stop, |_trial| FinalSummary, ConvergenceHistogram::new())
+                .map_err(|e| e.to_string())?;
+            for (reason, stats) in hist.observed() {
+                println!(
+                    "  {:?}: {} trials, rounds mean {:.1} (min {:.0}, max {:.0})",
+                    reason,
+                    stats.count(),
+                    stats.rounds.mean(),
+                    stats.envelope.min(),
+                    stats.envelope.max()
+                );
+                for (k, &count) in stats.buckets().iter().enumerate().filter(|(_, &c)| c > 0) {
+                    let (lo, hi) = ReasonStats::bucket_range(k);
+                    println!("      rounds {:>6}–{:<6} {:>6} trials", lo, hi - 1, count);
+                }
+            }
+        }
+    }
     Ok(())
 }

@@ -64,8 +64,8 @@ pub use congames_sampling as sampling;
 pub use congames_wardrop as wardrop;
 
 pub use congames_dynamics::{
-    Damping, EngineKind, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, RecordConfig,
-    Simulation, StopCondition, StopReason, StopSpec,
+    Damping, EngineKind, Ensemble, ExplorationProtocol, ImitationProtocol, NuRule, Observer,
+    Protocol, RecordConfig, Reducer, RunSummary, Simulation, StopCondition, StopReason, StopSpec,
 };
 pub use congames_model::{
     Affine, ApproxEquilibrium, Bpr, CongestionGame, Constant, GameError, Latency, Monomial,

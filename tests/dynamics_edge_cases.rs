@@ -220,3 +220,49 @@ fn exploration_probability_formula_uses_class_parameters() {
     let expect = 0.5 * 0.1 * 5.0 / 9.0;
     assert!((mu - expect).abs() < 1e-12, "mu {mu} vs expected {expect}");
 }
+
+/// Regression for the `check_every` contract documented on
+/// [`StopSpec`]/[`StopCondition`]: cheap conditions (round budget,
+/// potential target) are exempt from the cadence and fire on their exact
+/// round, while expensive conditions (imitation stability) are only
+/// evaluated on cadence rounds — so their detection lands on the first
+/// cadence multiple at or after the first stable round, never later.
+#[test]
+fn check_every_gates_only_expensive_conditions() {
+    let game = links(vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()], 600);
+    let state = State::from_counts(&game, vec![480, 120]).unwrap();
+    let proto: Protocol = ImitationProtocol::paper_default().into();
+
+    // MaxRounds is exempt: it fires at exactly 13 although 13 % 5 != 0.
+    let mut sim = Simulation::new(&game, proto, state.clone()).unwrap();
+    let mut rng = seeded_rng(40, 0);
+    let out = sim.run(&StopSpec::max_rounds(13).with_check_every(5), &mut rng).unwrap();
+    assert_eq!(out.reason, StopReason::MaxRounds);
+    assert_eq!(out.rounds, 13, "cheap conditions must not be gated by check_every");
+
+    // ImitationStable is gated: stopping rounds with cadence k are exactly
+    // the cadence-1 stopping rounds rounded up to a multiple of k (a
+    // stable state is absorbing, so the state waits for the next check).
+    let run = |k: u64| {
+        let mut sim = Simulation::new(&game, proto, state.clone()).unwrap();
+        let mut rng = seeded_rng(41, 0);
+        sim.run(
+            &StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(50_000)])
+                .with_check_every(k),
+            &mut rng,
+        )
+        .unwrap()
+    };
+    let exact = run(1);
+    assert_eq!(exact.reason, StopReason::ImitationStable);
+    assert!(exact.rounds > 0, "the skewed start must take a few rounds to stabilize");
+    for k in [3u64, 7, 16] {
+        let gated = run(k);
+        assert_eq!(gated.reason, StopReason::ImitationStable);
+        assert_eq!(
+            gated.rounds,
+            exact.rounds.div_ceil(k) * k,
+            "detection latency at cadence {k} must be bounded by the cadence"
+        );
+    }
+}

@@ -285,6 +285,68 @@ fn ensemble_identical_across_thread_counts() {
     }
 }
 
+/// The streamed reduction pin (the `run_reduced` sibling of the outcome
+/// pin above): per-round Welford/min-max tables and the stop-reason
+/// histogram must come out **bit-identical** for thread counts 1/2/8.
+/// The block-structured reduction tree depends only on the trial count,
+/// so 80 trials (3 reduction blocks) exercise both absorb and merge.
+#[test]
+fn reduced_ensemble_identical_across_thread_counts() {
+    use congames::dynamics::{
+        ConvergenceHistogram, FinalSummary, PerRoundStats, RecordConfig, RecordSeries,
+    };
+    let game = games::affine_singleton(120);
+    let start = games::geometric_state(&game);
+    for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
+        let per_round = |threads: usize| {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid ensemble")
+                .engine(engine)
+                .trials(80)
+                .base_seed(2024)
+                .threads(threads)
+                .recording(RecordConfig::every_round())
+                .run_reduced(
+                    &StopSpec::max_rounds(25),
+                    |_trial| RecordSeries::new(),
+                    PerRoundStats::new(),
+                )
+                .expect("reduced ensemble run succeeds")
+        };
+        let histogram = |threads: usize| {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid ensemble")
+                .engine(engine)
+                .trials(80)
+                .base_seed(2024)
+                .threads(threads)
+                .run_reduced(
+                    &StopSpec::max_rounds(25),
+                    |_trial| FinalSummary,
+                    ConvergenceHistogram::new(),
+                )
+                .expect("reduced ensemble run succeeds")
+        };
+        let stats_reference = per_round(1);
+        assert_eq!(stats_reference.trials(), 80);
+        assert_eq!(stats_reference.len(), 26, "rounds 0..=25 recorded");
+        let hist_reference = histogram(1);
+        assert_eq!(hist_reference.total(), 80);
+        for threads in [2, 8] {
+            assert_eq!(
+                stats_reference,
+                per_round(threads),
+                "{engine:?}: reduced per-round stats changed with {threads} threads"
+            );
+            assert_eq!(
+                hist_reference,
+                histogram(threads),
+                "{engine:?}: convergence histogram changed with {threads} threads"
+            );
+        }
+    }
+}
+
 /// Fixed-seed determinism pin for the zero-allocation kernels: the exact
 /// trajectory of a pinned `(game, seed)` pair. This is intentionally
 /// brittle — any change to the kernels' RNG consumption or decision order

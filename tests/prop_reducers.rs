@@ -1,0 +1,162 @@
+//! Property-based tests of the streaming reducers: Welford exactness
+//! against a two-pass reference, merge associativity, and agreement of the
+//! block-structured merge with plain sequential absorption.
+
+use congames::dynamics::{MinMax, QuantileSketch, Reducer, ScalarStats, Welford};
+use proptest::prelude::*;
+
+/// Two-pass reference: exact mean and Bessel-corrected variance.
+fn two_pass(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = if xs.len() > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    (mean, var)
+}
+
+fn absorbed(xs: &[f64]) -> Welford {
+    let mut w = Welford::new();
+    for &x in xs {
+        w.absorb(x);
+    }
+    w
+}
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming Welford must agree with the two-pass reference on random
+    /// data (the whole point of the algorithm is that it does so *stably*).
+    #[test]
+    fn welford_matches_two_pass_reference(xs in samples()) {
+        let w = absorbed(&xs);
+        let (mean, var) = two_pass(&xs);
+        prop_assert_eq!(w.count() as usize, xs.len());
+        prop_assert!(
+            (w.mean() - mean).abs() <= 1e-9 * mean.abs().max(1.0),
+            "mean {} vs reference {}", w.mean(), mean
+        );
+        prop_assert!(
+            (w.variance() - var).abs() <= 1e-6 * var.max(1.0),
+            "variance {} vs reference {}", w.variance(), var
+        );
+    }
+
+    /// `merge(a, merge(b, c))` and `merge(merge(a, b), c)` must agree (to
+    /// floating-point tolerance — the merge tree may re-associate, which is
+    /// exactly why `run_reduced` fixes the tree shape for bit-identity).
+    #[test]
+    fn welford_merge_is_associative(
+        xs in samples(),
+        cut1 in 0.0f64..1.0,
+        cut2 in 0.0f64..1.0,
+    ) {
+        let i = (cut1 * xs.len() as f64) as usize;
+        let j = i + (cut2 * (xs.len() - i) as f64) as usize;
+        let (a, b, c) = (absorbed(&xs[..i]), absorbed(&xs[i..j]), absorbed(&xs[j..]));
+
+        let mut left = a;
+        left.merge(b);
+        left.merge(c);
+
+        let mut right_tail = b;
+        right_tail.merge(c);
+        let mut right = a;
+        right.merge(right_tail);
+
+        prop_assert_eq!(left.count(), right.count());
+        let scale = left.mean().abs().max(1.0);
+        prop_assert!(
+            (left.mean() - right.mean()).abs() <= 1e-9 * scale,
+            "means re-associate: {} vs {}", left.mean(), right.mean()
+        );
+        prop_assert!(
+            (left.variance() - right.variance()).abs() <= 1e-6 * left.variance().max(1.0),
+            "variances re-associate: {} vs {}", left.variance(), right.variance()
+        );
+    }
+
+    /// Quantile-sketch merges count integers, so associativity is exact —
+    /// bit for bit, whatever the split.
+    #[test]
+    fn quantile_sketch_merge_is_exactly_associative(
+        xs in samples(),
+        cut1 in 0.0f64..1.0,
+        cut2 in 0.0f64..1.0,
+    ) {
+        let i = (cut1 * xs.len() as f64) as usize;
+        let j = i + (cut2 * (xs.len() - i) as f64) as usize;
+        let sketch = |part: &[f64]| {
+            let mut s = QuantileSketch::default();
+            for &x in part {
+                s.absorb(x);
+            }
+            s
+        };
+        let (a, b, c) = (sketch(&xs[..i]), sketch(&xs[i..j]), sketch(&xs[j..]));
+
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+        let mut right_tail = b;
+        right_tail.merge(c);
+        let mut right = a;
+        right.merge(right_tail);
+        prop_assert_eq!(&left, &right);
+
+        let whole = sketch(&xs);
+        // Split-and-merge must equal one-shot absorption, bit for bit.
+        prop_assert_eq!(&left, &whole);
+    }
+
+    /// The block shape `run_reduced` uses — absorb fixed-size blocks into
+    /// identity partials, merge in block order — agrees with plain
+    /// sequential absorption to floating-point tolerance, and the exact
+    /// components (count, min/max) agree exactly.
+    #[test]
+    fn blocked_reduction_matches_sequential(xs in samples(), block in 1usize..64) {
+        let mut seq = ScalarStats::new();
+        for &x in &xs {
+            seq.absorb(x);
+        }
+        let mut blocked = ScalarStats::new();
+        for chunk in xs.chunks(block) {
+            let mut partial = blocked.identity();
+            for &x in chunk {
+                partial.absorb(x);
+            }
+            blocked.merge(partial);
+        }
+        prop_assert_eq!(blocked.count(), seq.count());
+        prop_assert_eq!(blocked.min(), seq.min());
+        prop_assert_eq!(blocked.max(), seq.max());
+        prop_assert!(
+            (blocked.mean() - seq.mean()).abs() <= 1e-9 * seq.mean().abs().max(1.0),
+            "blocked mean {} vs sequential {}", blocked.mean(), seq.mean()
+        );
+    }
+
+    /// Min/max envelopes are exact whatever the association.
+    #[test]
+    fn minmax_merge_is_exact(xs in samples(), cut in 0.0f64..1.0) {
+        let i = (cut * xs.len() as f64) as usize;
+        let envelope = |part: &[f64]| {
+            let mut m = MinMax::new();
+            for &x in part {
+                m.absorb(x);
+            }
+            m
+        };
+        let mut merged = envelope(&xs[..i]);
+        merged.merge(envelope(&xs[i..]));
+        let whole = envelope(&xs);
+        prop_assert_eq!(merged, whole);
+    }
+}
