@@ -24,6 +24,15 @@ fn bench_potential(c: &mut Criterion) {
                 potential_delta_for_load_change(&game, ResourceId::new(0), 0, load, load + 16)
             });
         });
+        // Big-flow delta: one `ΔΦ` covering as many intermediate loads as
+        // the link carries (capped at 4096) — the batched `sum_range` walk.
+        group.bench_with_input(BenchmarkId::new("delta_walk_big", n), &n, |b, _| {
+            let load = state.load(ResourceId::new(0));
+            let walk = load.min(4096);
+            b.iter(|| {
+                potential_delta_for_load_change(&game, ResourceId::new(0), 0, load - walk, load)
+            });
+        });
     }
     group.finish();
 }

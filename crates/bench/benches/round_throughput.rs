@@ -10,6 +10,7 @@
 
 use congames_bench::games::{poly_links, skewed_two_hot};
 use congames_dynamics::{EngineKind, Ensemble, ImitationProtocol, NuRule, Simulation, StopSpec};
+use congames_model::{potential_delta_for_load_change, ResourceId};
 use congames_sampling::seeded_rng;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -77,5 +78,35 @@ fn bench_ensemble(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds, bench_ensemble);
+/// The batched latency-evaluation hot paths (`Latency::eval_range_into` /
+/// `sum_range`): a big-flow `ΔΦ` walk — 4096 intermediate loads behind a
+/// single virtual call, the cost Θ(Δx) charged per migrated flow unit —
+/// and the full per-round latency-cache rebuild at small and large
+/// resource counts. Both ids are pinned in `tools/bench_diff`.
+fn bench_batched_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential");
+    let n = 100_000u64;
+    let game = poly_links(8, 2, n);
+    let state = skewed_two_hot(&game);
+    let load = state.load(ResourceId::new(0));
+    group.bench_with_input(BenchmarkId::new("delta_walk", "x4096"), &n, |b, _| {
+        b.iter(|| potential_delta_for_load_change(&game, ResourceId::new(0), 0, load - 4096, load));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("cache_rebuild");
+    for &m in &[64usize, 1024] {
+        let game = poly_links(m, 2, 10_000);
+        let mut state = skewed_two_hot(&game);
+        group.bench_with_input(BenchmarkId::new("rebuild", format!("m{m}")), &m, |b, _| {
+            b.iter(|| {
+                state.invalidate_latency_cache();
+                state.ensure_latency_cache(&game);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_ensemble, bench_batched_latency);
 criterion_main!(benches);

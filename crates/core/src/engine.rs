@@ -399,7 +399,14 @@ impl<'g> Simulation<'g> {
             EngineKind::Aggregate => self.aggregate_round(rng, &mut migrations)?,
             EngineKind::PlayerLevel => self.player_round(rng, &mut migrations)?,
         }
-        // Apply simultaneously and update the potential incrementally.
+        // Apply simultaneously and update the potential incrementally:
+        // each changed resource contributes one batched `Latency::sum_range`
+        // walk over its intermediate loads (big-flow rounds walk thousands
+        // of loads per resource behind a single virtual call). The default
+        // summation order is pinned to the pre-batching scalar loops;
+        // constant/affine resources use exact closed forms that may differ
+        // from those loops by ulps (see the `congames-model::latency`
+        // exactness notes).
         let mut old_loads = std::mem::take(&mut self.old_loads_buf);
         old_loads.clear();
         old_loads.extend_from_slice(self.state.loads());

@@ -17,9 +17,98 @@
 //! [`Affine`], [`Monomial`], [`Polynomial`], the traffic-engineering
 //! [`Bpr`] function); [`FnLatency`] wraps a closure and estimates them
 //! numerically.
+//!
+//! # Batched evaluation & exactness
+//!
+//! Every hot path that walks consecutive loads — Rosenthal-potential
+//! windows, `ΔΦ` walks over the intermediate loads of a big migration, the
+//! per-round latency-cache rebuild — goes through the batched layer:
+//!
+//! * [`Latency::eval_range_into`] evaluates `value(base + i)` for a whole
+//!   range of `i` behind **one** virtual call. Each family overrides it
+//!   with a tight, branch-free inner loop that the compiler can
+//!   auto-vectorize; the results are **bit-identical** to pointwise
+//!   [`Latency::value`] calls for every family (pinned by
+//!   `tests/prop_latency_batch.rs`). Batching never changes a result bit,
+//!   only the cost of producing it.
+//! * [`Latency::sum_range`] is the latency sum over a load window. Its
+//!   default is *defined* as left-to-right summation of the
+//!   `eval_range_into` output ([`sum_range_via_eval`]), which makes it
+//!   bit-identical to the scalar accumulation loops it replaced — fixing
+//!   the summation order is what lets the engine-equivalence RNG and
+//!   potential pins survive the batched rewiring unchanged.
+//! * [`Constant`] and [`Affine`] override `sum_range` with **closed
+//!   forms** (`|range|·c`; the triangular-number identity). These are
+//!   mathematically exact: the integer count/index sums are computed in
+//!   integer arithmetic and convert to `f64` without rounding while they
+//!   are below 2⁵³, leaving at most three correctly rounded float
+//!   operations. They can therefore differ from the default's `|range|−1`
+//!   sequential roundings by a few ulps (property-tested at 1e-12
+//!   relative); [`Monomial`], [`Polynomial`], [`Bpr`], and [`FnLatency`]
+//!   keep the bit-identical default.
+//!
+//! The batched defaults of [`Latency::max_step`],
+//! [`Latency::elasticity_bound`] (via [`estimate_elasticity_batched`]),
+//! and [`Latency::integral_to`] chunk their scans through a fixed stack
+//! buffer, so they allocate nothing and preserve the exact operation
+//! order of the scalar loops they replaced.
 
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Chunk length (`f64` slots) of the stack buffers behind the batched
+/// default implementations ([`sum_range_via_eval`], [`Latency::max_step`],
+/// [`Latency::integral_to`], [`estimate_elasticity_batched`]): 64 slots =
+/// 512 bytes of stack, wide enough for full-width SIMD while keeping the
+/// defaults heap-allocation-free (pinned by `tests/zero_alloc.rs`).
+const BATCH_CHUNK: usize = 64;
+
+/// Panic unless `out` has exactly one slot per range element.
+#[inline]
+fn check_range_len(range: &Range<u64>, out: &[f64]) {
+    let len = range.end.saturating_sub(range.start);
+    assert_eq!(
+        out.len() as u64,
+        len,
+        "eval_range_into: output buffer length must equal the range length"
+    );
+}
+
+/// Drive `f` over the values `l.value(x)` for `x ∈ lo ..= hi` in order,
+/// batched through one fixed stack chunk per [`Latency::eval_range_into`]
+/// call; `f` receives each chunk's starting load and its values.
+///
+/// The shared scan behind every batched default (`sum_range_via_eval`,
+/// `max_step`, `integral_to`, `estimate_elasticity_batched`). The chunk
+/// start is passed as the `base` of `eval_range_into` with a `0..n` index
+/// range, so no half-open end `hi + 1` is ever formed — unlike a naive
+/// `lo..hi + 1` conversion, the scan is overflow-safe up to and including
+/// `hi == u64::MAX`, matching the inclusive-range scalar loops it
+/// replaced. (`base + i` is the same exact integer either way, so the
+/// produced values stay bit-identical.)
+fn scan_values_inclusive<L: Latency + ?Sized>(
+    l: &L,
+    lo: u64,
+    hi: u64,
+    mut f: impl FnMut(u64, &[f64]),
+) {
+    debug_assert!(lo <= hi, "inclusive scan requires lo <= hi");
+    let mut buf = [0.0_f64; BATCH_CHUNK];
+    let mut start = lo;
+    loop {
+        // `hi - start + 1` may overflow exactly when the remaining span
+        // covers all of u64, so bound the chunk without forming it.
+        let span = hi - start;
+        let n = span.min(BATCH_CHUNK as u64 - 1) as usize + 1;
+        l.eval_range_into(start, 0..n as u64, &mut buf[..n]);
+        f(start, &buf[..n]);
+        if span < BATCH_CHUNK as u64 {
+            return; // this chunk reached hi
+        }
+        start += n as u64;
+    }
+}
 
 /// A non-decreasing latency function evaluated at integer congestion values.
 ///
@@ -40,28 +129,84 @@ pub trait Latency: fmt::Debug + Send + Sync {
     /// Latency at integer congestion `load`.
     fn value(&self, load: u64) -> f64;
 
+    /// Evaluate `value(base + i)` for every `i ∈ range` into `out`
+    /// (`out[j] = value(base + range.start + j)`).
+    ///
+    /// This is the batched evaluation layer: **one** virtual call per load
+    /// range instead of one per load, so each family can run a tight,
+    /// auto-vectorizable inner loop. Implementations (including the
+    /// default, which loops over [`Latency::value`]) must be bit-identical
+    /// to pointwise evaluation; `tests/prop_latency_batch.rs` pins this
+    /// for every family in the crate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the range length.
+    fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
+        check_range_len(&range, out);
+        for (slot, i) in out.iter_mut().zip(range) {
+            *slot = self.value(base + i);
+        }
+    }
+
+    /// The latency sum `Σ_{i ∈ range} value(base + i)`; empty ranges
+    /// (`range.end <= range.start`) sum to `0.0`.
+    ///
+    /// The default is *defined* as left-to-right summation of the
+    /// [`Latency::eval_range_into`] output (see [`sum_range_via_eval`]),
+    /// which makes it bit-identical to the scalar accumulation loops it
+    /// replaced — Rosenthal-potential windows and `ΔΦ` walks keep their
+    /// exact historical values. [`Constant`] and [`Affine`] override it
+    /// with mathematically exact closed forms (see the module docs for
+    /// the exactness guarantees); the other families keep the default.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use congames_model::{Affine, Latency};
+    /// let l = Affine::linear(2.0);
+    /// // Σ_{i ∈ 3..6} 2·i = 2·(3 + 4 + 5)
+    /// assert_eq!(l.sum_range(0, 3..6), 24.0);
+    /// let mut out = [0.0; 3];
+    /// l.eval_range_into(10, 0..3, &mut out);
+    /// assert_eq!(out, [20.0, 22.0, 24.0]);
+    /// ```
+    fn sum_range(&self, base: u64, range: Range<u64>) -> f64 {
+        sum_range_via_eval(self, base, range)
+    }
+
     /// An upper bound on the elasticity `ℓ'(x)·x / ℓ(x)` over `(0, max_load]`.
     ///
     /// The default implementation estimates the bound numerically from the
-    /// integer samples `value(0..=max_load)` using forward differences; exact
-    /// families override it.
+    /// integer samples `value(0..=max_load)` using forward differences
+    /// (batched through [`estimate_elasticity_batched`]); exact families
+    /// override it.
     fn elasticity_bound(&self, max_load: u64) -> f64 {
-        estimate_elasticity(&|x| self.value(x), max_load)
+        estimate_elasticity_batched(self, max_load)
     }
 
     /// The maximum increment `value(x) − value(x−1)` over `x ∈ lo+1 ..= hi`.
     ///
     /// Used for the `ν_e` bound (with `hi = ⌈d⌉`) and the `β` bound (with
-    /// `hi = n`). The default implementation scans the range; convex families
-    /// override with the closed form `value(hi) − value(hi−1)`.
+    /// `hi = n`). The default implementation scans the range in chunks via
+    /// [`Latency::eval_range_into`]; convex families override with the
+    /// closed form `value(hi) − value(hi−1)`.
+    ///
+    /// **Empty-scan contract:** `lo >= hi` leaves nothing to scan (the
+    /// increments run over `lo+1 ..= hi`) and returns `0.0` — both the
+    /// default and every override honor this explicitly.
     fn max_step(&self, lo: u64, hi: u64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
         let mut best = 0.0_f64;
         let mut prev = self.value(lo);
-        for x in lo + 1..=hi {
-            let v = self.value(x);
-            best = best.max(v - prev);
-            prev = v;
-        }
+        scan_values_inclusive(self, lo + 1, hi, |_, chunk| {
+            for &v in chunk {
+                best = best.max(v - prev);
+                prev = v;
+            }
+        });
         best
     }
 
@@ -86,16 +231,21 @@ pub trait Latency: fmt::Debug + Send + Sync {
     ///
     /// The default integrates the interpolated [`Latency::value_at`] by the
     /// trapezoid rule over unit intervals (exact for the default
-    /// interpolation); analytic families override with closed forms.
+    /// interpolation), evaluating the integer samples in chunks via
+    /// [`Latency::eval_range_into`]; analytic families override with
+    /// closed forms.
     fn integral_to(&self, load: f64) -> f64 {
         debug_assert!(load >= 0.0 && load.is_finite(), "fractional load must be ≥ 0");
         let whole = load.floor() as u64;
         let mut acc = 0.0;
         let mut prev = self.value(0);
-        for x in 1..=whole {
-            let v = self.value(x);
-            acc += 0.5 * (prev + v);
-            prev = v;
+        if whole > 0 {
+            scan_values_inclusive(self, 1, whole, |_, chunk| {
+                for &v in chunk {
+                    acc += 0.5 * (prev + v);
+                    prev = v;
+                }
+            });
         }
         let frac = load - whole as f64;
         if frac > 0.0 {
@@ -123,6 +273,52 @@ pub fn estimate_elasticity(f: &dyn Fn(u64) -> f64, max_load: u64) -> f64 {
         }
         prev = v;
     }
+    best
+}
+
+/// Left-to-right summation of the [`Latency::eval_range_into`] output,
+/// chunked through a fixed stack buffer (no heap allocation).
+///
+/// This *is* the default body of [`Latency::sum_range`], exposed as a free
+/// function so the closed-form overrides can be property-tested against
+/// the definitional summation order. The result is bit-identical to the
+/// scalar accumulation loop `let mut s = 0.0; for i in range { s +=
+/// l.value(base + i); }` (and, for non-empty ranges, to
+/// `range.map(…).sum::<f64>()`, whose *empty* sum is `-0.0`).
+pub fn sum_range_via_eval<L: Latency + ?Sized>(l: &L, base: u64, range: Range<u64>) -> f64 {
+    if range.end <= range.start {
+        return 0.0;
+    }
+    // Scan the absolute loads `base + range.start ..= base + range.end - 1`
+    // (formed without computing `base + range.end`, which could overflow).
+    let lo = base + range.start;
+    let hi = lo + (range.end - range.start - 1);
+    let mut acc = 0.0;
+    scan_values_inclusive(l, lo, hi, |_, chunk| {
+        for &v in chunk {
+            acc += v;
+        }
+    });
+    acc
+}
+
+/// Batched sibling of [`estimate_elasticity`]: the same forward-difference
+/// scan in the same order (bit-identical result), but sampling through
+/// [`Latency::eval_range_into`] so one virtual call covers a whole chunk.
+/// The trait's default [`Latency::elasticity_bound`] uses this.
+pub fn estimate_elasticity_batched<L: Latency + ?Sized>(l: &L, max_load: u64) -> f64 {
+    let mut best = 0.0_f64;
+    let mut prev = l.value(0);
+    scan_values_inclusive(l, 1, max_load.max(1), |start, chunk| {
+        for (j, &v) in chunk.iter().enumerate() {
+            if v > 0.0 {
+                // slope on [x-1, x] by forward difference, at (x, f(x)).
+                let slope = v - prev;
+                best = best.max(slope * (start + j as u64) as f64 / v);
+            }
+            prev = v;
+        }
+    });
     best
 }
 
@@ -161,6 +357,23 @@ impl Constant {
 impl Latency for Constant {
     fn value(&self, _load: u64) -> f64 {
         self.c
+    }
+
+    fn eval_range_into(&self, _base: u64, range: Range<u64>, out: &mut [f64]) {
+        check_range_len(&range, out);
+        out.fill(self.c);
+    }
+
+    /// Closed form `|range| · c`.
+    ///
+    /// Exactness: the count converts to `f64` without rounding below 2⁵³,
+    /// so the result is the correctly rounded true sum — one rounding
+    /// total, versus `|range| − 1` sequential roundings in the default.
+    fn sum_range(&self, _base: u64, range: Range<u64>) -> f64 {
+        if range.end <= range.start {
+            return 0.0;
+        }
+        (range.end - range.start) as f64 * self.c
     }
 
     fn elasticity_bound(&self, _max_load: u64) -> f64 {
@@ -234,6 +447,46 @@ impl Affine {
 impl Latency for Affine {
     fn value(&self, load: u64) -> f64 {
         self.a * load as f64 + self.b
+    }
+
+    fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
+        check_range_len(&range, out);
+        let (a, b) = (self.a, self.b);
+        for (slot, i) in out.iter_mut().zip(range) {
+            *slot = a * (base + i) as f64 + b;
+        }
+    }
+
+    /// Closed form `a·Σ_{i ∈ range}(base + i) + b·|range|`, the index sum
+    /// by the triangular-number identity in `u128`.
+    ///
+    /// Exactness: the integer index sum and the count convert to `f64`
+    /// without rounding while below 2⁵³, leaving three correctly rounded
+    /// float operations — versus `2·|range|` multiply-adds and
+    /// `|range| − 1` sequential additions in the default, so the two agree
+    /// to a few ulps (property-tested at 1e-12 relative). Astronomical
+    /// windows whose index sum exceeds `u128` (≥ 2¹²⁸ ≈ 3.4e38) fall back
+    /// to evaluating the same identity in `f64` — far beyond the 2⁵³
+    /// threshold where conversion rounding dominates either way.
+    fn sum_range(&self, base: u64, range: Range<u64>) -> f64 {
+        let (lo, hi) = (range.start, range.end);
+        if hi <= lo {
+            return 0.0;
+        }
+        let count = hi - lo;
+        let tri = |m: u128| m * (m + 1) / 2;
+        let tri_sum = tri(hi as u128 - 1) - if lo == 0 { 0 } else { tri(lo as u128 - 1) };
+        let idx_sum =
+            (count as u128).checked_mul(base as u128).and_then(|s| s.checked_add(tri_sum));
+        let idx_sum = match idx_sum {
+            Some(s) => s as f64,
+            None => {
+                let tri_f = |m: u64| m as f64 * (m as f64 + 1.0) * 0.5;
+                count as f64 * base as f64 + tri_f(hi - 1)
+                    - if lo == 0 { 0.0 } else { tri_f(lo - 1) }
+            }
+        };
+        self.a * idx_sum + self.b * count as f64
     }
 
     fn elasticity_bound(&self, max_load: u64) -> f64 {
@@ -312,6 +565,47 @@ impl Monomial {
 impl Latency for Monomial {
     fn value(&self, load: u64) -> f64 {
         self.a * (load as f64).powi(self.k as i32)
+    }
+
+    fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
+        check_range_len(&range, out);
+        let a = self.a;
+        // Degrees ≤ 4 use the exact multiply chains that `powi` with a
+        // *runtime* exponent produces (square-and-multiply), so the loops
+        // are branch-free, auto-vectorize, and stay bit-identical to
+        // `value`; higher degrees keep the per-element `powi`.
+        match self.k {
+            1 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    *slot = a * (base + i) as f64;
+                }
+            }
+            2 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let x = (base + i) as f64;
+                    *slot = a * (x * x);
+                }
+            }
+            3 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let x = (base + i) as f64;
+                    let x2 = x * x;
+                    *slot = a * (x * x2);
+                }
+            }
+            4 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let x = (base + i) as f64;
+                    let x2 = x * x;
+                    *slot = a * (x2 * x2);
+                }
+            }
+            k => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    *slot = a * ((base + i) as f64).powi(k as i32);
+                }
+            }
+        }
     }
 
     fn elasticity_bound(&self, _max_load: u64) -> f64 {
@@ -400,6 +694,21 @@ impl Latency for Polynomial {
         self.coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
     }
 
+    fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
+        check_range_len(&range, out);
+        // Horner with the coefficient loop outside and the element loop
+        // inside: each element sees exactly the `value` fold's operation
+        // sequence (bit-identical), but the inner loop auto-vectorizes.
+        out.fill(0.0);
+        let start = range.start;
+        for &c in self.coeffs.iter().rev() {
+            for (j, slot) in out.iter_mut().enumerate() {
+                let x = (base + start + j as u64) as f64;
+                *slot = *slot * x + c;
+            }
+        }
+    }
+
     fn elasticity_bound(&self, _max_load: u64) -> f64 {
         // For Σ a_k x^k with a_k ≥ 0: ℓ'(x)·x = Σ k·a_k·x^k ≤ d·ℓ(x).
         self.degree() as f64
@@ -484,6 +793,47 @@ impl Latency for Bpr {
         self.value_at(load as f64)
     }
 
+    fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
+        check_range_len(&range, out);
+        let (t0, alpha, cap) = (self.t0, self.alpha, self.capacity);
+        // Same runtime-`powi` multiply chains as `Monomial` (k ≤ 4 covers
+        // the classic k = 4 parametrization); bit-identical to `value`.
+        match self.k {
+            1 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let r = (base + i) as f64 / cap;
+                    *slot = t0 * (1.0 + alpha * r);
+                }
+            }
+            2 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let r = (base + i) as f64 / cap;
+                    *slot = t0 * (1.0 + alpha * (r * r));
+                }
+            }
+            3 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let r = (base + i) as f64 / cap;
+                    let r2 = r * r;
+                    *slot = t0 * (1.0 + alpha * (r * r2));
+                }
+            }
+            4 => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let r = (base + i) as f64 / cap;
+                    let r2 = r * r;
+                    *slot = t0 * (1.0 + alpha * (r2 * r2));
+                }
+            }
+            k => {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let r = (base + i) as f64 / cap;
+                    *slot = t0 * (1.0 + alpha * r.powi(k as i32));
+                }
+            }
+        }
+    }
+
     fn value_at(&self, load: f64) -> f64 {
         self.t0 * (1.0 + self.alpha * (load / self.capacity).powi(self.k as i32))
     }
@@ -565,7 +915,7 @@ impl Latency for FnLatency {
     fn elasticity_bound(&self, max_load: u64) -> f64 {
         match self.elasticity {
             Some(d) => d,
-            None => estimate_elasticity(&|x| (self.f)(x), max_load),
+            None => estimate_elasticity_batched(self, max_load),
         }
     }
 }
@@ -794,5 +1144,127 @@ mod tests {
     fn latency_fn_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<LatencyFn>();
+    }
+
+    fn all_families() -> Vec<LatencyFn> {
+        vec![
+            Constant::new(3.25).into(),
+            Affine::new(2.0, 1.5).into(),
+            Monomial::new(1.5, 1).into(),
+            Monomial::new(0.5, 2).into(),
+            Monomial::new(1.25, 3).into(),
+            Monomial::new(2.0, 4).into(),
+            Monomial::new(1.0, 6).into(),
+            Polynomial::new(vec![1.0, 0.5, 2.0]).into(),
+            Bpr::standard(10.0, 100.0).into(),
+            FnLatency::new("sq", |x| (x as f64).powi(2)).into(),
+        ]
+    }
+
+    /// Documented contract: `max_step(lo, hi)` with `lo >= hi` scans the
+    /// empty increment range `lo+1 ..= hi` and returns exactly `0.0`, for
+    /// the batched default and every closed-form override alike.
+    #[test]
+    fn max_step_empty_range_returns_zero() {
+        for l in &all_families() {
+            for (lo, hi) in [(0u64, 0u64), (5, 5), (7, 3), (u64::MAX, 0)] {
+                assert_eq!(l.max_step(lo, hi), 0.0, "{l:?} max_step({lo}, {hi})");
+            }
+        }
+    }
+
+    /// Batched evaluation is bit-identical to pointwise `value`, across
+    /// chunk boundaries (the range is longer than one stack chunk).
+    #[test]
+    fn eval_range_matches_pointwise_values_bitwise() {
+        let mut out = vec![0.0; 200];
+        for l in &all_families() {
+            for base in [0u64, 17, 100_000] {
+                l.eval_range_into(base, 3..203, &mut out);
+                for (j, v) in out.iter().enumerate() {
+                    let expect = l.value(base + 3 + j as u64);
+                    assert_eq!(v.to_bits(), expect.to_bits(), "{l:?} at {}", base + 3 + j as u64);
+                }
+            }
+        }
+    }
+
+    /// The default `sum_range` (via `sum_range_via_eval`) reproduces the
+    /// scalar left-to-right loop bit-for-bit; closed forms agree to 1e-12
+    /// relative; empty ranges sum to zero everywhere.
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the reversed range *is* the case under test
+    fn sum_range_default_is_scalar_loop_and_closed_forms_agree() {
+        for l in &all_families() {
+            for (base, lo, hi) in [(0u64, 1u64, 130u64), (40, 0, 97), (1_000, 5, 5), (9, 8, 3)] {
+                // Definitional reference: scalar left-to-right accumulation
+                // from +0.0 (unlike `Iterator::sum`, whose empty sum is
+                // `-0.0`).
+                let mut scalar = 0.0_f64;
+                for i in lo..hi.max(lo) {
+                    scalar += l.value(base + i);
+                }
+                let default = sum_range_via_eval(&**l, base, lo..hi);
+                assert_eq!(default.to_bits(), scalar.to_bits(), "{l:?} default sum");
+                let fast = l.sum_range(base, lo..hi);
+                let tol = 1e-12 * scalar.abs().max(1.0);
+                assert!((fast - scalar).abs() <= tol, "{l:?}: {fast} vs {scalar}");
+            }
+            assert_eq!(l.sum_range(3, 10..10), 0.0);
+            assert_eq!(l.sum_range(3, 10..2), 0.0);
+        }
+    }
+
+    /// The affine closed form is exact for integer-parameter games: with
+    /// integer slope/offset and windows whose index sums stay below 2⁵³,
+    /// it equals the scalar loop bit-for-bit (integer f64 arithmetic).
+    #[test]
+    fn affine_closed_form_is_exact_on_integer_parameters() {
+        let l = Affine::new(3.0, 7.0);
+        for (base, lo, hi) in [(0u64, 1u64, 5_001u64), (123, 0, 4_000), (10, 2, 3)] {
+            let scalar: f64 = (lo..hi).map(|i| l.value(base + i)).sum();
+            assert_eq!(l.sum_range(base, lo..hi).to_bits(), scalar.to_bits());
+        }
+    }
+
+    /// The chunked default scans are overflow-safe at the top of the u64
+    /// domain (the pre-batching inclusive-range loops were), and the
+    /// affine closed form degrades to the f64 identity instead of
+    /// wrapping when the integer index sum exceeds `u128`.
+    #[test]
+    fn batched_scans_survive_extreme_ranges() {
+        let l = FnLatency::new("const", |_| 1.5);
+        // max_step default scan up to and including u64::MAX.
+        assert_eq!(l.max_step(u64::MAX - 200, u64::MAX), 0.0);
+        // sum_range default over a window whose last load is u64::MAX.
+        assert_eq!(l.sum_range(u64::MAX - 199, 0..200), 1.5 * 200.0);
+        // Affine closed form on an astronomical window: count·base
+        // overflows u128, so the f64 fallback must carry the identity.
+        let a = Affine::linear(1.0);
+        let s = a.sum_range(u64::MAX, 0..u64::MAX);
+        let m = u64::MAX as f64;
+        let expect = m * m + (m - 1.0) * m * 0.5;
+        assert!(
+            s.is_finite() && (s - expect).abs() <= 1e-9 * expect,
+            "astronomical affine sum {s} vs {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "range length")]
+    fn eval_range_rejects_wrong_buffer_length() {
+        let mut out = [0.0; 2];
+        Constant::new(1.0).eval_range_into(0, 0..3, &mut out);
+    }
+
+    /// The batched elasticity estimator is bit-identical to the original
+    /// closure-based scan.
+    #[test]
+    fn batched_elasticity_matches_closure_estimator() {
+        for l in &all_families() {
+            let batched = estimate_elasticity_batched(&**l, 150);
+            let scalar = estimate_elasticity(&|x| l.value(x), 150);
+            assert_eq!(batched.to_bits(), scalar.to_bits(), "{l:?}");
+        }
     }
 }

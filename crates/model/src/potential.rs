@@ -10,10 +10,13 @@ use crate::state::State;
 
 /// Rosenthal potential of `state`: `Σ_e Σ_{i=1..x_e} ℓ_e(i)`.
 ///
-/// Runs in `O(Σ_e x_e)` latency evaluations; engines maintain the potential
-/// incrementally (see [`potential_delta_for_load_change`]) and use this for
-/// verification and initialization. Base loads from virtual agents shift the
-/// summation window: the sum runs over `i ∈ x⁰_e+1 ..= x⁰_e+x_e` so that only
+/// Runs in `O(Σ_e x_e)` latency evaluations — one batched
+/// [`Latency::sum_range`](crate::Latency::sum_range) walk per resource
+/// instead of one virtual call per load (`O(1)` for the closed-form
+/// families); engines maintain the potential incrementally (see
+/// [`potential_delta_for_load_change`]) and use this for verification and
+/// initialization. Base loads from virtual agents shift the summation
+/// window: the sum runs over `i ∈ x⁰_e+1 ..= x⁰_e+x_e` so that only
 /// player-induced congestion contributes, matching the incremental updates.
 pub fn potential(game: &CongestionGame, state: &State) -> f64 {
     let mut phi = 0.0;
@@ -21,9 +24,7 @@ pub fn potential(game: &CongestionGame, state: &State) -> f64 {
         let rid = crate::resource::ResourceId::new(idx as u32);
         let base = state.effective_load(rid) - state.load(rid);
         let x = state.load(rid);
-        for i in 1..=x {
-            phi += r.latency_at(base + i);
-        }
+        phi += r.latency().sum_range(base, 1..x + 1);
     }
     phi
 }
@@ -40,9 +41,7 @@ pub fn potential_of_loads(game: &CongestionGame, loads: &[u64]) -> f64 {
     assert_eq!(loads.len(), game.num_resources(), "load vector length mismatch");
     let mut phi = 0.0;
     for (r, &x) in game.resources().iter().zip(loads) {
-        for i in 1..=x {
-            phi += r.latency_at(i);
-        }
+        phi += r.latency().sum_range(0, 1..x + 1);
     }
     phi
 }
@@ -55,7 +54,12 @@ pub fn potential_of_loads(game: &CongestionGame, loads: &[u64]) -> f64 {
 ///
 /// Summing this over all changed resources gives the exact `ΔΦ` of a
 /// migration batch, which is how the engines keep `Φ` current in `O(|Δx|)`
-/// latency evaluations per round.
+/// latency evaluations per round — the walk over the intermediate loads is
+/// one batched [`Latency::sum_range`](crate::Latency::sum_range) call:
+/// left-to-right summation (bit-identical to the scalar loop it replaced)
+/// for the families on the default, and exact closed forms for
+/// constant/affine resources, which may differ from that loop by ulps
+/// (see the exactness notes in [`latency`](crate::latency)).
 pub fn potential_delta_for_load_change(
     game: &CongestionGame,
     r: crate::resource::ResourceId,
@@ -65,9 +69,9 @@ pub fn potential_delta_for_load_change(
 ) -> f64 {
     let res = game.resource(r);
     if new > old {
-        (old + 1..=new).map(|u| res.latency_at(base + u)).sum()
+        res.latency().sum_range(base, old + 1..new + 1)
     } else if old > new {
-        -(new + 1..=old).map(|u| res.latency_at(base + u)).sum::<f64>()
+        -res.latency().sum_range(base, new + 1..old + 1)
     } else {
         0.0
     }

@@ -387,6 +387,86 @@ fn kernel_streams_are_pinned() {
     );
 }
 
+/// Big-flow pin for the batched latency paths: with 10⁵ players on three
+/// skewed linear links, the first aggregate rounds migrate >10³ players
+/// per resource, so every `ΔΦ` update walks >10³ intermediate loads
+/// through one `Latency::sum_range` call. Pins the exact per-round counts
+/// **and the bit pattern of every potential** — the batched evaluation
+/// layer must keep both unchanged (same re-pinning rules as
+/// [`kernel_streams_are_pinned`]).
+#[test]
+fn big_flow_aggregate_stream_and_potentials_pinned() {
+    let game = games::linear_singleton(3, 100_000);
+    let start = games::geometric_state(&game);
+    let mut sim = Simulation::new(&game, ImitationProtocol::paper_default().into(), start)
+        .expect("valid simulation")
+        .with_engine(EngineKind::Aggregate);
+    let mut rng = fixture_rng("eq/big-flow", 11);
+    assert_eq!(
+        sim.potential().to_bits(),
+        0x41e4f48fa3000000,
+        "initial potential (batched full evaluation) drifted"
+    );
+    let mut prev_loads = sim.state().loads().to_vec();
+    let mut counts = Vec::new();
+    let mut potentials = Vec::new();
+    for round in 0..3 {
+        sim.step(&mut rng).expect("step");
+        let max_delta = prev_loads
+            .iter()
+            .zip(sim.state().loads())
+            .map(|(&o, &n)| o.abs_diff(n))
+            .max()
+            .expect("non-empty loads");
+        assert!(
+            max_delta > 1_000,
+            "round {round}: the big-flow fixture must walk >10³ loads per ΔΦ (got {max_delta})"
+        );
+        prev_loads.copy_from_slice(sim.state().loads());
+        counts.push(sim.state().counts().to_vec());
+        potentials.push(sim.potential().to_bits());
+    }
+    assert_eq!(
+        counts,
+        vec![vec![60921, 25568, 13511], vec![59621, 26008, 14371], vec![58557, 26357, 15086]],
+        "big-flow aggregate kernel stream drifted from the pinned trajectory"
+    );
+    assert_eq!(
+        potentials,
+        vec![0x41e4bcbb05200000, 0x41e4972cc3200000, 0x41e47e603b800000],
+        "recorded potentials drifted — the batched ΔΦ path changed a bit"
+    );
+}
+
+/// Incremental `ΔΦ` (batched `sum_range` walks per changed resource) vs a
+/// from-scratch `potential` recomputation over 10³ rounds — **exact**
+/// equality, not tolerance. The fixture's integer-slope linear latencies
+/// make every latency, window sum, and closed-form value an exactly
+/// representable integer, so the incremental and the batch-recomputed
+/// potential must agree to the last bit on every single round; any
+/// deviation means the two paths compute different sums.
+#[test]
+fn incremental_potential_has_zero_drift_over_1000_rounds() {
+    let game = games::linear_singleton(4, 500);
+    let start = games::geometric_state(&game);
+    for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
+        let mut sim =
+            Simulation::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid simulation")
+                .with_engine(engine);
+        let mut rng = fixture_rng("eq/drift", 3);
+        for round in 0..1_000 {
+            sim.step(&mut rng).expect("step");
+            let exact = potential(&game, sim.state());
+            assert_eq!(
+                sim.potential().to_bits(),
+                exact.to_bits(),
+                "{engine:?}: incremental potential drifted from {exact} at round {round}"
+            );
+        }
+    }
+}
+
 /// The start states themselves are engine-independent fixtures; pin their
 /// shape so drift in the fixtures cannot masquerade as engine agreement.
 #[test]

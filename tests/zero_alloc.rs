@@ -16,16 +16,22 @@ use congames::model::{Affine, CongestionGame, State};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// Per-thread counter so the measurement is immune to allocations the test
+// harness performs concurrently on other threads (a real, observed source
+// of flaky counts with a process-global counter). The `const` initializer
+// keeps TLS access allocation-free; `try_with` tolerates thread teardown.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 // SAFETY: delegates directly to `System`, only incrementing a counter.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
@@ -34,7 +40,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -42,8 +48,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Allocations performed by the *current* thread so far.
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(Cell::get)
 }
 
 /// Eight asymmetric linear links with a heavily skewed start: the dynamics
@@ -104,6 +111,89 @@ fn assert_steady_state_alloc_free(
     );
 }
 
+/// Big-flow aggregate rounds: 2¹⁶ players on 8 links, so the early rounds
+/// migrate thousands of players per resource and every `ΔΦ` update walks
+/// more than 10³ intermediate loads through the batched
+/// `Latency::sum_range` (which must chunk through its fixed stack buffer,
+/// never the heap).
+fn assert_big_flow_rounds_alloc_free() {
+    let game = CongestionGame::singleton(
+        (0..8).map(|i| Affine::linear(1.0 + 0.25 * i as f64).into()).collect(),
+        1 << 16,
+    )
+    .expect("valid game");
+    let mut counts = vec![1024u64; 8];
+    counts[0] = (1 << 16) - 7 * 1024;
+    let start = State::from_counts(&game, counts).expect("valid start");
+    let mut sim = Simulation::new(
+        &game,
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+        start,
+    )
+    .expect("valid simulation")
+    .with_engine(EngineKind::Aggregate);
+    let mut rng = SmallRng::seed_from_u64(77);
+    // Warm-up: round 1 carries the single largest flow, so two rounds put
+    // every scratch buffer at its high-water mark.
+    for _ in 0..2 {
+        sim.step(&mut rng).expect("warm-up round");
+    }
+    let mut prev_loads = sim.state().loads().to_vec();
+    let before = allocations();
+    let mut max_delta = 0u64;
+    for _ in 0..10 {
+        sim.step(&mut rng).expect("big-flow round");
+        for (o, &n) in prev_loads.iter_mut().zip(sim.state().loads()) {
+            max_delta = max_delta.max(o.abs_diff(n));
+            *o = n;
+        }
+    }
+    let after = allocations();
+    assert!(
+        max_delta > 1_000,
+        "big-flow window must walk >10³ intermediate loads per ΔΦ (got {max_delta})"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "big-flow aggregate rounds: {} heap allocations in 10 measured rounds",
+        after - before
+    );
+}
+
+/// Full latency-cache rebuilds (invalidate + `ensure_latency_cache`) on a
+/// warmed state: the batched per-resource pair evaluation and the
+/// cleared-then-refilled cache vectors must reuse their capacity.
+fn assert_cache_rebuild_alloc_free() {
+    use congames::model::Monomial;
+    let lats = (0..64)
+        .map(|i| -> congames::model::LatencyFn {
+            if i % 2 == 0 {
+                Affine::linear(1.0 + i as f64).into()
+            } else {
+                Monomial::new(1.0 + i as f64, 2).into()
+            }
+        })
+        .collect();
+    let game = CongestionGame::singleton(lats, 4096).expect("valid game");
+    let mut counts = vec![64u64; 64];
+    counts[0] = 4096 - 63 * 64;
+    let mut state = State::from_counts(&game, counts).expect("valid state");
+    state.ensure_latency_cache(&game); // warm: allocates the tables once
+    let before = allocations();
+    for _ in 0..100 {
+        state.invalidate_latency_cache();
+        state.ensure_latency_cache(&game);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "latency-cache rebuild: {} heap allocations in 100 rebuilds",
+        after - before
+    );
+}
+
 #[test]
 fn round_kernels_do_not_allocate_in_steady_state() {
     let base = ImitationProtocol::paper_default().with_nu_rule(NuRule::None);
@@ -125,4 +215,8 @@ fn round_kernels_do_not_allocate_in_steady_state() {
             steady,
         );
     }
+    // The batched-latency paths this repo's perf story now rests on:
+    // big-flow ΔΦ walks and full cache rebuilds stay off the heap too.
+    assert_big_flow_rounds_alloc_free();
+    assert_cache_rebuild_alloc_free();
 }

@@ -23,13 +23,18 @@
 use std::process::ExitCode;
 
 /// Benchmarks that must never regress silently: the aggregate kernel's
-/// `n`-independence flagship, the player-level kernel, and the ensemble
-/// runner (serial and parallel).
+/// `n`-independence flagship, the player-level kernel, the ensemble
+/// runner, and the batched latency paths (the big-flow `ΔΦ` walk and the
+/// latency-cache rebuild that `Latency::eval_range_into`/`sum_range`
+/// accelerate).
 const DEFAULT_PINS: &[&str] = &[
     "round/aggregate/n10000_m64",
     "round/aggregate/n1000000_m8",
     "round/player_level/10000",
     "ensemble/trials16_rounds32/t1",
+    "potential/delta_walk/x4096",
+    "cache_rebuild/rebuild/m64",
+    "cache_rebuild/rebuild/m1024",
 ];
 
 fn main() -> ExitCode {
@@ -214,7 +219,10 @@ mod tests {
   "benchmarks": [
     {"id": "round/aggregate/n10000_m64", "ns_per_iter": 368.4, "iters": 120000},
     {"id": "round/player_level/10000", "ns_per_iter": 43400.0, "iters": 1200},
-    {"id": "ensemble/trials16_rounds32/t1", "ns_per_iter": 901000.5, "iters": 60}
+    {"id": "ensemble/trials16_rounds32/t1", "ns_per_iter": 901000.5, "iters": 60},
+    {"id": "potential/delta_walk/x4096", "ns_per_iter": 1800.0, "iters": 25000},
+    {"id": "cache_rebuild/rebuild/m64", "ns_per_iter": 950.0, "iters": 50000},
+    {"id": "cache_rebuild/rebuild/m1024", "ns_per_iter": 15000.0, "iters": 3000}
   ]
 }
 "#;
@@ -222,7 +230,7 @@ mod tests {
     #[test]
     fn parses_the_report_shape() {
         let parsed = parse_report(SAMPLE).unwrap();
-        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.len(), 6);
         assert_eq!(parsed[0].0, "round/aggregate/n10000_m64");
         assert_eq!(parsed[0].1, 368.4);
         assert_eq!(parsed[2].1, 901000.5);
@@ -292,11 +300,41 @@ mod tests {
         // labels of the vendored criterion).
         for pin in DEFAULT_PINS {
             assert!(
-                pin.starts_with("round/") || pin.starts_with("ensemble/"),
+                pin.starts_with("round/")
+                    || pin.starts_with("ensemble/")
+                    || pin.starts_with("potential/")
+                    || pin.starts_with("cache_rebuild/"),
                 "unexpected pin group: {pin}"
             );
         }
         let parsed = parse_report(SAMPLE).unwrap();
-        assert!(parsed.iter().any(|(id, _)| id == DEFAULT_PINS[0]));
+        for pin in DEFAULT_PINS.iter().filter(|p| !p.starts_with("round/aggregate/n1000000")) {
+            assert!(
+                parsed.iter().any(|(id, _)| id == pin),
+                "pinned id {pin} must parse out of a report that contains it"
+            );
+        }
+    }
+
+    /// The batched-latency bench ids added with the `eval_range_into`
+    /// layer are accepted by the parser and covered by the default pins,
+    /// so the perf-trend gate guards the paths that layer optimizes.
+    #[test]
+    fn batched_latency_pins_are_parsed_and_pinned() {
+        for id in [
+            "potential/delta_walk/x4096",
+            "cache_rebuild/rebuild/m64",
+            "cache_rebuild/rebuild/m1024",
+        ] {
+            assert!(DEFAULT_PINS.contains(&id), "{id} missing from DEFAULT_PINS");
+            let report = format!(
+                "{{\n  \"benchmarks\": [\n    {{\"id\": \"{id}\", \"ns_per_iter\": 12.5, \"iters\": 10}}\n  ]\n}}\n"
+            );
+            let parsed = parse_report(&report).unwrap();
+            assert_eq!(parsed, vec![(id.to_string(), 12.5)]);
+            // A report carrying the new id diffs cleanly against itself.
+            let d = diff(&parsed, &parsed, &[id], 1.5);
+            assert!(d.ok, "{}", d.text);
+        }
     }
 }
