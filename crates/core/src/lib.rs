@@ -98,7 +98,7 @@ pub mod sequential;
 mod stopping;
 mod trajectory;
 
-pub use engine::{EngineKind, RoundStats, Simulation};
+pub use engine::{EngineKind, MuMemoStats, RoundStats, Simulation};
 pub use ensemble::{run_indexed, Ensemble};
 pub use error::DynamicsError;
 pub use expectation::PairFlow;

@@ -83,6 +83,10 @@ fn run_sequential(
     rng: &mut impl Rng,
     support_only: bool,
 ) -> Result<SequentialOutcome, DynamicsError> {
+    // Build the support index once; `apply_move` maintains it, so every
+    // scan below iterates occupied strategies instead of testing
+    // `count == 0` across the dense range.
+    state.ensure_support_index(game);
     let mut steps = 0u64;
     while steps < max_steps {
         let deviation = match rule {
@@ -136,6 +140,11 @@ pub fn improving_deviations(
 /// Scan deviations in class/strategy order. If `collect` is provided, every
 /// improving deviation is pushed (and the scan completes); otherwise the
 /// first one is returned.
+///
+/// Origins — and, with `support_only`, destinations — iterate the state's
+/// [`State::occupied_or_scan`] view: the support index when it is built
+/// (ascending strategy id, the same order as the dense scan), a
+/// count-testing dense fallback otherwise.
 fn first_improving(
     game: &CongestionGame,
     state: &State,
@@ -143,29 +152,45 @@ fn first_improving(
     support_only: bool,
     mut collect: Option<&mut Vec<BestDeviation>>,
 ) -> Option<BestDeviation> {
-    for class in game.classes() {
-        for from_raw in class.strategy_range() {
-            let from = StrategyId::new(from_raw);
-            if state.count(from) == 0 {
-                continue;
-            }
+    for (ci, class) in game.classes().iter().enumerate() {
+        for from in state.occupied_or_scan(game, ci) {
             let l_from = state.strategy_latency(game, from);
-            for to_raw in class.strategy_range() {
-                if to_raw == from_raw {
-                    continue;
-                }
-                let to = StrategyId::new(to_raw);
-                if support_only && state.count(to) == 0 {
-                    continue;
-                }
-                let gain = l_from - state.latency_after_move(game, from, to);
-                if gain > tol {
-                    let dev = BestDeviation { from, to, gain };
-                    match collect.as_deref_mut() {
-                        Some(v) => v.push(dev),
-                        None => return Some(dev),
+            let mut first = None;
+            {
+                // Returns `true` to stop the scan (first-found mode).
+                let mut scan = |to: StrategyId| -> bool {
+                    if to == from {
+                        return false;
+                    }
+                    let gain = l_from - state.latency_after_move(game, from, to);
+                    if gain > tol {
+                        let dev = BestDeviation { from, to, gain };
+                        match collect.as_deref_mut() {
+                            Some(v) => v.push(dev),
+                            None => {
+                                first = Some(dev);
+                                return true;
+                            }
+                        }
+                    }
+                    false
+                };
+                if support_only {
+                    for to in state.occupied_or_scan(game, ci) {
+                        if scan(to) {
+                            break;
+                        }
+                    }
+                } else {
+                    for to in class.strategy_ids() {
+                        if scan(to) {
+                            break;
+                        }
                     }
                 }
+            }
+            if first.is_some() {
+                return first;
             }
         }
     }
@@ -250,6 +275,37 @@ mod tests {
             .unwrap();
         assert!(br.converged);
         assert_eq!(s2.count(sid(1)), 4);
+    }
+
+    /// Support invariance survives the support-index refactor: a run that
+    /// *does* migrate still never adopts an unused strategy, and the index
+    /// the run builds stays consistent through every applied move.
+    #[test]
+    fn sequential_imitation_stays_in_support_while_migrating() {
+        // Links 2/3 are far cheaper but unused; sequential imitation must
+        // rebalance within {0, 1} and never discover them.
+        let game = CongestionGame::singleton(
+            vec![
+                Affine::linear(1.0).into(),
+                Affine::linear(1.0).into(),
+                Affine::linear(0.001).into(),
+                Affine::linear(0.001).into(),
+            ],
+            8,
+        )
+        .unwrap();
+        let mut state = State::from_counts(&game, vec![7, 1, 0, 0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let out = sequential_imitation(&game, &mut state, 0.0, 100, PivotRule::BestGain, &mut rng)
+            .unwrap();
+        assert!(out.converged);
+        assert!(out.steps > 0, "rebalancing inside the support must happen");
+        assert_eq!(state.count(sid(2)), 0);
+        assert_eq!(state.count(sid(3)), 0);
+        assert_eq!(state.count(sid(0)) + state.count(sid(1)), 8);
+        // The run built the index and every applied move maintained it.
+        assert!(state.support_index_valid());
+        assert!(state.support_consistent(&game));
     }
 
     #[test]

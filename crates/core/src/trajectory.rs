@@ -19,7 +19,9 @@ pub struct RoundRecord {
     /// record of round 0; a run resumed from a manually-stepped state
     /// reports the migrations of the step that produced its start round).
     pub migrations: u64,
-    /// Number of strategies in use.
+    /// Number of strategies in use (`O(1)` off the state's support index,
+    /// which the engines keep maintained — recording never rescans the
+    /// counts).
     pub support: usize,
     /// Fraction of players on expensive/cheap strategies per Definition 1,
     /// when an [`ApproxEquilibrium`] was configured.

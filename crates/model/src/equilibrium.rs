@@ -23,6 +23,11 @@ pub struct BestDeviation {
 /// another player (i.e. reachable by imitation); with `false` all strategies
 /// of the player's class are candidates (the best-response view).
 ///
+/// Origins — and, with `support_only`, destinations — iterate the state's
+/// [`State::occupied_or_scan`] view: the support index when it is built,
+/// in the same ascending-id order as the dense scan it replaces, with a
+/// count-testing dense fallback for index-less states.
+///
 /// Returns `None` if no player exists or no strictly improving deviation
 /// exists.
 pub fn best_deviation(
@@ -31,28 +36,24 @@ pub fn best_deviation(
     support_only: bool,
 ) -> Option<BestDeviation> {
     let mut best: Option<BestDeviation> = None;
-    for class in game.classes() {
-        for from in class.strategy_ids() {
-            let cnt = state.count(from);
-            if cnt == 0 {
-                continue;
-            }
+    for (ci, class) in game.classes().iter().enumerate() {
+        for from in state.occupied_or_scan(game, ci) {
             let l_from = state.strategy_latency(game, from);
-            for to in class.strategy_ids() {
+            let mut consider = |to: StrategyId| {
                 if to == from {
-                    continue;
-                }
-                if support_only {
-                    // Imitation requires someone to sample on the target.
-                    if state.count(to) == 0 {
-                        continue;
-                    }
+                    return;
                 }
                 let l_to = state.latency_after_move(game, from, to);
                 let gain = l_from - l_to;
                 if gain > 0.0 && best.map_or(true, |b| gain > b.gain) {
                     best = Some(BestDeviation { from, to, gain });
                 }
+            };
+            if support_only {
+                // Imitation requires someone to sample on the target.
+                state.occupied_or_scan(game, ci).for_each(&mut consider);
+            } else {
+                class.strategy_ids().for_each(&mut consider);
             }
         }
     }

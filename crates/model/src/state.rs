@@ -1,4 +1,38 @@
 //! Game states: strategy counts and derived resource loads.
+//!
+//! # Caches & invariants
+//!
+//! A [`State`] carries two opt-in, incrementally co-maintained caches next
+//! to its logical contents (`counts`, `loads`, `base_loads`). Both are
+//! invisible to `PartialEq`/`Debug`, both stay invalid (and cost nothing)
+//! until their `ensure_*` method runs, and both are then kept fresh by the
+//! `apply_*` mutators in time proportional to what actually changed:
+//!
+//! * **Latency cache** ([`State::ensure_latency_cache`]): `ℓ_e(x_e)`,
+//!   `ℓ_e(x_e+1)` per resource and `ℓ_P(x)` per strategy. Mutators
+//!   re-evaluate only resources whose load changed and mark the
+//!   per-strategy sums stale; `ensure_latency_cache` (typically once per
+//!   simulated round) re-validates the sums.
+//! * **Support index** ([`State::ensure_support_index`]): per player
+//!   class, the sorted list of strategies with `x_P > 0`, plus a
+//!   strategy→position map and a running total. Mutators insert/remove a
+//!   strategy exactly when its count crosses zero (`O(support)` per
+//!   changed strategy — a shift within the class's occupied list), so
+//!   [`State::support_size`] and [`State::support_of_class`] are `O(1)`
+//!   and [`State::occupied`] exposes the sorted occupancy for sparse
+//!   kernels. Imitation dynamics never adopt a strategy outside the
+//!   current support (the paper's support-invariance lemma), so near
+//!   convergence this list is much shorter than the strategy range.
+//!
+//! Shared invariants: each cache is keyed to the *game that built it*
+//! (same resource/strategy/class shape); a differently-shaped game falls
+//! back to direct computation (reads) or invalidates the cache (writes).
+//! The latency cache additionally depends on the latency *functions* —
+//! call [`State::invalidate_latency_cache`] when moving a state between
+//! same-shape games with different latencies. The support index depends
+//! only on the counts, so it survives such swaps. Diagnostics:
+//! [`State::loads_consistent`] and [`State::support_consistent`] compare
+//! the incremental structures against a from-scratch recomputation.
 
 use crate::error::GameError;
 use crate::game::CongestionGame;
@@ -54,6 +88,40 @@ struct LatencyCache {
     outflow: Vec<u64>,
 }
 
+/// Sentinel for "strategy is not in its class's occupied list".
+const NO_POS: u32 = u32::MAX;
+
+/// Incrementally-maintained per-class support index: for every player
+/// class, the strategies with `x_P > 0`, **sorted by strategy id**.
+///
+/// Like the latency cache this is opt-in ([`State::ensure_support_index`])
+/// and maintained by the `apply_*` mutators once built: a strategy is
+/// inserted into / removed from its class's list exactly when its count
+/// crosses zero. The sorted order is load-bearing — sparse kernels iterate
+/// these lists in place of dense strategy ranges, and ascending-id order
+/// keeps pair visitation (and hence RNG consumption and float summation
+/// order) bit-identical to the dense scans they replace.
+#[derive(Debug, Clone, Default)]
+struct SupportIndex {
+    /// Whether the lists mirror the current counts.
+    valid: bool,
+    /// Per class: sorted strategy ids with `x_P > 0`. Each list's capacity
+    /// is reserved to the class's full strategy count at build time, so
+    /// steady-state maintenance never allocates.
+    occupied: Vec<Vec<StrategyId>>,
+    /// Position of each strategy within its class's occupied list
+    /// ([`NO_POS`] when unoccupied).
+    pos: Vec<u32>,
+    /// Start of each class's strategy range in the game that built the
+    /// index. Together with `pos.len()` (the strategy count) this
+    /// fingerprints the class partition, so a same-sized game that slices
+    /// its strategies into classes differently is detected as a shape
+    /// mismatch instead of being served the wrong per-class lists.
+    class_starts: Vec<u32>,
+    /// Total occupied strategies over all classes (`Σ_c support_c`).
+    total: usize,
+}
+
 /// A state `x` of a congestion game: the number of players on every strategy
 /// (`x_P`) plus the derived congestion of every resource (`x_e`).
 ///
@@ -86,6 +154,7 @@ pub struct State {
     /// added to the player-induced congestion before evaluating latencies.
     base_loads: Option<Vec<u64>>,
     cache: LatencyCache,
+    support: SupportIndex,
 }
 
 impl PartialEq for State {
@@ -135,7 +204,13 @@ impl State {
             }
         }
         let loads = loads_from_counts(game, &counts);
-        Ok(State { counts, loads, base_loads: None, cache: LatencyCache::default() })
+        Ok(State {
+            counts,
+            loads,
+            base_loads: None,
+            cache: LatencyCache::default(),
+            support: SupportIndex::default(),
+        })
     }
 
     /// Create the state in which every player of every class uses the class's
@@ -147,7 +222,13 @@ impl State {
             counts[first] = class.players();
         }
         let loads = loads_from_counts(game, &counts);
-        State { counts, loads, base_loads: None, cache: LatencyCache::default() }
+        State {
+            counts,
+            loads,
+            base_loads: None,
+            cache: LatencyCache::default(),
+            support: SupportIndex::default(),
+        }
     }
 
     /// Attach base loads (one virtual agent per strategy, Section 6): each
@@ -206,8 +287,233 @@ impl State {
     }
 
     /// Number of strategies with at least one player (the *support*).
+    ///
+    /// `O(1)` off the support index once [`State::ensure_support_index`]
+    /// has run (the index is cross-checked against a recount in debug
+    /// builds); falls back to an `O(S)` filter-count otherwise.
     pub fn support_size(&self) -> usize {
+        if self.support.valid {
+            debug_assert_eq!(
+                self.support.total,
+                self.counts.iter().filter(|&&c| c > 0).count(),
+                "support index total drifted from the recomputed support size"
+            );
+            return self.support.total;
+        }
         self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Number of occupied strategies of class `class` (`O(1)` off the
+    /// support index, recounted otherwise; debug builds cross-check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range for `game`.
+    pub fn support_of_class(&self, game: &CongestionGame, class: usize) -> usize {
+        let recount = || {
+            game.classes()[class].strategy_range().filter(|&s| self.counts[s as usize] > 0).count()
+        };
+        if self.support_usable(game) {
+            let size = self.support.occupied[class].len();
+            debug_assert_eq!(
+                size,
+                recount(),
+                "support index of class {class} drifted from the recomputed support"
+            );
+            return size;
+        }
+        recount()
+    }
+
+    /// The sorted (ascending strategy id) occupied strategies of class
+    /// `class` of `game`, or `None` while the support index is not built
+    /// (or was built for an incompatible class partition) — callers with
+    /// a `&mut State` can [`State::ensure_support_index`] first,
+    /// read-only callers fall back to scanning the dense range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range for `game`.
+    pub fn occupied(&self, game: &CongestionGame, class: usize) -> Option<&[StrategyId]> {
+        if self.support_usable_for(game, class) {
+            Some(self.support.occupied[class].as_slice())
+        } else {
+            None
+        }
+    }
+
+    /// Iterate the occupied strategies of class `class`, ascending by id:
+    /// served from the support index when it is built for `game`
+    /// (`O(support_c)`), recomputed from the counts otherwise
+    /// (`O(S_c)`). The shared primitive behind the sparse deviation scans
+    /// ([`best_deviation`](crate::best_deviation), sequential dynamics),
+    /// so the fallback semantics live in one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range for `game`.
+    pub fn occupied_or_scan<'a>(
+        &'a self,
+        game: &'a CongestionGame,
+        class: usize,
+    ) -> impl Iterator<Item = StrategyId> + 'a {
+        let indexed = self.occupied(game, class);
+        let dense = match indexed {
+            Some(_) => None,
+            None => Some(game.classes()[class].strategy_ids().filter(move |&s| self.count(s) > 0)),
+        };
+        indexed.into_iter().flatten().copied().chain(dense.into_iter().flatten())
+    }
+
+    /// Build (or re-validate) the support index for this state against
+    /// `game`. Once built, the `apply_*` mutators maintain it in
+    /// `O(support)` per strategy whose count crosses zero, so re-ensuring
+    /// every round is `O(1)` and allocation-free.
+    pub fn ensure_support_index(&mut self, game: &CongestionGame) {
+        if self.support_usable(game) {
+            return;
+        }
+        let idx = &mut self.support;
+        idx.pos.clear();
+        idx.pos.resize(game.num_strategies(), NO_POS);
+        idx.occupied.iter_mut().for_each(Vec::clear);
+        idx.occupied.resize_with(game.classes().len(), Vec::new);
+        idx.class_starts.clear();
+        idx.class_starts.extend(game.classes().iter().map(|c| c.strategy_range().start));
+        idx.total = 0;
+        for (ci, class) in game.classes().iter().enumerate() {
+            let list = &mut idx.occupied[ci];
+            // Full-class capacity up front: support maintenance must never
+            // allocate, whatever occupancy pattern the dynamics produce.
+            list.reserve(class.num_strategies());
+            for raw in class.strategy_range() {
+                if self.counts[raw as usize] > 0 {
+                    idx.pos[raw as usize] = list.len() as u32;
+                    list.push(StrategyId::new(raw));
+                    idx.total += 1;
+                }
+            }
+        }
+        idx.valid = true;
+    }
+
+    /// Whether the support index currently mirrors the counts.
+    pub fn support_index_valid(&self) -> bool {
+        self.support.valid
+    }
+
+    /// Drop the support index; [`State::support_size`] recounts and
+    /// [`State::occupied`] returns `None` until
+    /// [`State::ensure_support_index`] runs again.
+    pub fn invalidate_support_index(&mut self) {
+        self.support.valid = false;
+    }
+
+    /// Whether the support index can serve queries against `game`: built,
+    /// and for the same strategy/class shape — the strategy count, the
+    /// class count, *and* the class partition (range starts) must match,
+    /// so a same-sized game sliced into classes differently falls back
+    /// (reads) or drops the index (writes) instead of serving another
+    /// game's per-class lists.
+    #[inline]
+    fn support_usable(&self, game: &CongestionGame) -> bool {
+        self.support.valid
+            && self.support.pos.len() == game.num_strategies()
+            && self.support.class_starts.len() == game.classes().len()
+            && game
+                .classes()
+                .iter()
+                .zip(&self.support.class_starts)
+                .all(|(c, &start)| c.strategy_range().start == start)
+    }
+
+    /// Whether class `class`'s occupied list can serve reads against
+    /// `game`: the `O(1)` per-class variant of [`State::support_usable`].
+    /// Matching this class's range start *and* end (the next class's
+    /// start, or the strategy count for the last class) pins its exact
+    /// strategy range — ranges are contiguous and consecutive — so the
+    /// list is correct for `game` whatever the other classes look like.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range for `game`.
+    #[inline]
+    fn support_usable_for(&self, game: &CongestionGame, class: usize) -> bool {
+        let idx = &self.support;
+        let range = game.classes()[class].strategy_range();
+        idx.valid
+            && idx.pos.len() == game.num_strategies()
+            && idx.class_starts.len() == game.classes().len()
+            && idx.class_starts[class] == range.start
+            && idx.class_starts.get(class + 1).copied().unwrap_or(idx.pos.len() as u32) == range.end
+    }
+
+    /// Insert `s` (count just became positive) into its class's occupied
+    /// list, keeping the list sorted and the position map consistent.
+    fn support_insert(&mut self, game: &CongestionGame, s: StrategyId) {
+        let list = &mut self.support.occupied[game.class_of(s)];
+        let at = list.partition_point(|&x| x < s);
+        list.insert(at, s);
+        for &shifted in &list[at + 1..] {
+            self.support.pos[shifted.index()] += 1;
+        }
+        self.support.pos[s.index()] = at as u32;
+        self.support.total += 1;
+    }
+
+    /// Remove `s` (count just reached zero) from its class's occupied list.
+    fn support_remove(&mut self, game: &CongestionGame, s: StrategyId) {
+        let at = self.support.pos[s.index()] as usize;
+        let list = &mut self.support.occupied[game.class_of(s)];
+        debug_assert_eq!(list.get(at), Some(&s), "position map out of sync");
+        list.remove(at);
+        for &shifted in &list[at..] {
+            self.support.pos[shifted.index()] -= 1;
+        }
+        self.support.pos[s.index()] = NO_POS;
+        self.support.total -= 1;
+    }
+
+    /// Diagnostic (`debug_assert`-style check): whether the support index
+    /// matches a from-scratch occupancy recomputation — membership,
+    /// sortedness, the position map, and the running total.
+    ///
+    /// Returns `true` when the index is not built (nothing to disagree
+    /// with).
+    pub fn support_consistent(&self, game: &CongestionGame) -> bool {
+        if !self.support.valid {
+            return true;
+        }
+        if !self.support_usable(game) {
+            return false;
+        }
+        let idx = &self.support;
+        let mut total = 0usize;
+        for (ci, class) in game.classes().iter().enumerate() {
+            let list = &idx.occupied[ci];
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            let expected: Vec<StrategyId> = class
+                .strategy_range()
+                .filter(|&s| self.counts[s as usize] > 0)
+                .map(StrategyId::new)
+                .collect();
+            if list != &expected {
+                return false;
+            }
+            for (at, &s) in list.iter().enumerate() {
+                if idx.pos[s.index()] != at as u32 {
+                    return false;
+                }
+            }
+            total += list.len();
+        }
+        if idx.total != total {
+            return false;
+        }
+        // Unoccupied strategies must not claim a position.
+        idx.pos.iter().enumerate().all(|(i, &p)| (p == NO_POS) == (self.counts[i] == 0))
     }
 
     /// Build (or refresh) the latency cache for this state against `game`.
@@ -426,8 +732,20 @@ impl State {
                 requested: count,
             });
         }
+        if self.support.valid && !self.support_usable(game) {
+            self.support.valid = false;
+        }
+        let to_was_empty = self.counts[to.index()] == 0;
         self.counts[from.index()] -= count;
         self.counts[to.index()] += count;
+        if self.support.valid {
+            if self.counts[from.index()] == 0 {
+                self.support_remove(game, from);
+            }
+            if to_was_empty {
+                self.support_insert(game, to);
+            }
+        }
         let from_s = game.strategy(from);
         let to_s = game.strategy(to);
         let loads = &mut self.loads;
@@ -470,12 +788,24 @@ impl State {
         let validated = self.validate_batch(game, migrations, &mut outflow);
         self.cache.outflow = outflow;
         validated?;
+        if self.support.valid && !self.support_usable(game) {
+            self.support.valid = false;
+        }
         for m in migrations {
             if m.from == m.to || m.count == 0 {
                 continue;
             }
+            let to_was_empty = self.counts[m.to.index()] == 0;
             self.counts[m.from.index()] -= m.count;
             self.counts[m.to.index()] += m.count;
+            if self.support.valid {
+                if self.counts[m.from.index()] == 0 {
+                    self.support_remove(game, m.from);
+                }
+                if to_was_empty {
+                    self.support_insert(game, m.to);
+                }
+            }
             let from_s = game.strategy(m.from);
             let to_s = game.strategy(m.to);
             let loads = &mut self.loads;
@@ -800,6 +1130,147 @@ mod tests {
         a.invalidate_latency_cache();
         assert!(!a.latency_cache_valid());
         assert_eq!(a.strategy_latency(&game, sid(0)), 3.0);
+    }
+
+    #[test]
+    fn support_index_builds_and_serves_o1_metrics() {
+        let game = overlap_game(6);
+        let mut s = State::from_counts(&game, vec![2, 0, 4]).unwrap();
+        assert!(!s.support_index_valid());
+        assert!(s.occupied(&game, 0).is_none());
+        assert_eq!(s.support_size(), 2); // fallback recount
+        s.ensure_support_index(&game);
+        assert!(s.support_index_valid());
+        assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(0), sid(2)]);
+        assert_eq!(s.support_size(), 2);
+        assert_eq!(s.support_of_class(&game, 0), 2);
+        assert!(s.support_consistent(&game));
+    }
+
+    #[test]
+    fn support_index_tracks_moves_across_zero() {
+        let game = overlap_game(6);
+        let mut s = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        s.ensure_support_index(&game);
+        // Drain strategy 2, then refill it through a batch.
+        s.apply_move(&game, sid(2), sid(0)).unwrap();
+        assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(0), sid(1)]);
+        assert!(s.support_consistent(&game));
+        s.apply_migrations(
+            &game,
+            &[Migration::new(sid(0), sid(2), 3), Migration::new(sid(1), sid(2), 3)],
+        )
+        .unwrap();
+        // Both origins drained to zero, everything on strategy 2.
+        assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(2)]);
+        assert_eq!(s.support_size(), 1);
+        assert!(s.support_consistent(&game));
+        // A batch that spreads back out (strategy 2 stays occupied).
+        s.apply_migrations(
+            &game,
+            &[Migration::new(sid(2), sid(0), 2), Migration::new(sid(2), sid(1), 3)],
+        )
+        .unwrap();
+        assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(0), sid(1), sid(2)]);
+        assert_eq!(s.support_size(), 3);
+        assert!(s.support_consistent(&game));
+    }
+
+    #[test]
+    fn support_index_multi_class() {
+        let mut b = CongestionGame::builder();
+        let r0 = b.add_resource(Affine::linear(1.0).into());
+        let r1 = b.add_resource(Affine::linear(1.0).into());
+        b.add_class("a", 3, vec![Strategy::singleton(r0), Strategy::singleton(r1)]).unwrap();
+        b.add_class("b", 2, vec![Strategy::singleton(r0), Strategy::singleton(r1)]).unwrap();
+        let game = b.build().unwrap();
+        let mut s = State::from_counts(&game, vec![3, 0, 0, 2]).unwrap();
+        s.ensure_support_index(&game);
+        assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(0)]);
+        assert_eq!(s.occupied(&game, 1).unwrap(), &[sid(3)]);
+        assert_eq!(s.support_of_class(&game, 0), 1);
+        assert_eq!(s.support_of_class(&game, 1), 1);
+        s.apply_move(&game, sid(3), sid(2)).unwrap();
+        s.apply_move(&game, sid(0), sid(1)).unwrap();
+        assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(0), sid(1)]);
+        assert_eq!(s.occupied(&game, 1).unwrap(), &[sid(2), sid(3)]);
+        assert_eq!(s.support_size(), 4);
+        assert!(s.support_consistent(&game));
+    }
+
+    #[test]
+    fn support_index_invalidation_and_same_shape_swap() {
+        let game = two_link_game(4);
+        let mut s = State::from_counts(&game, vec![3, 1]).unwrap();
+        s.ensure_support_index(&game);
+        s.invalidate_support_index();
+        assert!(!s.support_index_valid());
+        assert_eq!(s.support_size(), 2);
+        // Unlike the latency cache, the index depends only on counts, so a
+        // same-shape game swap (coefficient sweep) needs no invalidation.
+        s.ensure_support_index(&game);
+        let game_b = CongestionGame::singleton(
+            vec![Affine::linear(3.0).into(), Affine::linear(5.0).into()],
+            4,
+        )
+        .unwrap();
+        s.apply_move(&game_b, sid(0), sid(1)).unwrap();
+        assert!(s.support_index_valid());
+        assert!(s.support_consistent(&game_b));
+    }
+
+    /// Two games with equal strategy *and* class counts but a different
+    /// class partition must not be served each other's per-class lists:
+    /// reads fall back to recounting, writes drop the index.
+    #[test]
+    fn support_index_rejects_same_size_different_partition() {
+        let partition = |first: usize| {
+            let mut b = CongestionGame::builder();
+            let r: Vec<_> = (0..3).map(|_| b.add_resource(Affine::linear(1.0).into())).collect();
+            let (head, tail) = r.split_at(first);
+            b.add_class("a", 2, head.iter().map(|&r| Strategy::singleton(r)).collect()).unwrap();
+            b.add_class("b", 2, tail.iter().map(|&r| Strategy::singleton(r)).collect()).unwrap();
+            b.build().unwrap()
+        };
+        let game_a = partition(2); // classes {s0, s1} / {s2}
+        let game_b = partition(1); // classes {s0} / {s1, s2}
+        let mut s = State::from_counts(&game_a, vec![2, 0, 2]).unwrap();
+        s.ensure_support_index(&game_a);
+        // Reads through the differently-partitioned game must recount
+        // against *its* class ranges instead of serving game A's lists.
+        assert_eq!(s.support_of_class(&game_b, 0), 1);
+        assert_eq!(s.support_of_class(&game_b, 1), 1);
+        // Writes through the mismatched game drop the index rather than
+        // corrupting it.
+        s.apply_move(&game_b, sid(2), sid(1)).unwrap();
+        assert!(!s.support_index_valid());
+        // Re-ensuring against B rebuilds for B's partition.
+        s.ensure_support_index(&game_b);
+        assert!(s.support_consistent(&game_b));
+        assert_eq!(s.occupied(&game_b, 1).unwrap(), &[sid(1), sid(2)]);
+    }
+
+    #[test]
+    fn support_index_is_invisible_to_equality() {
+        let game = two_link_game(4);
+        let mut a = State::from_counts(&game, vec![3, 1]).unwrap();
+        let b = State::from_counts(&game, vec![3, 1]).unwrap();
+        a.ensure_support_index(&game);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failed_batch_leaves_support_index_unchanged() {
+        let game = two_link_game(4);
+        let mut s = State::from_counts(&game, vec![3, 1]).unwrap();
+        s.ensure_support_index(&game);
+        let err = s.apply_migrations(
+            &game,
+            &[Migration::new(sid(0), sid(1), 2), Migration::new(sid(0), sid(1), 2)],
+        );
+        assert!(err.is_err());
+        assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(0), sid(1)]);
+        assert!(s.support_consistent(&game));
     }
 
     #[test]

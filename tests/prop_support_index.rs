@@ -1,0 +1,157 @@
+//! Property-based tests of the incremental per-class support index
+//! (proptest): after arbitrary sequences of single moves, migration
+//! batches, rejected batches, and invalidation/rebuild cycles, the index
+//! must equal a from-scratch occupancy recomputation — membership,
+//! sortedness, position map, and the `O(1)` totals.
+
+use congames::model::Strategy as GameStrategy;
+use congames::model::{CongestionGame, Migration, ResourceId, State, StrategyId};
+use congames::Affine;
+use proptest::prelude::*;
+
+/// A random 1–2-class game over up to 6 resources, 2–4 strategies per
+/// class (random non-empty resource subsets), plus consistent random
+/// per-strategy counts (weights routinely produce empty strategies, so
+/// supports start partial).
+fn arb_game_and_counts() -> impl Strategy<Value = (CongestionGame, Vec<u64>)> {
+    (2usize..=6, 1usize..=2, 2usize..=4, 1u64..40).prop_flat_map(|(m, nc, s, n)| {
+        let subsets = proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(0u32..m as u32, 1..=m), s..=s),
+            nc..=nc,
+        );
+        let weights =
+            proptest::collection::vec(proptest::collection::vec(0u64..=10, s..=s), nc..=nc);
+        (subsets, weights).prop_map(move |(subsets, weights)| {
+            let mut b = CongestionGame::builder();
+            for i in 0..m {
+                b.add_resource(Affine::linear(1.0 + i as f64).into());
+            }
+            let names = ["a", "b"];
+            let mut counts = Vec::new();
+            for (ci, (subs, ws)) in subsets.into_iter().zip(weights).enumerate() {
+                let strategies: Vec<GameStrategy> = subs
+                    .into_iter()
+                    .map(|ids| {
+                        GameStrategy::new(ids.into_iter().map(ResourceId::new).collect())
+                            .expect("non-empty subset")
+                    })
+                    .collect();
+                let total_w: u64 = ws.iter().sum::<u64>().max(1);
+                let mut class_counts: Vec<u64> = ws.iter().map(|w| n * w / total_w).collect();
+                let assigned: u64 = class_counts.iter().sum();
+                class_counts[0] += n - assigned;
+                b.add_class(names[ci], n, strategies).expect("non-empty class");
+                counts.extend(class_counts);
+            }
+            (b.build().expect("valid game"), counts)
+        })
+    })
+}
+
+/// The reference: occupied strategies of every class, recomputed from the
+/// counts, in ascending id order.
+fn recomputed_occupancy(game: &CongestionGame, state: &State) -> Vec<Vec<StrategyId>> {
+    game.classes()
+        .iter()
+        .map(|class| {
+            class
+                .strategy_range()
+                .filter(|&s| state.count(StrategyId::new(s)) > 0)
+                .map(StrategyId::new)
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_index_matches(game: &CongestionGame, state: &State) -> Result<(), TestCaseError> {
+    prop_assert!(state.support_consistent(game), "index diverged from the counts");
+    let expected = recomputed_occupancy(game, state);
+    for (ci, exp) in expected.iter().enumerate() {
+        let occ = state.occupied(game, ci).expect("index is built");
+        prop_assert_eq!(occ, exp.as_slice());
+        prop_assert!(occ.windows(2).all(|w| w[0] < w[1]), "class {} not sorted", ci);
+        prop_assert_eq!(state.support_of_class(game, ci), exp.len());
+    }
+    let total: usize = expected.iter().map(Vec::len).sum();
+    prop_assert_eq!(state.support_size(), total);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary single-move sequences keep the index exact.
+    #[test]
+    fn index_tracks_single_moves(
+        (game, counts) in arb_game_and_counts(),
+        moves in proptest::collection::vec((0u32..8, 0u32..8), 0..40),
+    ) {
+        let mut state = State::from_counts(&game, counts).unwrap();
+        state.ensure_support_index(&game);
+        assert_index_matches(&game, &state)?;
+        for (f, t) in moves {
+            let s = game.num_strategies() as u32;
+            let (f, t) = (StrategyId::new(f % s), StrategyId::new(t % s));
+            if state.count(f) > 0 && game.class_of(f) == game.class_of(t) {
+                state.apply_move(&game, f, t).unwrap();
+                assert_index_matches(&game, &state)?;
+            }
+        }
+        prop_assert!(state.loads_consistent(&game));
+    }
+
+    /// Arbitrary migration batches — including infeasible ones the state
+    /// must reject atomically — keep the index exact.
+    #[test]
+    fn index_tracks_migration_batches(
+        (game, counts) in arb_game_and_counts(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u32..8, 0u32..8, 0u64..6), 1..6),
+            0..12,
+        ),
+    ) {
+        let mut state = State::from_counts(&game, counts).unwrap();
+        state.ensure_support_index(&game);
+        for batch in batches {
+            let s = game.num_strategies() as u32;
+            let migrations: Vec<Migration> = batch
+                .into_iter()
+                .map(|(f, t, c)| {
+                    Migration::new(StrategyId::new(f % s), StrategyId::new(t % s), c)
+                })
+                .collect();
+            // Feasible or not (rejected batches must leave the index
+            // untouched), the index must match the counts afterwards.
+            let _ = state.apply_migrations(&game, &migrations);
+            assert_index_matches(&game, &state)?;
+        }
+        prop_assert!(state.loads_consistent(&game));
+    }
+
+    /// Invalidate/rebuild cycles land on the same index as incremental
+    /// maintenance.
+    #[test]
+    fn rebuild_agrees_with_incremental_maintenance(
+        (game, counts) in arb_game_and_counts(),
+        moves in proptest::collection::vec((0u32..8, 0u32..8), 0..20),
+    ) {
+        let mut state = State::from_counts(&game, counts).unwrap();
+        state.ensure_support_index(&game);
+        for (f, t) in moves {
+            let s = game.num_strategies() as u32;
+            let (f, t) = (StrategyId::new(f % s), StrategyId::new(t % s));
+            if state.count(f) > 0 && game.class_of(f) == game.class_of(t) {
+                state.apply_move(&game, f, t).unwrap();
+            }
+        }
+        let incremental = recomputed_occupancy(&game, &state);
+        assert_index_matches(&game, &state)?;
+        state.invalidate_support_index();
+        prop_assert!(state.occupied(&game, 0).is_none());
+        state.ensure_support_index(&game);
+        assert_index_matches(&game, &state)?;
+        for (ci, exp) in incremental.iter().enumerate() {
+            prop_assert_eq!(state.occupied(&game, ci).expect("rebuilt"), exp.as_slice());
+        }
+    }
+}

@@ -194,6 +194,45 @@ fn assert_cache_rebuild_alloc_free() {
     );
 }
 
+/// Support-index maintenance in steady state: once
+/// `ensure_support_index` has built the per-class occupied lists (full
+/// class capacity reserved up front), migration batches that repeatedly
+/// push strategies *out of and back into* the support — the worst case
+/// for the sorted-insert maintenance — must not touch the heap.
+fn assert_support_index_maintenance_alloc_free() {
+    use congames::model::Migration;
+    use congames::model::StrategyId;
+    let game = game();
+    let mut counts = vec![0u64; 8];
+    counts[0] = 4096;
+    let mut state = State::from_counts(&game, counts).expect("valid state");
+    state.ensure_support_index(&game);
+    let sid = StrategyId::new;
+    // Warm-up: first batch sizes the internal outflow scratch.
+    state.apply_migrations(&game, &[Migration::new(sid(0), sid(1), 8)]).expect("warm-up batch");
+    let before = allocations();
+    for i in 0..100u32 {
+        // Occupy a rotating strategy, then drain it again: one insert and
+        // one remove per batch, at shifting positions in the sorted list.
+        let s = sid(2 + (i % 6));
+        state
+            .apply_migrations(&game, &[Migration::new(sid(0), s, 16), Migration::new(sid(1), s, 4)])
+            .expect("occupy batch");
+        state
+            .apply_migrations(&game, &[Migration::new(s, sid(0), 16), Migration::new(s, sid(1), 4)])
+            .expect("drain batch");
+        assert_eq!(state.support_size(), 2, "support must be back to {{0, 1}}");
+    }
+    let after = allocations();
+    assert!(state.support_consistent(&game));
+    assert_eq!(
+        after - before,
+        0,
+        "support-index maintenance: {} heap allocations in 200 toggling batches",
+        after - before
+    );
+}
+
 #[test]
 fn round_kernels_do_not_allocate_in_steady_state() {
     let base = ImitationProtocol::paper_default().with_nu_rule(NuRule::None);
@@ -219,4 +258,7 @@ fn round_kernels_do_not_allocate_in_steady_state() {
     // big-flow ΔΦ walks and full cache rebuilds stay off the heap too.
     assert_big_flow_rounds_alloc_free();
     assert_cache_rebuild_alloc_free();
+    // Incremental support-index maintenance (inserts/removes as counts
+    // cross zero) is likewise allocation-free once built.
+    assert_support_index_maintenance_alloc_free();
 }

@@ -23,14 +23,17 @@
 use std::process::ExitCode;
 
 /// Benchmarks that must never regress silently: the aggregate kernel's
-/// `n`-independence flagship, the player-level kernel, the ensemble
-/// runner, and the batched latency paths (the big-flow `ΔΦ` walk and the
-/// latency-cache rebuild that `Latency::eval_range_into`/`sum_range`
-/// accelerate).
+/// `n`-independence flagship, the player-level kernel, the near-converged
+/// sparse-support cases the per-class support index turns `O(support²)`
+/// (both engines), the ensemble runner, and the batched latency paths
+/// (the big-flow `ΔΦ` walk and the latency-cache rebuild that
+/// `Latency::eval_range_into`/`sum_range` accelerate).
 const DEFAULT_PINS: &[&str] = &[
     "round/aggregate/n10000_m64",
     "round/aggregate/n1000000_m8",
     "round/player_level/10000",
+    "aggregate/near_converged/S1024_support8",
+    "player_level/near_converged/S1024_support8",
     "ensemble/trials16_rounds32/t1",
     "potential/delta_walk/x4096",
     "cache_rebuild/rebuild/m64",
@@ -219,6 +222,8 @@ mod tests {
   "benchmarks": [
     {"id": "round/aggregate/n10000_m64", "ns_per_iter": 368.4, "iters": 120000},
     {"id": "round/player_level/10000", "ns_per_iter": 43400.0, "iters": 1200},
+    {"id": "aggregate/near_converged/S1024_support8", "ns_per_iter": 1425.3, "iters": 35255},
+    {"id": "player_level/near_converged/S1024_support8", "ns_per_iter": 21839.2, "iters": 2290},
     {"id": "ensemble/trials16_rounds32/t1", "ns_per_iter": 901000.5, "iters": 60},
     {"id": "potential/delta_walk/x4096", "ns_per_iter": 1800.0, "iters": 25000},
     {"id": "cache_rebuild/rebuild/m64", "ns_per_iter": 950.0, "iters": 50000},
@@ -230,10 +235,11 @@ mod tests {
     #[test]
     fn parses_the_report_shape() {
         let parsed = parse_report(SAMPLE).unwrap();
-        assert_eq!(parsed.len(), 6);
+        assert_eq!(parsed.len(), 8);
         assert_eq!(parsed[0].0, "round/aggregate/n10000_m64");
         assert_eq!(parsed[0].1, 368.4);
-        assert_eq!(parsed[2].1, 901000.5);
+        assert_eq!(parsed[2].0, "aggregate/near_converged/S1024_support8");
+        assert_eq!(parsed[4].1, 901000.5);
         assert_eq!(parse_report("{\n  \"benchmarks\": []\n}\n").unwrap().len(), 0);
         assert!(parse_report("hello").is_err());
     }
@@ -301,6 +307,8 @@ mod tests {
         for pin in DEFAULT_PINS {
             assert!(
                 pin.starts_with("round/")
+                    || pin.starts_with("aggregate/")
+                    || pin.starts_with("player_level/")
                     || pin.starts_with("ensemble/")
                     || pin.starts_with("potential/")
                     || pin.starts_with("cache_rebuild/"),
@@ -313,6 +321,31 @@ mod tests {
                 parsed.iter().any(|(id, _)| id == pin),
                 "pinned id {pin} must parse out of a report that contains it"
             );
+        }
+    }
+
+    /// The sparse-support ids added with the per-class support index are
+    /// accepted by the parser and covered by the default pins, so the
+    /// perf-trend gate guards both sparse kernels.
+    #[test]
+    fn sparse_support_pins_are_parsed_and_pinned() {
+        for id in [
+            "aggregate/near_converged/S1024_support8",
+            "player_level/near_converged/S1024_support8",
+        ] {
+            assert!(DEFAULT_PINS.contains(&id), "{id} missing from DEFAULT_PINS");
+            let report = format!(
+                "{{\n  \"benchmarks\": [\n    {{\"id\": \"{id}\", \"ns_per_iter\": 1425.3, \"iters\": 10}}\n  ]\n}}\n"
+            );
+            let parsed = parse_report(&report).unwrap();
+            assert_eq!(parsed, vec![(id.to_string(), 1425.3)]);
+            // A report carrying the new id diffs cleanly against itself,
+            // and a dense-scan-sized regression of it is caught.
+            let d = diff(&parsed, &parsed, &[id], 1.5);
+            assert!(d.ok, "{}", d.text);
+            let regressed = vec![(id.to_string(), 1425.3 * 10.4)];
+            let d = diff(&parsed, &regressed, &[id], 1.5);
+            assert!(!d.ok, "a fall back to the dense scan must fail the gate");
         }
     }
 
