@@ -1,6 +1,6 @@
 //! Minimal CSV output (quote-free values only, as produced by experiments).
 
-use congames_dynamics::PerRoundStats;
+use congames_dynamics::{ConvergenceHistogram, PerRoundStats};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -115,6 +115,35 @@ pub fn per_round_stats_csv(stats: &PerRoundStats) -> CsvWriter {
         CsvWriter::new(vec!["round", "mean_potential", "ci95_potential", "mean_migrations"]);
     for r in stats.rounds() {
         csv.row(&[r.round.mean(), r.potential.mean(), r.potential.ci95(), r.migrations.mean()]);
+    }
+    csv
+}
+
+/// Render a convergence histogram as CSV: one row per observed stop
+/// reason with the trial count and the convergence-round mean/extrema —
+/// the summary a merged multi-process sweep (`congames merge --csv`)
+/// exports for plotting.
+///
+/// # Example
+///
+/// ```
+/// use congames_analysis::convergence_csv;
+/// use congames_dynamics::ConvergenceHistogram;
+///
+/// let csv = convergence_csv(&ConvergenceHistogram::new()).to_csv();
+/// assert_eq!(csv, "reason,trials,mean_rounds,min_rounds,max_rounds\n");
+/// ```
+pub fn convergence_csv(hist: &ConvergenceHistogram) -> CsvWriter {
+    let mut csv =
+        CsvWriter::new(vec!["reason", "trials", "mean_rounds", "min_rounds", "max_rounds"]);
+    for (reason, stats) in hist.observed() {
+        csv.row_strings(&[
+            format!("{reason:?}"),
+            stats.count().to_string(),
+            stats.rounds.mean().to_string(),
+            stats.envelope.min().to_string(),
+            stats.envelope.max().to_string(),
+        ]);
     }
     csv
 }

@@ -20,7 +20,7 @@ mod runner;
 mod stats;
 mod table;
 
-pub use csv::{per_round_stats_csv, CsvWriter};
+pub use csv::{convergence_csv, per_round_stats_csv, CsvWriter};
 pub use regression::{linear_fit, loglog_fit, Fit};
 pub use runner::{run_trials, run_trials_sequential};
 pub use stats::Summary;

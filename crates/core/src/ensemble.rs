@@ -43,9 +43,11 @@ use crate::trajectory::RecordConfig;
 
 /// Trials per reduction block in [`Ensemble::run_reduced`]. The block
 /// structure is a function of the trial count alone — never of the thread
-/// count or schedule — which is what makes reduced results bit-identical
-/// across thread counts.
-const REDUCE_BLOCK: usize = 32;
+/// count, schedule, or shard split — which is what makes reduced results
+/// bit-identical across thread counts, and what lets a multi-process
+/// sharded sweep ([`Ensemble::run_reduced_shard`] + `congames merge`)
+/// replay the same reduction tree and land on the same bits.
+pub const REDUCE_BLOCK: usize = 32;
 
 /// Run `f(0), f(1), …, f(tasks − 1)` across up to `threads` scoped worker
 /// threads and return the results **in index order**.
@@ -452,9 +454,10 @@ impl<'g> Ensemble<'g> {
                             break;
                         }
                         // The catch covers the reducer's `absorb` too: a
-                        // panicking accumulator (e.g. a quantile sketch fed
-                        // a NaN) must not kill the worker, or the in-order
-                        // merge pipeline would wait on its block forever.
+                        // panicking accumulator (e.g. a user-written reducer
+                        // with an internal assertion) must not kill the
+                        // worker, or the in-order merge pipeline would wait
+                        // on its block forever.
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             self.reduce_one_trial(trial, stop, &observer_factory)
                                 .map(|item| partial.absorb(item))
@@ -526,6 +529,86 @@ impl<'g> Ensemble<'g> {
             return Err(e);
         }
         Ok(st.acc.expect("accumulator present after the run"))
+    }
+
+    /// The global trial range shard `shard` of `num_shards` covers.
+    ///
+    /// Shard boundaries are **block-aligned**: the sweep's
+    /// `trials.div_ceil(REDUCE_BLOCK)` reduction blocks (see
+    /// [`REDUCE_BLOCK`]) are split as evenly as possible, shard `s`
+    /// getting blocks `[s·B/K, (s+1)·B/K)`. Alignment matters because the
+    /// unit a sharded sweep ships to the merger is the block partial —
+    /// splitting a block across shards would change the reduction tree and
+    /// therefore the merged bits. A shard may cover zero trials when there
+    /// are more shards than blocks; that is fine (its partial file simply
+    /// carries no blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0` or `shard >= num_shards`.
+    pub fn shard_trials(&self, shard: usize, num_shards: usize) -> std::ops::Range<usize> {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(shard < num_shards, "shard index {shard} out of range for {num_shards} shards");
+        let blocks = self.trials.div_ceil(REDUCE_BLOCK);
+        let lo_block = shard * blocks / num_shards;
+        let hi_block = (shard + 1) * blocks / num_shards;
+        (lo_block * REDUCE_BLOCK).min(self.trials)..(hi_block * REDUCE_BLOCK).min(self.trials)
+    }
+
+    /// Run only shard `shard` of `num_shards` and return its reduction-tree
+    /// **leaves**: one partial per [`REDUCE_BLOCK`]-trial block, in block
+    /// order — exactly the partials [`Ensemble::run_reduced`] would have
+    /// produced for those blocks in a single-process sweep.
+    ///
+    /// Per-trial seeds still derive from `split_seed(base_seed, trial)`
+    /// with **global** trial indices, so the shard split cannot change any
+    /// trial's stream. A merger that concatenates every shard's leaves in
+    /// shard order and folds them with
+    /// [`merge_partials`](crate::merge_partials) replays the single
+    /// process's left-deep merge chain and is therefore **bit-identical**
+    /// to `run_reduced` for any shard count — the leaves are returned
+    /// unmerged precisely because floating-point merges (Welford/Chan) are
+    /// not bitwise associative, so pre-merging per shard would change the
+    /// final bits. Live memory is `O(shard blocks)` partials.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-trial-index replica error of this shard, if
+    /// any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0` or `shard >= num_shards`; replica or
+    /// reducer panics are re-raised as in [`run_indexed`].
+    pub fn run_reduced_shard<O, R>(
+        &self,
+        shard: usize,
+        num_shards: usize,
+        stop: &StopSpec,
+        observer_factory: impl Fn(usize) -> O + Sync,
+        reducer: &R,
+    ) -> Result<Vec<R>, DynamicsError>
+    where
+        O: Observer,
+        R: Reducer<Item = O::Output> + Send + Sync,
+    {
+        let range = self.shard_trials(shard, num_shards);
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
+        debug_assert_eq!(range.start % REDUCE_BLOCK, 0, "shard ranges are block-aligned");
+        let lo_block = range.start / REDUCE_BLOCK;
+        let shard_blocks = (range.end - range.start).div_ceil(REDUCE_BLOCK);
+        let results = run_indexed(shard_blocks, self.threads.min(shard_blocks), |b| {
+            let block = lo_block + b;
+            let block_range = block * REDUCE_BLOCK..((block + 1) * REDUCE_BLOCK).min(self.trials);
+            let mut partial = reducer.identity();
+            for trial in block_range {
+                partial.absorb(self.reduce_one_trial(trial, stop, &observer_factory)?);
+            }
+            Ok(partial)
+        });
+        results.into_iter().collect()
     }
 }
 
@@ -718,6 +801,77 @@ mod tests {
                     Welford::new(),
                 ),
             );
+    }
+
+    #[test]
+    fn sharded_leaves_merge_bit_identical_to_run_reduced() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::{merge_partials, MapItem, ScalarStats};
+        use crate::stopping::RunSummary;
+        let game = two_links(120);
+        let start = State::from_counts(&game, vec![90, 30]).unwrap();
+        let stop = StopSpec::max_rounds(20);
+        let ensemble = |threads: usize| {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap()
+                .trials(70)
+                .base_seed(5)
+                .threads(threads)
+        };
+        let reducer = || MapItem::new(|s: RunSummary| s.potential, ScalarStats::new());
+        let single =
+            ensemble(2).run_reduced(&stop, |_trial| FinalSummary, reducer()).unwrap().into_inner();
+        // 70 trials = 3 blocks; split them over every shard count that
+        // exercises empty shards, one-block shards, and multi-block shards.
+        for num_shards in [1usize, 2, 3, 5] {
+            let mut leaves = Vec::new();
+            let mut covered = 0;
+            for shard in 0..num_shards {
+                let e = ensemble(2);
+                let range = e.shard_trials(shard, num_shards);
+                assert_eq!(range.start, covered, "shard ranges must be contiguous");
+                covered = range.end;
+                leaves.extend(
+                    e.run_reduced_shard(
+                        shard,
+                        num_shards,
+                        &stop,
+                        |_trial| FinalSummary,
+                        &reducer(),
+                    )
+                    .unwrap(),
+                );
+            }
+            assert_eq!(covered, 70);
+            let merged = merge_partials(reducer(), leaves).into_inner();
+            assert_eq!(merged, single, "{num_shards} shards changed the reduction bits");
+        }
+    }
+
+    #[test]
+    fn run_reduced_survives_non_finite_samples() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::{MapItem, ScalarStats};
+        use crate::stopping::RunSummary;
+        let game = two_links(40);
+        let start = State::from_counts(&game, vec![30, 10]).unwrap();
+        // Inject a NaN "latency" for one trial of a multi-block sweep: the
+        // sweep must complete and report the bad sample instead of aborting.
+        let stats = Ensemble::new(&game, ImitationProtocol::paper_default().into(), start)
+            .unwrap()
+            .trials(40)
+            .threads(4)
+            .run_reduced(
+                &StopSpec::max_rounds(5),
+                |_trial| FinalSummary,
+                MapItem::new(
+                    |s: RunSummary| if s.rounds == 5 { s.potential } else { f64::NAN },
+                    ScalarStats::new(),
+                ),
+            )
+            .unwrap()
+            .into_inner();
+        assert_eq!(stats.count() + stats.non_finite(), 40);
     }
 
     #[test]

@@ -97,9 +97,10 @@ mod reduce;
 pub mod sequential;
 mod stopping;
 mod trajectory;
+pub mod wire;
 
 pub use engine::{EngineKind, MuMemoStats, RoundStats, Simulation};
-pub use ensemble::{run_indexed, Ensemble};
+pub use ensemble::{run_indexed, Ensemble, REDUCE_BLOCK};
 pub use error::DynamicsError;
 pub use expectation::PairFlow;
 pub use observe::{FinalSummary, Observer, RecordSeries};
@@ -107,8 +108,8 @@ pub use protocol::{
     Damping, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, SelfSampling,
 };
 pub use reduce::{
-    ConvergenceHistogram, MapItem, MinMax, PerRoundStats, QuantileSketch, ReasonStats, Reducer,
-    RoundIndexStats, ScalarStats, Welford, STOP_REASONS,
+    merge_partials, ConvergenceHistogram, MapItem, MinMax, PerRoundStats, QuantileSketch,
+    ReasonStats, Reducer, RoundIndexStats, ScalarStats, Welford, STOP_REASONS,
 };
 pub use sequential::{PivotRule, SequentialOutcome};
 pub use stopping::{RunOutcome, RunSummary, StopCondition, StopReason, StopSpec};

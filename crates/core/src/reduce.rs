@@ -23,7 +23,8 @@
 //! * [`MinMax`] — envelope of the extremes.
 //! * [`QuantileSketch`] — a counted, log-bucketed quantile summary with
 //!   bounded relative error and *exact* (integer) merges; no reservoir,
-//!   no stored samples.
+//!   no stored samples. Non-finite samples are tallied, not fatal:
+//!   quantiles are taken over the finite mass.
 //! * [`ScalarStats`] — the three above bundled for one `f64` stream.
 //! * [`PerRoundStats`] — per-round-index [`Welford`] + [`MinMax`] over the
 //!   [`RoundRecord`] fields, the streamed replacement for averaging a pile
@@ -33,6 +34,22 @@
 //! * [`MapItem`] — adapts a reducer over `U` to items of type `T` via a
 //!   projection `T → U`.
 //! * `Vec<T>` and 2-/3-tuples of reducers for composition.
+//!
+//! # Wire format & versioning
+//!
+//! Every stock reducer partial (and the combinators above) also has a
+//! **stable, versioned wire encoding** via the
+//! [`WireReduce`](crate::wire::WireReduce) extension trait in
+//! [`crate::wire`], so partials can be written by one process and merged
+//! by another — the cross-process aggregation path `Ensemble::
+//! run_reduced_shard` and the `congames shard`/`congames merge` CLI build
+//! on. Because floating-point merges (Welford/Chan) are not bitwise
+//! associative, the unit shipped over the wire is the **reduction-tree
+//! leaf** — one partial per fixed 32-trial block — and the merger replays
+//! [`merge_partials`] in global block order, reproducing the
+//! single-process [`Ensemble::run_reduced`](crate::Ensemble::run_reduced)
+//! result bit for bit. See the [`crate::wire`] module docs for the frame
+//! layout, checksum, and versioning rules.
 
 use std::collections::BTreeMap;
 
@@ -75,6 +92,24 @@ pub trait Reducer: Sized {
     /// Combine another accumulator (absorbed from a *later* consecutive
     /// range of trials) into this one.
     fn merge(&mut self, other: Self);
+}
+
+/// Merge `partials` into `acc` one by one, **in iteration order** (a
+/// left-deep merge chain).
+///
+/// This is exactly the merge sequence `Ensemble::run_reduced` applies to
+/// its block partials, so feeding the same leaves in the same order —
+/// whether they came from this process or were decoded from shard files —
+/// reproduces the single-process reduction bit for bit. Merging into a
+/// fresh identity accumulator is a bitwise no-op for every stock reducer
+/// (`Welford` copies, envelopes take the other side, integer tallies add
+/// to zero), which is what lets a merger start from `identity()` and still
+/// match a `run_reduced` that started from the same.
+pub fn merge_partials<R: Reducer>(mut acc: R, partials: impl IntoIterator<Item = R>) -> R {
+    for partial in partials {
+        acc.merge(partial);
+    }
+    acc
 }
 
 /// The materializing fallback: collects every item, preserving trial
@@ -170,6 +205,13 @@ impl<T, F, R> MapItem<T, F, R> {
         &self.inner
     }
 
+    /// The projection, for rebuilding a `MapItem` around a wire-decoded
+    /// inner reducer (the projection itself is configuration, not data —
+    /// it never rides the wire).
+    pub(crate) fn project_fn(&self) -> &F {
+        &self.f
+    }
+
     /// Unwrap the inner reducer.
     pub fn into_inner(self) -> R {
         self.inner
@@ -179,6 +221,14 @@ impl<T, F, R> MapItem<T, F, R> {
 impl<T, F, R: std::fmt::Debug> std::fmt::Debug for MapItem<T, F, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MapItem").field("inner", &self.inner).finish_non_exhaustive()
+    }
+}
+
+/// Equality compares the wrapped reducer state only — the projection is
+/// code, not data (and two `MapItem`s of the same type share it anyway).
+impl<T, F, R: PartialEq> PartialEq for MapItem<T, F, R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
     }
 }
 
@@ -268,6 +318,17 @@ impl Welford {
         self.m2 += delta * (x - self.mean);
     }
 
+    /// The raw accumulator state `(count, mean, m2)` — the exact fields
+    /// the wire encoding serializes.
+    pub(crate) fn raw_parts(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
+    /// Rebuild an accumulator from wire-decoded raw parts.
+    pub(crate) fn from_raw_parts(count: u64, mean: f64, m2: f64) -> Self {
+        Welford { count, mean, m2 }
+    }
+
     /// Merge another accumulator (Chan et al.'s pairwise update).
     pub fn merge_with(&mut self, other: &Welford) {
         if other.count == 0 {
@@ -341,6 +402,11 @@ impl MinMax {
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
+
+    /// Rebuild an envelope from wire-decoded bounds.
+    pub(crate) fn from_raw_parts(min: f64, max: f64) -> Self {
+        MinMax { min, max }
+    }
 }
 
 impl Reducer for MinMax {
@@ -370,6 +436,12 @@ impl Reducer for MinMax {
 /// independent of the sample count — and **merges are exact** (integer
 /// bucket additions), so merging is truly associative, unlike reservoir
 /// sampling (which this replaces) or floating-point moment merges.
+///
+/// Non-finite samples (`NaN`, `±∞`) never abort a sweep: they are counted
+/// in a dedicated, merge-compatible [`non_finite`](QuantileSketch::non_finite)
+/// tally and excluded from the buckets, the envelope, and the finite
+/// [`count`](QuantileSketch::count), so quantiles are always taken over
+/// the finite mass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantileSketch {
     alpha: f64,
@@ -377,6 +449,8 @@ pub struct QuantileSketch {
     ln_gamma: f64,
     count: u64,
     zero: u64,
+    /// Samples rejected for being `NaN` or infinite.
+    non_finite: u64,
     /// Counts of positive values, keyed by `⌈ln(x)/ln γ⌉`.
     pos: BTreeMap<i32, u64>,
     /// Counts of negative values, keyed by `⌈ln(−x)/ln γ⌉`.
@@ -404,6 +478,7 @@ impl QuantileSketch {
             ln_gamma: gamma.ln(),
             count: 0,
             zero: 0,
+            non_finite: 0,
             pos: BTreeMap::new(),
             neg: BTreeMap::new(),
             envelope: MinMax::new(),
@@ -415,9 +490,19 @@ impl QuantileSketch {
         self.alpha
     }
 
-    /// Number of absorbed samples.
+    /// Number of absorbed **finite** samples (the mass quantiles are taken
+    /// over). Non-finite samples are tallied separately in
+    /// [`non_finite`](QuantileSketch::non_finite).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of absorbed non-finite (`NaN` or `±∞`) samples. One bad
+    /// latency in a 10⁵-trial sweep must not abort the run: such samples
+    /// are counted here (the field merges exactly, like the buckets) and
+    /// excluded from the quantile mass and the envelope.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 
     /// Exact smallest absorbed value (`+∞` when empty).
@@ -443,13 +528,14 @@ impl QuantileSketch {
         2.0 * (self.ln_gamma * index as f64).exp() / (gamma + 1.0)
     }
 
-    /// Absorb one sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-finite values.
+    /// Absorb one sample. Non-finite values are counted in
+    /// [`non_finite`](QuantileSketch::non_finite) and otherwise ignored —
+    /// quantiles stay defined over the finite mass.
     pub fn push(&mut self, x: f64) {
-        assert!(x.is_finite(), "quantile sketch samples must be finite");
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.count += 1;
         self.envelope.push(x);
         if x == 0.0 {
@@ -500,6 +586,36 @@ impl QuantileSketch {
     fn clamp(&self, v: f64) -> f64 {
         v.clamp(self.min(), self.max())
     }
+
+    /// The raw sketch state the wire encoding serializes: counts, the
+    /// non-finite tally, the (sorted) bucket maps, and the envelope.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (u64, u64, u64, &BTreeMap<i32, u64>, &BTreeMap<i32, u64>, &MinMax) {
+        (self.count, self.zero, self.non_finite, &self.pos, &self.neg, &self.envelope)
+    }
+
+    /// Rebuild a sketch from wire-decoded raw parts. `alpha` must already
+    /// be validated into `(0, 1)` by the decoder.
+    pub(crate) fn from_raw_parts(
+        alpha: f64,
+        count: u64,
+        zero: u64,
+        non_finite: u64,
+        pos: BTreeMap<i32, u64>,
+        neg: BTreeMap<i32, u64>,
+        envelope: MinMax,
+    ) -> Self {
+        let mut s = QuantileSketch::new(alpha);
+        s.count = count;
+        s.zero = zero;
+        s.non_finite = non_finite;
+        s.pos = pos;
+        s.neg = neg;
+        s.envelope = envelope;
+        s
+    }
 }
 
 impl Reducer for QuantileSketch {
@@ -520,6 +636,7 @@ impl Reducer for QuantileSketch {
         assert!(self.alpha == other.alpha, "cannot merge quantile sketches of different accuracy");
         self.count += other.count;
         self.zero += other.zero;
+        self.non_finite += other.non_finite;
         for (i, c) in other.pos {
             *self.pos.entry(i).or_insert(0) += c;
         }
@@ -546,12 +663,21 @@ impl ScalarStats {
         Self::default()
     }
 
-    /// Number of absorbed samples.
+    /// Number of absorbed **finite** samples; non-finite samples are
+    /// tallied in [`non_finite`](ScalarStats::non_finite) instead.
     pub fn count(&self) -> u64 {
         self.moments.count()
     }
 
-    /// Sample mean (`NaN` when empty).
+    /// Number of absorbed non-finite (`NaN` or `±∞`) samples. They are
+    /// excluded from every statistic (a single `NaN` would otherwise
+    /// poison the mean of a 10⁵-trial sweep) and surfaced here so callers
+    /// can report them.
+    pub fn non_finite(&self) -> u64 {
+        self.sketch.non_finite()
+    }
+
+    /// Sample mean over the finite samples (`NaN` when empty).
     pub fn mean(&self) -> f64 {
         self.moments.mean()
     }
@@ -585,6 +711,16 @@ impl ScalarStats {
     pub fn moments(&self) -> &Welford {
         &self.moments
     }
+
+    /// The underlying quantile sketch (which also owns the envelope).
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
+    /// Rebuild the bundle from wire-decoded components.
+    pub(crate) fn from_raw_parts(moments: Welford, sketch: QuantileSketch) -> Self {
+        ScalarStats { moments, sketch }
+    }
 }
 
 impl Reducer for ScalarStats {
@@ -595,7 +731,12 @@ impl Reducer for ScalarStats {
     }
 
     fn absorb(&mut self, item: f64) {
-        self.moments.push(item);
+        // The sketch counts a non-finite item in its `non_finite` tally;
+        // keep the moments in lockstep with the finite mass so `mean`
+        // stays meaningful (and `count` consistent) whatever arrives.
+        if item.is_finite() {
+            self.moments.push(item);
+        }
         self.sketch.push(item);
     }
 
@@ -720,6 +861,11 @@ impl PerRoundStats {
     pub fn get(&self, i: usize) -> Option<&RoundIndexStats> {
         self.rounds.get(i)
     }
+
+    /// Rebuild the table from wire-decoded per-index statistics.
+    pub(crate) fn from_raw_parts(trials: u64, rounds: Vec<RoundIndexStats>) -> Self {
+        PerRoundStats { rounds, trials }
+    }
 }
 
 impl Reducer for PerRoundStats {
@@ -815,6 +961,11 @@ impl ReasonStats {
         &self.buckets
     }
 
+    /// Rebuild per-reason statistics from wire-decoded components.
+    pub(crate) fn from_raw_parts(rounds: Welford, envelope: MinMax, buckets: Vec<u64>) -> Self {
+        ReasonStats { rounds, envelope, buckets }
+    }
+
     /// The half-open round range `[lo, hi)` that bucket `k` counts. The
     /// top bucket (`k = 64`) saturates its upper bound at `u64::MAX`
     /// instead of overflowing the shift, and is the one bucket that also
@@ -863,6 +1014,16 @@ impl ConvergenceHistogram {
             .into_iter()
             .map(|r| (r, &self.per_reason[reason_slot(r)]))
             .filter(|(_, s)| s.count() > 0)
+    }
+
+    /// The per-reason slots in [`STOP_REASONS`] order (the wire layout).
+    pub(crate) fn raw_parts(&self) -> &[ReasonStats; 5] {
+        &self.per_reason
+    }
+
+    /// Rebuild a histogram from wire-decoded per-reason statistics.
+    pub(crate) fn from_raw_parts(per_reason: [ReasonStats; 5]) -> Self {
+        ConvergenceHistogram { per_reason }
     }
 }
 
@@ -994,6 +1155,41 @@ mod tests {
         assert!(s.quantile(0.0) <= -99.0);
         assert_eq!(s.median().abs(), 0.0);
         assert!(s.quantile(1.0) >= 99.0);
+    }
+
+    /// One NaN latency in a huge sweep must not abort the run (the sketch
+    /// used to `assert!(x.is_finite())`): non-finite samples land in a
+    /// dedicated merge-compatible tally and quantiles stay defined over
+    /// the finite mass.
+    #[test]
+    fn quantile_sketch_tallies_non_finite_instead_of_panicking() {
+        let mut s = QuantileSketch::default();
+        for x in [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 3, "count is the finite mass");
+        assert_eq!(s.non_finite(), 3);
+        assert_eq!((s.min(), s.max()), (1.0, 3.0), "envelope ignores non-finite samples");
+        let q = s.median();
+        assert!(q.is_finite() && (q - 2.0).abs() <= 0.03, "median over finite mass, got {q}");
+        // The tally merges exactly, like the integer buckets.
+        let mut other = QuantileSketch::default();
+        other.push(f64::NAN);
+        other.push(4.0);
+        s.merge(other);
+        assert_eq!((s.count(), s.non_finite()), (4, 4));
+    }
+
+    #[test]
+    fn scalar_stats_keeps_moments_over_the_finite_mass() {
+        let mut s = ScalarStats::new();
+        for x in [1.0, f64::NAN, 3.0] {
+            s.absorb(x);
+        }
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.non_finite(), 1);
+        assert!((s.mean() - 2.0).abs() < 1e-12, "one NaN must not poison the mean");
+        assert_eq!((s.min(), s.max()), (1.0, 3.0));
     }
 
     #[test]

@@ -4,17 +4,25 @@
 //! congames params  --links 1,2,3 --players 100
 //! congames run     --links 1,2,3 --players 1000 --protocol imitation --rounds 200
 //! congames optimum --links 1,2,3 --players 100
+//! # multi-process: run each shard anywhere, then merge the partial files
+//! congames shard   --links 1,2 --players 100 --trials 96 --reduce quantiles \
+//!                  --shard 0 --num-shards 3 --out part0.cgshard
+//! congames merge   part0.cgshard part1.cgshard part2.cgshard
 //! ```
 //!
 //! Links are linear latencies `ℓ(x) = a·x` given by their coefficients; the
 //! CLI covers the singleton-game slice of the library (the API covers far
 //! more — see the examples).
 
-use congames::analysis::Summary;
+use congames::analysis::{convergence_csv, per_round_stats_csv, Summary};
+use congames::dynamics::wire::{
+    decode_shard_file, decode_shard_header, encode_shard_file, validate_shard_sequence,
+    ShardHeader, WireReduce,
+};
 use congames::dynamics::{
-    ConvergenceHistogram, EngineKind, Ensemble, ExplorationProtocol, FinalSummary,
+    merge_partials, ConvergenceHistogram, EngineKind, Ensemble, ExplorationProtocol, FinalSummary,
     ImitationProtocol, MapItem, NuRule, PerRoundStats, Protocol, ReasonStats, RecordSeries,
-    RunSummary, ScalarStats, Simulation, StopCondition, StopSpec,
+    RoundRecord, RunSummary, ScalarStats, Simulation, StopCondition, StopSpec,
 };
 use congames::model::{average_latency, potential, LinearSingleton};
 use congames::RecordConfig;
@@ -42,6 +50,8 @@ const USAGE: &str = "usage:
                    [--rounds R] [--lambda L] [--seed S] [--no-nu]
                    [--trials T] [--threads K] [--engine aggregate|player]
                    [--reduce mean|quantiles|convergence]
+  congames shard   <run flags> --reduce MODE --shard S --num-shards K --out FILE
+  congames merge   [--csv FILE] FILE...
 
 links are linear latencies l(x) = a*x, comma-separated coefficients.
 with --trials > 1 an ensemble of T independent replicas runs in parallel
@@ -49,21 +59,30 @@ with --trials > 1 an ensemble of T independent replicas runs in parallel
 --reduce streams the ensemble through an online reducer (memory independent
 of the trial count): `mean` prints the per-round mean potential with 95%
 confidence bands, `quantiles` the convergence-round and final-potential
-quantiles, `convergence` a stop-reason histogram.";
+quantiles, `convergence` a stop-reason histogram.
+`shard` runs one slice of a sweep and writes its reducer partials to a
+file; `merge` (given every shard's file, in shard order) reproduces the
+single-process `run --reduce` report byte for byte.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?.as_str();
+    if cmd == "merge" {
+        // Merge is self-describing: everything comes from the shard files.
+        return merge(&args[1..]);
+    }
     let opts = Options::parse(&args[1..])?;
     let game = opts.game()?;
     match cmd {
         "params" => params(&game),
         "optimum" => optimum(&game),
         "run" => simulate(&game, &opts),
+        "shard" => shard(&game, &opts),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
 
 /// Parsed command-line options (defaults filled in).
+#[derive(Debug)]
 struct Options {
     links: Vec<f64>,
     players: u64,
@@ -76,6 +95,9 @@ struct Options {
     threads: usize,
     engine: EngineKind,
     reduce: Option<ReduceMode>,
+    shard: Option<usize>,
+    num_shards: Option<usize>,
+    out: Option<String>,
 }
 
 /// Which streaming reduction `--reduce` asked for.
@@ -84,6 +106,25 @@ enum ReduceMode {
     Mean,
     Quantiles,
     Convergence,
+}
+
+impl ReduceMode {
+    fn name(self) -> &'static str {
+        match self {
+            ReduceMode::Mean => "mean",
+            ReduceMode::Quantiles => "quantiles",
+            ReduceMode::Convergence => "convergence",
+        }
+    }
+
+    fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "mean" => Ok(ReduceMode::Mean),
+            "quantiles" => Ok(ReduceMode::Quantiles),
+            "convergence" => Ok(ReduceMode::Convergence),
+            other => Err(format!("unknown reduction `{other}`")),
+        }
+    }
 }
 
 impl Options {
@@ -100,6 +141,9 @@ impl Options {
             threads: Ensemble::default_threads(),
             engine: EngineKind::Aggregate,
             reduce: None,
+            shard: None,
+            num_shards: None,
+            out: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -152,7 +196,9 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("bad trial count: {e}"))?;
                     if o.trials == 0 {
-                        return Err("--trials must be positive".into());
+                        return Err("--trials must be positive (a 0-trial ensemble is just the \
+                                    identity reduction)"
+                            .into());
                     }
                 }
                 "--threads" => {
@@ -173,12 +219,30 @@ impl Options {
                     };
                 }
                 "--reduce" => {
-                    o.reduce = Some(match it.next().ok_or("--reduce needs a value")?.as_str() {
-                        "mean" => ReduceMode::Mean,
-                        "quantiles" => ReduceMode::Quantiles,
-                        "convergence" => ReduceMode::Convergence,
-                        other => return Err(format!("unknown reduction `{other}`")),
-                    });
+                    o.reduce =
+                        Some(ReduceMode::from_name(it.next().ok_or("--reduce needs a value")?)?);
+                }
+                "--shard" => {
+                    o.shard = Some(
+                        it.next()
+                            .ok_or("--shard needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad shard index: {e}"))?,
+                    );
+                }
+                "--num-shards" => {
+                    let n: usize = it
+                        .next()
+                        .ok_or("--num-shards needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad shard count: {e}"))?;
+                    if n == 0 {
+                        return Err("--num-shards must be positive".into());
+                    }
+                    o.num_shards = Some(n);
+                }
+                "--out" => {
+                    o.out = Some(it.next().ok_or("--out needs a value")?.clone());
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -189,9 +253,10 @@ impl Options {
         if o.players == 0 {
             return Err("--players is required and must be positive".into());
         }
-        if o.reduce.is_some() && o.trials <= 1 {
-            return Err("--reduce summarizes an ensemble; pass --trials > 1".into());
-        }
+        // `--reduce --trials 1` is deliberately allowed: reduction is
+        // defined for every trial count (0 trials is the identity, 1 trial
+        // is identity + one absorb), so a single-trial "ensemble" is just
+        // a well-defined small sweep.
         Ok(o)
     }
 
@@ -229,6 +294,32 @@ impl Options {
             other => Err(format!("unknown protocol `{other}`")),
         }
     }
+
+    /// Deterministic digest of everything that shapes a sweep's streams and
+    /// reduction (threads excluded — results are thread-count invariant).
+    /// Written into every shard header so `merge` can reject partials from
+    /// a differently-configured run and rebuild the right reducer.
+    fn config_digest(&self) -> String {
+        let links: Vec<String> = self.links.iter().map(|a| a.to_bits().to_string()).collect();
+        format!(
+            "links={};players={};protocol={};rounds={};lambda={};nu={};engine={:?};reduce={};\
+             trials={}",
+            links.join(","),
+            self.players,
+            self.protocol,
+            self.rounds,
+            self.lambda.to_bits(),
+            self.use_nu,
+            self.engine,
+            self.reduce.map_or("none", ReduceMode::name),
+            self.trials,
+        )
+    }
+}
+
+/// Look up one `key=value` entry of a shard header's config digest.
+fn config_value<'a>(config: &'a str, key: &str) -> Option<&'a str> {
+    config.split(';').find_map(|kv| kv.strip_prefix(key)?.strip_prefix('='))
 }
 
 fn params(game: &CongestionGame) -> Result<(), String> {
@@ -257,25 +348,36 @@ fn optimum(game: &CongestionGame) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
-    // Random start, then run with per-decade progress lines.
+/// The random start state every `run`/`shard` invocation with the same
+/// `--seed` derives (shards must agree on it exactly).
+fn start_state(game: &CongestionGame, opts: &Options) -> Result<State, String> {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(opts.seed);
     let mut counts = vec![0u64; game.num_strategies()];
     for _ in 0..game.total_players() {
         use rand::Rng;
         counts[rng.gen_range(0..game.num_strategies())] += 1;
     }
-    let state = State::from_counts(game, counts).map_err(|e| e.to_string())?;
+    State::from_counts(game, counts).map_err(|e| e.to_string())
+}
+
+/// The stop rule every `run`/`shard` invocation uses.
+fn stop_spec(opts: &Options) -> StopSpec {
+    StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(opts.rounds)])
+        .with_check_every(4)
+}
+
+fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
+    // Random start, then run with per-decade progress lines.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(opts.seed);
+    let state = start_state(game, opts)?;
     println!(
         "start: Φ = {:.3}, L_av = {:.4}, loads {:?}",
         potential(game, &state),
         average_latency(game, &state),
         state.loads()
     );
-    let stop =
-        StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(opts.rounds)])
-            .with_check_every(4);
-    if opts.trials > 1 {
+    let stop = stop_spec(opts);
+    if opts.trials > 1 || opts.reduce.is_some() {
         return simulate_ensemble(game, opts, state, &stop);
     }
     let mut sim = Simulation::new(game, opts.protocol()?, state)
@@ -291,6 +393,111 @@ fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
         sim.state().loads()
     );
     Ok(())
+}
+
+/// Record cadence for the `mean` reduction: keeps the per-round table
+/// ≲ 64 indices however long the run budget is.
+fn mean_cadence(rounds: u64) -> u64 {
+    (rounds / 64).max(1)
+}
+
+/// The `mean` reducer: per-round statistics over on-cadence records. Each
+/// trial's forced stop record can land off the cadence, which would blend
+/// different round numbers into one index — filter to on-cadence records
+/// so every reduced row averages one exact round across trials.
+fn mean_reducer(
+    cadence: u64,
+) -> MapItem<Vec<RoundRecord>, impl Fn(Vec<RoundRecord>) -> Vec<RoundRecord> + Clone, PerRoundStats>
+{
+    MapItem::new(
+        move |records: Vec<RoundRecord>| {
+            records.into_iter().filter(|r| r.round % cadence == 0).collect()
+        },
+        PerRoundStats::new(),
+    )
+}
+
+fn summary_rounds(s: RunSummary) -> f64 {
+    s.rounds as f64
+}
+
+fn summary_potential(s: RunSummary) -> f64 {
+    s.potential
+}
+
+/// The `quantiles` reducer: convergence-round and final-potential sketches.
+type QuantilesReducer = (
+    MapItem<RunSummary, fn(RunSummary) -> f64, ScalarStats>,
+    MapItem<RunSummary, fn(RunSummary) -> f64, ScalarStats>,
+);
+
+fn quantiles_reducer() -> QuantilesReducer {
+    (
+        MapItem::new(summary_rounds as fn(RunSummary) -> f64, ScalarStats::new()),
+        MapItem::new(summary_potential as fn(RunSummary) -> f64, ScalarStats::new()),
+    )
+}
+
+fn print_mean_report(stats: &PerRoundStats, cadence: u64) {
+    println!(
+        "  per-round means over {} trials (recorded every {} rounds):",
+        stats.trials(),
+        cadence
+    );
+    println!("  {:>8}  {:>14}  {:>12}  {:>10}", "round", "mean Φ ± ci95", "mean L_av", "moves");
+    let step = (stats.len() / 16).max(1);
+    for r in stats.rounds().iter().step_by(step) {
+        println!(
+            "  {:>8.0}  {:>9.2} ± {:<6.2} {:>10.4}  {:>10.2}",
+            r.round.mean(),
+            r.potential.mean(),
+            r.potential.ci95(),
+            r.l_av.mean(),
+            r.migrations.mean(),
+        );
+    }
+}
+
+fn print_quantiles_report(rounds: &ScalarStats, potential: &ScalarStats) {
+    println!("  {:>10}  {:>12}  {:>12}", "quantile", "rounds", "final Φ");
+    for q in [0.10, 0.25, 0.50, 0.75, 0.90] {
+        println!(
+            "  {:>10}  {:>12.1}  {:>12.3}",
+            format!("q{:02.0}", q * 100.0),
+            rounds.quantile(q),
+            potential.quantile(q),
+        );
+    }
+    println!(
+        "  rounds mean {:.1} ± {:.1}, range [{:.0}, {:.0}]",
+        rounds.mean(),
+        rounds.ci95(),
+        rounds.min(),
+        rounds.max()
+    );
+    // One bad latency must not abort a sweep, but it must not vanish
+    // either: surface the tally whenever anything non-finite was absorbed.
+    let bad = rounds.non_finite() + potential.non_finite();
+    if bad > 0 {
+        println!("  non-finite samples excluded from the quantiles: {bad}");
+    }
+}
+
+fn print_convergence_report(hist: &ConvergenceHistogram) {
+    for (reason, stats) in hist.observed() {
+        println!(
+            "  {:?}: {} trials, rounds mean {:.1} (min {:.0}, max {:.0})",
+            reason,
+            stats.count(),
+            stats.rounds.mean(),
+            stats.envelope.min(),
+            stats.envelope.max()
+        );
+        for (k, &count) in stats.buckets().iter().enumerate().filter(|(_, &c)| c > 0) {
+            let (lo, hi) = ReasonStats::bucket_range(k);
+            println!("      rounds {:>6}–{:<6} {:>6} trials", lo, hi - 1, count);
+        }
+    }
 }
 
 /// Run `--trials` independent replicas in parallel and print per-ensemble
@@ -325,96 +532,255 @@ fn simulate_ensemble(
             println!("  final L_av: mean {:.4} ± {:.4}", l.mean(), l.sd());
         }
         Some(ReduceMode::Mean) => {
-            // Stream per-round statistics: record on a cadence that keeps
-            // the table ≲ 64 indices however long the run budget is. Each
-            // trial's forced stop record can land off the cadence, which
-            // would blend different round numbers into one index — filter
-            // to on-cadence records so every printed row averages one
-            // exact round across trials.
-            let cadence = (opts.rounds / 64).max(1);
+            let cadence = mean_cadence(opts.rounds);
             let stats = ensemble
                 .recording(RecordConfig::every(cadence))
-                .run_reduced(
-                    stop,
-                    |_trial| RecordSeries::new(),
-                    MapItem::new(
-                        move |records: Vec<congames::dynamics::RoundRecord>| {
-                            records.into_iter().filter(|r| r.round % cadence == 0).collect()
-                        },
-                        PerRoundStats::new(),
-                    ),
-                )
+                .run_reduced(stop, |_trial| RecordSeries::new(), mean_reducer(cadence))
                 .map_err(|e| e.to_string())?
                 .into_inner();
-            println!(
-                "  per-round means over {} trials (recorded every {} rounds):",
-                stats.trials(),
-                cadence
-            );
-            println!(
-                "  {:>8}  {:>14}  {:>12}  {:>10}",
-                "round", "mean Φ ± ci95", "mean L_av", "moves"
-            );
-            let step = (stats.len() / 16).max(1);
-            for r in stats.rounds().iter().step_by(step) {
-                println!(
-                    "  {:>8.0}  {:>9.2} ± {:<6.2} {:>10.4}  {:>10.2}",
-                    r.round.mean(),
-                    r.potential.mean(),
-                    r.potential.ci95(),
-                    r.l_av.mean(),
-                    r.migrations.mean(),
-                );
-            }
+            print_mean_report(&stats, cadence);
         }
         Some(ReduceMode::Quantiles) => {
             let (rounds, potential) = ensemble
-                .run_reduced(
-                    stop,
-                    |_trial| FinalSummary,
-                    (
-                        MapItem::new(|s: RunSummary| s.rounds as f64, ScalarStats::new()),
-                        MapItem::new(|s: RunSummary| s.potential, ScalarStats::new()),
-                    ),
-                )
+                .run_reduced(stop, |_trial| FinalSummary, quantiles_reducer())
                 .map_err(|e| e.to_string())?;
-            let (rounds, potential) = (rounds.into_inner(), potential.into_inner());
-            println!("  {:>10}  {:>12}  {:>12}", "quantile", "rounds", "final Φ");
-            for q in [0.10, 0.25, 0.50, 0.75, 0.90] {
-                println!(
-                    "  {:>10}  {:>12.1}  {:>12.3}",
-                    format!("q{:02.0}", q * 100.0),
-                    rounds.quantile(q),
-                    potential.quantile(q),
-                );
-            }
-            println!(
-                "  rounds mean {:.1} ± {:.1}, range [{:.0}, {:.0}]",
-                rounds.mean(),
-                rounds.ci95(),
-                rounds.min(),
-                rounds.max()
-            );
+            print_quantiles_report(rounds.inner(), potential.inner());
         }
         Some(ReduceMode::Convergence) => {
             let hist = ensemble
                 .run_reduced(stop, |_trial| FinalSummary, ConvergenceHistogram::new())
                 .map_err(|e| e.to_string())?;
-            for (reason, stats) in hist.observed() {
-                println!(
-                    "  {:?}: {} trials, rounds mean {:.1} (min {:.0}, max {:.0})",
-                    reason,
-                    stats.count(),
-                    stats.rounds.mean(),
-                    stats.envelope.min(),
-                    stats.envelope.max()
-                );
-                for (k, &count) in stats.buckets().iter().enumerate().filter(|(_, &c)| c > 0) {
-                    let (lo, hi) = ReasonStats::bucket_range(k);
-                    println!("      rounds {:>6}–{:<6} {:>6} trials", lo, hi - 1, count);
-                }
+            print_convergence_report(&hist);
+        }
+    }
+    Ok(())
+}
+
+/// `congames shard`: run one slice of a `--reduce` sweep and write its
+/// reduction-tree leaves (one partial per 32-trial block) to `--out`.
+fn shard(game: &CongestionGame, opts: &Options) -> Result<(), String> {
+    let mode = opts.reduce.ok_or("shard needs --reduce (the partial file carries a reducer)")?;
+    let shard = opts.shard.ok_or("shard needs --shard")?;
+    let num_shards = opts.num_shards.ok_or("shard needs --num-shards")?;
+    let out = opts.out.as_deref().ok_or("shard needs --out")?;
+    if shard >= num_shards {
+        return Err(format!("--shard {shard} is out of range for --num-shards {num_shards}"));
+    }
+    let start = start_state(game, opts)?;
+    let stop = stop_spec(opts);
+    let ensemble = Ensemble::new(game, opts.protocol()?, start)
+        .map_err(|e| e.to_string())?
+        .engine(opts.engine)
+        .trials(opts.trials)
+        .base_seed(opts.seed)
+        .threads(opts.threads);
+    let range = ensemble.shard_trials(shard, num_shards);
+    let header = ShardHeader {
+        base_seed: opts.seed,
+        trials: opts.trials as u64,
+        trial_lo: range.start as u64,
+        trial_hi: range.end as u64,
+        shard: shard as u32,
+        num_shards: num_shards as u32,
+        reducer_id: String::new(), // filled in per reducer below
+        config: opts.config_digest(),
+    };
+    let bytes = match mode {
+        ReduceMode::Mean => {
+            let cadence = mean_cadence(opts.rounds);
+            let reducer = mean_reducer(cadence);
+            let blocks = ensemble
+                .recording(RecordConfig::every(cadence))
+                .run_reduced_shard(shard, num_shards, &stop, |_t| RecordSeries::new(), &reducer)
+                .map_err(|e| e.to_string())?;
+            encode_shard_file(&ShardHeader { reducer_id: reducer.wire_id(), ..header }, &blocks)
+        }
+        ReduceMode::Quantiles => {
+            let reducer = quantiles_reducer();
+            let blocks = ensemble
+                .run_reduced_shard(shard, num_shards, &stop, |_t| FinalSummary, &reducer)
+                .map_err(|e| e.to_string())?;
+            encode_shard_file(&ShardHeader { reducer_id: reducer.wire_id(), ..header }, &blocks)
+        }
+        ReduceMode::Convergence => {
+            let reducer = ConvergenceHistogram::new();
+            let blocks = ensemble
+                .run_reduced_shard(shard, num_shards, &stop, |_t| FinalSummary, &reducer)
+                .map_err(|e| e.to_string())?;
+            encode_shard_file(&ShardHeader { reducer_id: reducer.wire_id(), ..header }, &blocks)
+        }
+    };
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "wrote shard {}/{}: trials [{}, {}) of {}, {} bytes to {}",
+        shard,
+        num_shards,
+        range.start,
+        range.end,
+        opts.trials,
+        bytes.len(),
+        out
+    );
+    Ok(())
+}
+
+/// `congames merge`: validate and merge every shard's partial file (given
+/// in shard order) and print the same report `run --reduce` prints.
+fn merge(args: &[String]) -> Result<(), String> {
+    let mut csv_out: Option<String> = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => csv_out = Some(it.next().ok_or("--csv needs a value")?.clone()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        return Err("merge needs the shard files, in shard order".into());
+    }
+    let files: Vec<Vec<u8>> = paths
+        .iter()
+        .map(|p| std::fs::read(p).map_err(|e| format!("cannot read `{p}`: {e}")))
+        .collect::<Result<_, _>>()?;
+    let headers: Vec<ShardHeader> = files
+        .iter()
+        .zip(&paths)
+        .map(|(bytes, p)| decode_shard_header(bytes).map_err(|e| format!("{p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    validate_shard_sequence(&headers).map_err(|e| e.to_string())?;
+    let first = &headers[0];
+    let mode = ReduceMode::from_name(
+        config_value(&first.config, "reduce")
+            .ok_or("shard file config carries no `reduce` entry")?,
+    )?;
+    let rounds: u64 = config_value(&first.config, "rounds")
+        .and_then(|v| v.parse().ok())
+        .ok_or("shard file config carries no `rounds` entry")?;
+    // Banner only after every payload validated and merged — a failing
+    // merge must not open with a success-looking line.
+    let banner = || {
+        println!(
+            "merged {} shards ({} trials, seed {}):",
+            headers.len(),
+            first.trials,
+            first.base_seed
+        )
+    };
+    // Decode every shard's leaves and replay the single-process merge
+    // chain in global block order — bit-identical to `run_reduced`.
+    fn merge_files<R: WireReduce>(
+        prototype: &R,
+        files: &[Vec<u8>],
+        paths: &[&String],
+    ) -> Result<R, String> {
+        let mut leaves = Vec::new();
+        for (bytes, p) in files.iter().zip(paths) {
+            let (_, blocks) =
+                decode_shard_file(prototype, bytes).map_err(|e| format!("{p}: {e}"))?;
+            leaves.extend(blocks);
+        }
+        Ok(merge_partials(prototype.identity(), leaves))
+    }
+    match mode {
+        ReduceMode::Mean => {
+            let cadence = mean_cadence(rounds);
+            let stats = merge_files(&mean_reducer(cadence), &files, &paths)?.into_inner();
+            banner();
+            print_mean_report(&stats, cadence);
+            if let Some(path) = csv_out {
+                per_round_stats_csv(&stats)
+                    .write_to(&path)
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            }
+        }
+        ReduceMode::Quantiles => {
+            let (rounds, potential) = merge_files(&quantiles_reducer(), &files, &paths)?;
+            banner();
+            print_quantiles_report(rounds.inner(), potential.inner());
+            if csv_out.is_some() {
+                return Err("--csv is only supported for mean/convergence merges".into());
+            }
+        }
+        ReduceMode::Convergence => {
+            let hist = merge_files(&ConvergenceHistogram::new(), &files, &paths)?;
+            banner();
+            print_convergence_report(&hist);
+            if let Some(path) = csv_out {
+                convergence_csv(&hist)
+                    .write_to(&path)
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
             }
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(extra: &[&str]) -> Result<Options, String> {
+        let mut args: Vec<String> =
+            ["--links", "1,2", "--players", "10"].iter().map(|s| s.to_string()).collect();
+        args.extend(extra.iter().map(|s| s.to_string()));
+        Options::parse(&args)
+    }
+
+    #[test]
+    fn reduce_with_a_single_trial_is_allowed() {
+        // Reduction is defined for every trial count; `--trials 1` (the
+        // default) must not be rejected.
+        let o = opts(&["--reduce", "quantiles"]).unwrap();
+        assert_eq!(o.trials, 1);
+        assert_eq!(o.reduce, Some(ReduceMode::Quantiles));
+        let o = opts(&["--reduce", "mean", "--trials", "1"]).unwrap();
+        assert_eq!(o.reduce, Some(ReduceMode::Mean));
+    }
+
+    #[test]
+    fn zero_trials_error_mentions_the_identity_reduction() {
+        let err = opts(&["--trials", "0"]).unwrap_err();
+        assert!(err.contains("identity reduction"), "{err}");
+    }
+
+    #[test]
+    fn unknown_reduction_is_rejected() {
+        let err = opts(&["--reduce", "median"]).unwrap_err();
+        assert!(err.contains("unknown reduction"), "{err}");
+    }
+
+    #[test]
+    fn shard_flags_parse() {
+        let o = opts(&[
+            "--trials",
+            "96",
+            "--reduce",
+            "convergence",
+            "--shard",
+            "1",
+            "--num-shards",
+            "3",
+            "--out",
+            "part1.cgshard",
+        ])
+        .unwrap();
+        assert_eq!(o.shard, Some(1));
+        assert_eq!(o.num_shards, Some(3));
+        assert_eq!(o.out.as_deref(), Some("part1.cgshard"));
+        assert!(opts(&["--num-shards", "0"]).is_err());
+    }
+
+    #[test]
+    fn config_digest_round_trips_through_lookup() {
+        let o = opts(&["--trials", "96", "--reduce", "mean", "--rounds", "200"]).unwrap();
+        let cfg = o.config_digest();
+        assert_eq!(config_value(&cfg, "reduce"), Some("mean"));
+        assert_eq!(config_value(&cfg, "rounds"), Some("200"));
+        assert_eq!(config_value(&cfg, "trials"), Some("96"));
+        assert_eq!(config_value(&cfg, "missing"), None);
+    }
 }

@@ -347,6 +347,107 @@ fn reduced_ensemble_identical_across_thread_counts() {
     }
 }
 
+/// The multi-process acceptance anchor: splitting a fixed-seed sweep into
+/// any number of shards, carrying each shard's reduction-tree leaves
+/// through the wire encoding (encode → bytes → decode), and merging in
+/// shard order must be **byte-identical** to single-process `run_reduced`
+/// — for both engines and every shard count. This is the property the
+/// `congames shard`/`congames merge` pair is built on.
+#[test]
+fn sharded_wire_merge_identical_to_single_process_run_reduced() {
+    use congames::dynamics::wire::{
+        decode_shard_file, encode_shard_file, validate_shard_sequence, ShardHeader, WireReduce,
+    };
+    use congames::dynamics::{
+        merge_partials, ConvergenceHistogram, FinalSummary, MapItem, ScalarStats,
+    };
+    let game = games::affine_singleton(120);
+    let start = games::geometric_state(&game);
+    let stop = StopSpec::max_rounds(25);
+    for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
+        let ensemble = || {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid ensemble")
+                .engine(engine)
+                .trials(80)
+                .base_seed(2024)
+                .threads(2)
+        };
+        let scalar =
+            || MapItem::new(|s: congames::dynamics::RunSummary| s.potential, ScalarStats::new());
+        let single_scalar = ensemble()
+            .run_reduced(&stop, |_t| FinalSummary, scalar())
+            .expect("single-process run succeeds");
+        let single_hist = ensemble()
+            .run_reduced(&stop, |_t| FinalSummary, ConvergenceHistogram::new())
+            .expect("single-process run succeeds");
+        // 80 trials = 3 blocks; 1 shard (degenerate), 2 (uneven), 3 (one
+        // block each), and 7 (more shards than blocks → empty shards).
+        for num_shards in [1usize, 2, 3, 7] {
+            let mut files = Vec::new();
+            let mut hist_files = Vec::new();
+            for shard in 0..num_shards {
+                let e = ensemble();
+                let range = e.shard_trials(shard, num_shards);
+                let header = |reducer_id: String| ShardHeader {
+                    base_seed: 2024,
+                    trials: 80,
+                    trial_lo: range.start as u64,
+                    trial_hi: range.end as u64,
+                    shard: shard as u32,
+                    num_shards: num_shards as u32,
+                    reducer_id,
+                    config: format!("engine={engine:?}"),
+                };
+                let blocks = e
+                    .run_reduced_shard(shard, num_shards, &stop, |_t| FinalSummary, &scalar())
+                    .expect("shard run succeeds");
+                files.push(encode_shard_file(&header(scalar().wire_id()), &blocks));
+                let blocks = e
+                    .run_reduced_shard(
+                        shard,
+                        num_shards,
+                        &stop,
+                        |_t| FinalSummary,
+                        &ConvergenceHistogram::new(),
+                    )
+                    .expect("shard run succeeds");
+                hist_files.push(encode_shard_file(
+                    &header(ConvergenceHistogram::new().wire_id()),
+                    &blocks,
+                ));
+            }
+            // Replay the merge exactly as `congames merge` does: validate
+            // the headers, decode every shard's leaves, fold in order.
+            let mut headers = Vec::new();
+            let mut leaves = Vec::new();
+            for bytes in &files {
+                let (h, blocks) = decode_shard_file(&scalar(), bytes).expect("shard file decodes");
+                headers.push(h);
+                leaves.extend(blocks);
+            }
+            validate_shard_sequence(&headers).expect("shard sequence validates");
+            let merged = merge_partials(scalar(), leaves);
+            assert_eq!(
+                merged.inner(),
+                single_scalar.inner(),
+                "{engine:?}: {num_shards}-shard wire merge changed the scalar reduction bits"
+            );
+            let mut leaves = Vec::new();
+            for bytes in &hist_files {
+                let (_, blocks) = decode_shard_file(&ConvergenceHistogram::new(), bytes)
+                    .expect("shard file decodes");
+                leaves.extend(blocks);
+            }
+            let merged = merge_partials(ConvergenceHistogram::new(), leaves);
+            assert_eq!(
+                merged, single_hist,
+                "{engine:?}: {num_shards}-shard wire merge changed the histogram"
+            );
+        }
+    }
+}
+
 /// Fixed-seed determinism pin for the zero-allocation kernels: the exact
 /// trajectory of a pinned `(game, seed)` pair. This is intentionally
 /// brittle — any change to the kernels' RNG consumption or decision order

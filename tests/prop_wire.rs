@@ -1,0 +1,263 @@
+//! Property-based tests of the reducer wire encoding: for every stock
+//! reducer, `encode → decode` is the bit-level identity and
+//! `encode → decode → merge` equals the in-memory merge bitwise — the
+//! property `congames merge` relies on to reproduce single-process
+//! `run_reduced` output exactly. Deterministic rejection tests (truncated
+//! frame, flipped byte, wrong version, wrong seed) ride along.
+
+use congames::dynamics::wire::{
+    decode_shard_file, decode_shard_header, encode_shard_file, validate_shard_sequence,
+    ShardHeader, WireCursor, WireError, WireReduce, MAGIC, WIRE_VERSION,
+};
+use congames::dynamics::{
+    ConvergenceHistogram, MapItem, MinMax, PerRoundStats, QuantileSketch, Reducer, RoundRecord,
+    RunSummary, ScalarStats, Welford, STOP_REASONS,
+};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)
+}
+
+/// A reducer fed `xs`, starting from `prototype.identity()`.
+fn fed<R: Reducer>(prototype: &R, xs: impl IntoIterator<Item = R::Item>) -> R {
+    let mut r = prototype.identity();
+    for x in xs {
+        r.absorb(x);
+    }
+    r
+}
+
+/// One encode→decode round trip against `prototype`.
+fn round_trip<R: WireReduce>(prototype: &R, value: &R) -> R {
+    let mut buf = Vec::new();
+    value.encode_partial(&mut buf);
+    let mut cur = WireCursor::new(&buf);
+    let decoded = prototype.decode_partial(&mut cur).expect("round trip decodes");
+    assert_eq!(cur.remaining(), 0, "decode must consume the whole frame");
+    decoded
+}
+
+/// The tentpole property for one reducer: the round trip is the identity,
+/// and merging round-tripped partials is bitwise equal to merging the
+/// in-memory originals.
+fn assert_wire_faithful<R: WireReduce + PartialEq + std::fmt::Debug + Clone>(
+    prototype: &R,
+    a: R,
+    b: R,
+) {
+    assert_eq!(round_trip(prototype, &a), a);
+    assert_eq!(round_trip(prototype, &b), b);
+    let mut in_memory = a.clone();
+    in_memory.merge(b.clone());
+    let mut over_wire = round_trip(prototype, &a);
+    over_wire.merge(round_trip(prototype, &b));
+    assert_eq!(over_wire, in_memory, "wire trip changed the merge result");
+}
+
+fn summaries(xs: &[f64]) -> impl Iterator<Item = RunSummary> + '_ {
+    xs.iter().enumerate().map(|(i, &x)| RunSummary {
+        reason: STOP_REASONS[i % STOP_REASONS.len()],
+        rounds: x.abs() as u64,
+        potential: x,
+    })
+}
+
+fn records(xs: &[f64]) -> Vec<RoundRecord> {
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| RoundRecord {
+            round: i as u64,
+            potential: x,
+            l_av: x / 2.0,
+            l_av_plus: x / 2.0 + 1.0,
+            max_latency: x.abs(),
+            migrations: (i % 7) as u64,
+            support: i % 3 + 1,
+            unsatisfied_fraction: if i % 2 == 0 { Some(x.fract()) } else { None },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn welford_and_minmax_survive_the_wire(xs in samples(), cut in 0.0f64..1.0) {
+        let i = (cut * xs.len() as f64) as usize;
+        let w = Welford::new();
+        assert_wire_faithful(&w, fed(&w, xs[..i].iter().copied()), fed(&w, xs[i..].iter().copied()));
+        let m = MinMax::new();
+        assert_wire_faithful(&m, fed(&m, xs[..i].iter().copied()), fed(&m, xs[i..].iter().copied()));
+    }
+
+    #[test]
+    fn quantile_sketch_survives_the_wire_including_non_finite(
+        xs in samples(),
+        cut in 0.0f64..1.0,
+        inject_nan in any::<bool>(),
+    ) {
+        let i = (cut * xs.len() as f64) as usize;
+        let proto = QuantileSketch::default();
+        let mut a = fed(&proto, xs[..i].iter().copied());
+        if inject_nan {
+            a.push(f64::NAN);
+            a.push(f64::INFINITY);
+        }
+        let b = fed(&proto, xs[i..].iter().copied());
+        assert_wire_faithful(&proto, a, b);
+    }
+
+    #[test]
+    fn scalar_stats_and_combinators_survive_the_wire(xs in samples(), cut in 0.0f64..1.0) {
+        let i = (cut * xs.len() as f64) as usize;
+        let s = ScalarStats::new();
+        assert_wire_faithful(&s, fed(&s, xs[..i].iter().copied()), fed(&s, xs[i..].iter().copied()));
+        // Tuple of MapItems over RunSummary — the `--reduce quantiles` shape.
+        let proto = (
+            MapItem::new(|s: RunSummary| s.rounds as f64, ScalarStats::new()),
+            MapItem::new(|s: RunSummary| s.potential, ScalarStats::new()),
+        );
+        assert_wire_faithful(
+            &proto,
+            fed(&proto, summaries(&xs[..i])),
+            fed(&proto, summaries(&xs[i..])),
+        );
+        // Triple over plain f64 streams.
+        let proto = (Welford::new(), MinMax::new(), ScalarStats::new());
+        assert_wire_faithful(
+            &proto,
+            fed(&proto, xs[..i].iter().copied()),
+            fed(&proto, xs[i..].iter().copied()),
+        );
+    }
+
+    #[test]
+    fn per_round_stats_survive_the_wire(xs in samples(), cut in 0.0f64..1.0) {
+        let i = (cut * xs.len() as f64) as usize;
+        let proto = MapItem::new(|r: Vec<RoundRecord>| r, PerRoundStats::new());
+        // Each "trial" contributes one record series; uneven lengths
+        // exercise the ragged per-index table.
+        let a = fed(&proto, [records(&xs[..i])]);
+        let b = fed(&proto, [records(&xs[i..]), records(&xs[..i.min(3)])]);
+        assert_wire_faithful(&proto, a, b);
+    }
+
+    #[test]
+    fn convergence_histogram_survives_the_wire(xs in samples(), cut in 0.0f64..1.0) {
+        let i = (cut * xs.len() as f64) as usize;
+        let proto = ConvergenceHistogram::new();
+        assert_wire_faithful(&proto, fed(&proto, summaries(&xs[..i])), fed(&proto, summaries(&xs[i..])));
+    }
+
+    #[test]
+    fn materializing_vec_survives_the_wire(xs in samples(), cut in 0.0f64..1.0) {
+        let i = (cut * xs.len() as f64) as usize;
+        let proto: Vec<RunSummary> = Vec::new();
+        assert_wire_faithful(&proto, summaries(&xs[..i]).collect(), summaries(&xs[i..]).collect());
+        let proto: Vec<f64> = Vec::new();
+        assert_wire_faithful(&proto, xs[..i].to_vec(), xs[i..].to_vec());
+    }
+
+    /// Any single flipped bit in a shard file must be detected: either the
+    /// header no longer parses/validates, or the payload checksum fails —
+    /// never a silently different merge input. (Truncation is the
+    /// deterministic tests' job below.)
+    #[test]
+    fn any_flipped_byte_is_rejected(xs in samples(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let w = Welford::new();
+        let header = sample_header("welford");
+        let blocks = vec![fed(&w, xs.iter().copied())];
+        let mut bytes = encode_shard_file(&header, &blocks);
+        let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        // The file must not decode to the original content with a valid
+        // header: either some decode stage errors, or (if the flip landed
+        // in ignorable padding — it can't, every byte is load-bearing) the
+        // content differs.
+        match decode_shard_file(&w, &bytes) {
+            Err(_) => {}
+            Ok((h, decoded)) => {
+                prop_assert!(
+                    h != header || decoded != blocks,
+                    "flipped bit {bit} at byte {pos} went undetected"
+                );
+            }
+        }
+    }
+}
+
+fn sample_header(reducer_id: &str) -> ShardHeader {
+    ShardHeader {
+        base_seed: 42,
+        trials: 96,
+        trial_lo: 0,
+        trial_hi: 32,
+        shard: 0,
+        num_shards: 3,
+        reducer_id: reducer_id.into(),
+        config: "links=1,2;players=10;reduce=quantiles".into(),
+    }
+}
+
+fn sample_file() -> Vec<u8> {
+    let mut w = Welford::new();
+    for x in [1.0, 2.5, -3.0] {
+        w.push(x);
+    }
+    encode_shard_file(&sample_header("welford"), &[w])
+}
+
+#[test]
+fn truncated_frames_are_rejected_at_every_length() {
+    // Every proper prefix must fail with a *precise* error — never panic,
+    // never decode successfully.
+    let bytes = sample_file();
+    for len in 0..bytes.len() {
+        let err = decode_shard_file(&Welford::new(), &bytes[..len])
+            .expect_err("a proper prefix must never decode");
+        assert!(
+            matches!(err, WireError::Truncated { .. } | WireError::BadMagic),
+            "prefix of {len} bytes gave unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut bytes = sample_file();
+    let version_at = MAGIC.len();
+    bytes[version_at] = (WIRE_VERSION + 1) as u8;
+    let err = decode_shard_header(&bytes).unwrap_err();
+    assert_eq!(err, WireError::UnsupportedVersion { found: WIRE_VERSION + 1 });
+}
+
+#[test]
+fn wrong_seed_shards_do_not_merge() {
+    let headers: Vec<ShardHeader> = (0..3u32)
+        .map(|s| ShardHeader {
+            shard: s,
+            trial_lo: u64::from(s) * 32,
+            trial_hi: u64::from(s + 1) * 32,
+            ..sample_header("welford")
+        })
+        .collect();
+    assert_eq!(validate_shard_sequence(&headers), Ok(()));
+    let mut wrong = headers;
+    wrong[2].base_seed = 1234;
+    assert_eq!(
+        validate_shard_sequence(&wrong),
+        Err(WireError::SeedMismatch { expected: 42, found: 1234 })
+    );
+}
+
+#[test]
+fn flipped_payload_byte_fails_the_checksum() {
+    let mut bytes = sample_file();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x10;
+    assert!(matches!(
+        decode_shard_file(&Welford::new(), &bytes),
+        Err(WireError::ChecksumMismatch { .. })
+    ));
+}

@@ -134,7 +134,20 @@ fn diff(
                 let _ = writeln!(text, "  skip {pin}: not in the baseline yet");
             }
             (Some(base), Some(cur)) => {
-                let ratio = cur / base.max(f64::MIN_POSITIVE);
+                // A non-positive baseline (a 0 ns entry from a degenerate
+                // run, or hand-edited junk) makes the ratio meaningless —
+                // `inf`/NaN would read as a huge regression (or silently
+                // pass, for NaN). Skip the pin with a note instead of
+                // rendering a nonsense verdict.
+                if base <= 0.0 || !base.is_finite() {
+                    let _ = writeln!(
+                        text,
+                        "  skip {pin}: non-positive baseline ({base} ns/iter) — ratio undefined, \
+                         re-record the baseline"
+                    );
+                    continue;
+                }
+                let ratio = cur / base;
                 let verdict = if ratio > threshold {
                     ok = false;
                     "FAIL"
@@ -288,6 +301,23 @@ mod tests {
         let d = diff(&base, &cur, &["a", "new"], 1.5);
         assert!(d.ok, "{}", d.text);
         assert!(d.text.contains("skip new"));
+    }
+
+    #[test]
+    fn non_positive_baseline_is_skipped_with_a_note() {
+        // A 0 ns baseline entry would yield an `inf` ratio and a nonsense
+        // FAIL; a negative or NaN one is equally meaningless. All three
+        // must skip with a note instead of producing a verdict.
+        for bad in [0.0, -3.0, f64::NAN] {
+            let base = report(&[("a", bad), ("b", 100.0)]);
+            let cur = report(&[("a", 120.0), ("b", 100.0)]);
+            let d = diff(&base, &cur, &["a", "b"], 1.5);
+            assert!(d.ok, "baseline {bad}: {}", d.text);
+            assert!(d.text.contains("skip a"), "baseline {bad}: {}", d.text);
+            assert!(d.text.contains("ratio undefined"), "baseline {bad}: {}", d.text);
+            assert!(!d.text.contains("inf"), "baseline {bad}: {}", d.text);
+            assert!(d.text.contains("  ok b"), "healthy pin must still be judged: {}", d.text);
+        }
     }
 
     #[test]
