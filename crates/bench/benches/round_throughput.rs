@@ -11,8 +11,9 @@
 use congames_bench::games::{poly_links, skewed_two_hot, sparse_support};
 use congames_dynamics::{EngineKind, Ensemble, ImitationProtocol, NuRule, Simulation, StopSpec};
 use congames_model::{potential_delta_for_load_change, ResourceId};
-use congames_sampling::seeded_rng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use congames_sampling::{seeded_rng, CounterRng, DrawStream, RngMode};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngCore;
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("round");
@@ -158,5 +159,53 @@ fn bench_batched_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds, bench_sparse_rounds, bench_ensemble, bench_batched_latency);
+/// Raw and kernel-level cost of the two RNG backends. `rng/raw/*` is the
+/// per-`u64` draw cost (the counter backend pays one Philox 4×64-10 block
+/// per four draws plus the positioning bookkeeping); `rng/round/*` is one
+/// aggregate round of the n=10⁴, m=64 fixture drawn through a
+/// [`DrawStream`] in each mode — the end-to-end overhead counter mode
+/// charges a round kernel. All four ids are pinned in `tools/bench_diff`,
+/// so a counter-mode overhead regression fails CI.
+fn bench_rng_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function(BenchmarkId::new("raw", "xoshiro"), |b| {
+        let mut rng = seeded_rng(1, 0);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    group.bench_function(BenchmarkId::new("raw", "counter"), |b| {
+        let mut rng = CounterRng::for_trial(1, 0);
+        let mut i = 0u64;
+        b.iter(|| {
+            // Walk sites the way the player kernel does — reposition, then
+            // draw — so the positioning cost is part of the measurement.
+            rng.begin_site(i);
+            i = i.wrapping_add(1);
+            black_box(rng.next_u64())
+        });
+    });
+    let game = poly_links(64, 2, 10_000);
+    let start = skewed_two_hot(&game);
+    for mode in [RngMode::Xoshiro, RngMode::Counter] {
+        group.bench_with_input(BenchmarkId::new("round", mode.name()), &mode, |b, &mode| {
+            let mut sim = Simulation::new(
+                &game,
+                ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+                start.clone(),
+            )
+            .expect("valid simulation");
+            let mut rng = DrawStream::for_trial(mode, 1, 0);
+            b.iter(|| sim.step(&mut rng).expect("step succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rounds,
+    bench_sparse_rounds,
+    bench_ensemble,
+    bench_batched_latency,
+    bench_rng_throughput
+);
 criterion_main!(benches);

@@ -18,8 +18,7 @@ use congames_model::{
     potential, potential_delta_for_load_change, CongestionGame, GameError, GameParams, Migration,
     ResourceId, State, StrategyId,
 };
-use congames_sampling::multinomial_with_rest_into;
-use rand::Rng;
+use congames_sampling::{multinomial_with_rest_into, DrawRng};
 
 use crate::error::DynamicsError;
 use crate::expectation::PairFlow;
@@ -652,7 +651,10 @@ impl<'g> Simulation<'g> {
     ///
     /// Surfaces internal sampling/application failures (none occur for valid
     /// simulations; the error path exists instead of panicking).
-    pub fn step(&mut self, rng: &mut impl Rng) -> Result<RoundStats, DynamicsError> {
+    pub fn step(&mut self, rng: &mut impl DrawRng) -> Result<RoundStats, DynamicsError> {
+        // Position counter-mode streams at `(round, site 0)`; a no-op for
+        // the sequential xoshiro backend (see `congames_sampling::DrawRng`).
+        rng.begin_round(self.round);
         let mut migrations = std::mem::take(&mut self.migrations_buf);
         migrations.clear();
         match self.engine {
@@ -696,7 +698,7 @@ impl<'g> Simulation<'g> {
 
     fn aggregate_round(
         &mut self,
-        rng: &mut impl Rng,
+        rng: &mut impl DrawRng,
         migrations: &mut Vec<Migration>,
     ) -> Result<(), DynamicsError> {
         // Group the pair probabilities by origin in the reusable CSR pair
@@ -708,6 +710,10 @@ impl<'g> Simulation<'g> {
         let mut counts = std::mem::take(&mut self.counts_buf);
         let mut result = Ok(());
         for (j, &from) in pairs.origins.iter().enumerate() {
+            // Counter mode addresses the origin's multinomial by its
+            // strategy id, so the draw is independent of which other
+            // origins are occupied this round.
+            rng.begin_site(from.raw() as u64);
             let slice = pairs.offsets[j]..pairs.offsets[j + 1];
             let x_from = self.state.counts()[from.index()];
             match multinomial_with_rest_into(
@@ -736,7 +742,7 @@ impl<'g> Simulation<'g> {
 
     fn player_round(
         &mut self,
-        rng: &mut impl Rng,
+        rng: &mut impl DrawRng,
         migrations: &mut Vec<Migration>,
     ) -> Result<(), DynamicsError> {
         self.ensure_players();
@@ -776,6 +782,9 @@ impl<'g> Simulation<'g> {
                 let real_pool = if self_exclude { n_c - 1 } else { n_c };
                 let pool = real_pool + if virtual_agents { s_c as u64 } else { 0 };
                 for (local, &from) in class_players.iter().enumerate() {
+                    // Counter mode addresses each player's decision by the
+                    // global player index.
+                    rng.begin_site((start + local) as u64);
                     let explore = explore_prob > 0.0 && rng.gen::<f64>() < explore_prob;
                     let to: StrategyId;
                     let is_explore: bool;
@@ -919,7 +928,7 @@ impl<'g> Simulation<'g> {
     pub fn run(
         &mut self,
         stop: &StopSpec,
-        rng: &mut impl Rng,
+        rng: &mut impl DrawRng,
     ) -> Result<RunOutcome, DynamicsError> {
         let mut trajectory = Trajectory::new();
         let summary = self.run_observed(stop, rng, &mut trajectory)?;
@@ -948,7 +957,7 @@ impl<'g> Simulation<'g> {
     pub fn run_observed<O: Observer>(
         &mut self,
         stop: &StopSpec,
-        rng: &mut impl Rng,
+        rng: &mut impl DrawRng,
         observer: &mut O,
     ) -> Result<RunSummary, DynamicsError> {
         // Seed from the simulation's own counter so a resumed run's start

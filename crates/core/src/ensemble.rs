@@ -25,9 +25,7 @@
 //! than panicking.
 
 use congames_model::{CongestionGame, State};
-use congames_sampling::split_seed;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use congames_sampling::{split_seed, DrawStream, RngMode};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -125,10 +123,13 @@ pub fn run_indexed<T: Send>(tasks: usize, threads: usize, f: impl Fn(usize) -> T
 /// start state, run `trials` times with per-trial seeds derived from a
 /// base seed, optionally across threads.
 ///
-/// Replica `i` always receives the RNG `SmallRng::seed_from_u64(
-/// split_seed(base_seed, i))` and a fresh copy of the start state, so the
-/// returned outcomes are **bit-identical regardless of the thread count**
-/// and reproducible across runs.
+/// Replica `i` always receives the stream
+/// `DrawStream::for_trial(rng_mode, base_seed, i)` — in xoshiro mode the
+/// historical `SmallRng::seed_from_u64(split_seed(base_seed, i))` stream,
+/// in counter mode the Philox stream keyed by the base seed and addressed
+/// by `(trial, round, site, index)` — and a fresh copy of the start state,
+/// so the returned outcomes are **bit-identical regardless of the thread
+/// count** and reproducible across runs.
 ///
 /// # Example
 ///
@@ -159,6 +160,7 @@ pub struct Ensemble<'g> {
     trials: usize,
     base_seed: u64,
     threads: usize,
+    rng_mode: RngMode,
 }
 
 impl<'g> Ensemble<'g> {
@@ -187,6 +189,7 @@ impl<'g> Ensemble<'g> {
             trials: 1,
             base_seed: 0,
             threads: Self::default_threads(),
+            rng_mode: RngMode::Xoshiro,
         })
     }
 
@@ -226,6 +229,18 @@ impl<'g> Ensemble<'g> {
         self
     }
 
+    /// Select the RNG backend every replica draws from (default:
+    /// [`RngMode::Xoshiro`], the historical sequential stream).
+    pub fn rng_mode(mut self, mode: RngMode) -> Self {
+        self.rng_mode = mode;
+        self
+    }
+
+    /// The RNG backend replicas draw from.
+    pub fn get_rng_mode(&self) -> RngMode {
+        self.rng_mode
+    }
+
     /// Set the worker-thread budget (clamped to at least 1). The results
     /// are identical for every choice; only wall-clock time changes.
     pub fn threads(mut self, threads: usize) -> Self {
@@ -233,9 +248,18 @@ impl<'g> Ensemble<'g> {
         self
     }
 
-    /// The seed replica `trial` derives its RNG from.
+    /// The seed replica `trial` derives its xoshiro stream from
+    /// (`split_seed(base_seed, trial)`; see `congames-sampling::seeds`). In
+    /// counter mode the trial index addresses the stream directly and this
+    /// seed is unused.
     pub fn trial_seed(&self, trial: usize) -> u64 {
         split_seed(self.base_seed, trial as u64)
+    }
+
+    /// The replica stream for `trial` — the single constructor all run
+    /// paths use (`run_with`, `run_reduced`, sharded runs).
+    fn trial_stream(&self, trial: usize) -> DrawStream {
+        DrawStream::for_trial(self.rng_mode, self.base_seed, trial as u64)
     }
 
     /// Run every replica until `stop` fires; outcomes in trial order.
@@ -263,7 +287,7 @@ impl<'g> Ensemble<'g> {
             let mut sim = Simulation::new(self.game, self.protocol, self.start.clone())?
                 .with_engine(self.engine)
                 .with_recording(self.record);
-            let mut rng = SmallRng::seed_from_u64(self.trial_seed(trial));
+            let mut rng = self.trial_stream(trial);
             let outcome = sim.run(stop, &mut rng)?;
             Ok(f(&sim, outcome))
         });
@@ -280,7 +304,7 @@ impl<'g> Ensemble<'g> {
         let mut sim = Simulation::new(self.game, self.protocol, self.start.clone())?
             .with_engine(self.engine)
             .with_recording(self.record);
-        let mut rng = SmallRng::seed_from_u64(self.trial_seed(trial));
+        let mut rng = self.trial_stream(trial);
         let mut observer = observer_factory(trial);
         let summary = sim.run_observed(stop, &mut rng, &mut observer)?;
         Ok(observer.finish(&summary))

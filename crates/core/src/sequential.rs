@@ -7,7 +7,7 @@
 //! minimizer for general games where `Φ*` is PLS-hard.
 
 use congames_model::{best_deviation, BestDeviation, CongestionGame, State, StrategyId};
-use rand::Rng;
+use congames_sampling::DrawRng;
 
 use crate::error::DynamicsError;
 
@@ -50,7 +50,7 @@ pub fn best_response_dynamics(
     tol: f64,
     max_steps: u64,
     rule: PivotRule,
-    rng: &mut impl Rng,
+    rng: &mut impl DrawRng,
 ) -> Result<SequentialOutcome, DynamicsError> {
     run_sequential(game, state, tol, max_steps, rule, rng, false)
 }
@@ -69,7 +69,7 @@ pub fn sequential_imitation(
     tol: f64,
     max_steps: u64,
     rule: PivotRule,
-    rng: &mut impl Rng,
+    rng: &mut impl DrawRng,
 ) -> Result<SequentialOutcome, DynamicsError> {
     run_sequential(game, state, tol, max_steps, rule, rng, true)
 }
@@ -80,7 +80,7 @@ fn run_sequential(
     tol: f64,
     max_steps: u64,
     rule: PivotRule,
-    rng: &mut impl Rng,
+    rng: &mut impl DrawRng,
     support_only: bool,
 ) -> Result<SequentialOutcome, DynamicsError> {
     // Build the support index once; `apply_move` maintains it, so every
@@ -89,6 +89,9 @@ fn run_sequential(
     state.ensure_support_index(game);
     let mut steps = 0u64;
     while steps < max_steps {
+        // One sequential deviation per "round": counter-mode streams
+        // address the pivot draw by the step index.
+        rng.begin_round(steps);
         let deviation = match rule {
             PivotRule::BestGain => {
                 best_deviation(game, state, support_only).filter(|b| b.gain > tol)

@@ -19,7 +19,7 @@
 //!    global block order — the same left-deep chain the single process
 //!    walks — and lands on the same bits.
 //!
-//! # Frame layout (version 1)
+//! # Frame layout (version 2)
 //!
 //! A shard file is:
 //!
@@ -32,6 +32,9 @@
 //! trial_lo/hi  u64 ×2   this shard's half-open global trial range
 //! shard        u32      this shard's index
 //! num_shards   u32      total shard count
+//! rng_mode     u8       RngMode::code() — the backend every trial drew
+//!                       from (0 = xoshiro, 1 = counter); shards of one
+//!                       merge must agree
 //! reducer_id   string   stable reducer identifier incl. configuration
 //! config       string   free-form run-configuration digest
 //! checksum     u64      FNV-1a 64 over the payload bytes
@@ -58,6 +61,8 @@
 
 use std::collections::BTreeMap;
 
+use congames_sampling::RngMode;
+
 use crate::reduce::{
     ConvergenceHistogram, MapItem, MinMax, PerRoundStats, QuantileSketch, ReasonStats, Reducer,
     RoundIndexStats, ScalarStats, Welford, STOP_REASONS,
@@ -66,7 +71,8 @@ use crate::stopping::{RunSummary, StopReason};
 use crate::trajectory::RoundRecord;
 
 /// Version tag written into (and required from) every shard file.
-pub const WIRE_VERSION: u32 = 1;
+/// Version 2 added the `rng_mode` header byte.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Magic bytes opening every shard file.
 pub const MAGIC: [u8; 8] = *b"CGSHARD\0";
@@ -116,6 +122,17 @@ pub enum WireError {
         /// The offending shard index.
         shard: u32,
     },
+    /// Shard files were produced under different RNG backends — their
+    /// trials drew from unrelated streams, so merging them would not
+    /// reproduce any single-process sweep.
+    RngModeMismatch {
+        /// The offending shard index.
+        shard: u32,
+        /// Mode of the first file.
+        expected: RngMode,
+        /// Mode of the offending file.
+        found: RngMode,
+    },
     /// Bytes remained after the declared end of the file.
     TrailingBytes {
         /// How many bytes were left over.
@@ -164,6 +181,11 @@ impl std::fmt::Display for WireError {
                 f,
                 "shard {shard} was produced with a different run configuration than the first \
                  shard file"
+            ),
+            WireError::RngModeMismatch { shard, expected, found } => write!(
+                f,
+                "rng-mode mismatch: shard {shard} was produced under `--rng {found}` but the \
+                 first shard file used `--rng {expected}`"
             ),
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the shard payload")
@@ -773,6 +795,8 @@ pub struct ShardHeader {
     pub shard: u32,
     /// Total number of shards in the sweep.
     pub num_shards: u32,
+    /// RNG backend every trial of the sweep drew from.
+    pub rng_mode: RngMode,
     /// [`WireReduce::wire_id`] of the reducer the payload carries.
     pub reducer_id: String,
     /// Free-form digest of the run configuration (game, protocol, stop
@@ -802,6 +826,7 @@ pub fn encode_shard_file<R: WireReduce>(header: &ShardHeader, blocks: &[R]) -> V
     put_u64(&mut out, header.trial_hi);
     put_u32(&mut out, header.shard);
     put_u32(&mut out, header.num_shards);
+    out.push(header.rng_mode.code());
     put_str(&mut out, &header.reducer_id);
     put_str(&mut out, &header.config);
     put_u64(&mut out, fnv1a64(&payload));
@@ -829,12 +854,24 @@ pub fn decode_shard_header(bytes: &[u8]) -> Result<ShardHeader, WireError> {
     let trial_hi = cur.u64("trial range end")?;
     let shard = cur.u32("shard index")?;
     let num_shards = cur.u32("shard count")?;
+    let rng_mode = RngMode::from_code(cur.u8("rng mode")?)
+        .ok_or(WireError::Malformed { context: "unknown rng-mode code" })?;
     let reducer_id = cur.str("reducer id")?;
     let config = cur.str("config digest")?;
     if trial_lo > trial_hi || trial_hi > trials {
         return Err(WireError::Malformed { context: "shard trial range outside the sweep" });
     }
-    Ok(ShardHeader { base_seed, trials, trial_lo, trial_hi, shard, num_shards, reducer_id, config })
+    Ok(ShardHeader {
+        base_seed,
+        trials,
+        trial_lo,
+        trial_hi,
+        shard,
+        num_shards,
+        rng_mode,
+        reducer_id,
+        config,
+    })
 }
 
 /// Decode and fully validate one shard file against the merger's reducer
@@ -855,7 +892,7 @@ pub fn decode_shard_file<R: WireReduce>(
     // Re-walk to the payload: the header decoder consumed an unknown
     // number of string bytes, so reparse positionally.
     let mut cur = WireCursor::new(bytes);
-    cur.take(8 + 4 + 8 * 4 + 4 + 4, "header")?;
+    cur.take(8 + 4 + 8 * 4 + 4 + 4 + 1, "header")?;
     let _ = cur.str("reducer id")?;
     let _ = cur.str("config digest")?;
     let stored = cur.u64("payload checksum")?;
@@ -913,6 +950,13 @@ pub fn validate_shard_sequence(headers: &[ShardHeader]) -> Result<(), WireError>
         if h.base_seed != first.base_seed {
             return Err(WireError::SeedMismatch { expected: first.base_seed, found: h.base_seed });
         }
+        if h.rng_mode != first.rng_mode {
+            return Err(WireError::RngModeMismatch {
+                shard: h.shard,
+                expected: first.rng_mode,
+                found: h.rng_mode,
+            });
+        }
         if h.config != first.config {
             return Err(WireError::ConfigMismatch { shard: h.shard });
         }
@@ -968,6 +1012,7 @@ mod tests {
             trial_hi: 32,
             shard: 0,
             num_shards: 3,
+            rng_mode: RngMode::Xoshiro,
             reducer_id: "welford".into(),
             config: "links=1,2;players=10".into(),
         }

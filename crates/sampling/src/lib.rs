@@ -19,7 +19,10 @@
 //!   proportionally to their player counts.
 //!
 //! Reproducibility helpers ([`split_seed`], [`seeded_rng`]) derive
-//! independent, deterministic RNG streams for parallel experiments.
+//! independent, deterministic RNG streams for parallel experiments, and the
+//! [`DrawStream`] abstraction (module [`counter`] + [`RngMode`]) lets every
+//! kernel draw either from the sequential xoshiro stream or from a
+//! counter-based Philox stream addressed by `(trial, round, site, index)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,12 +30,16 @@
 
 mod alias;
 mod binomial;
+pub mod counter;
 mod error;
 mod multinomial;
 mod seeds;
+mod stream;
 
 pub use alias::AliasTable;
 pub use binomial::binomial;
+pub use counter::CounterRng;
 pub use error::SamplingError;
 pub use multinomial::{multinomial, multinomial_with_rest, multinomial_with_rest_into};
 pub use seeds::{seeded_rng, split_seed, SeedSequence};
+pub use stream::{DrawRng, DrawStream, RngMode};

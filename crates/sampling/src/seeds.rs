@@ -1,4 +1,20 @@
 //! Deterministic seed derivation for reproducible parallel experiments.
+//!
+//! This module is the **single root of derived randomness** in the
+//! workspace. Every per-trial stream — an ensemble replica's xoshiro
+//! generator, a counter-mode Philox key, a [`SeedSequence`] fan-out —
+//! passes through [`split_seed`] exactly once:
+//!
+//! * xoshiro trials: [`seeded_rng`]`(base, trial)` =
+//!   `SmallRng::seed_from_u64(split_seed(base, trial))`. `Ensemble` and
+//!   `DrawStream::for_trial(RngMode::Xoshiro, …)` both use this
+//!   constructor rather than re-wrapping `split_seed` themselves.
+//! * counter trials: the Philox key words are
+//!   `split_seed(base, KEY_STREAM_{0,1})` (see [`crate::counter`]); the
+//!   trial index moves into the counter block instead of the seed.
+//!
+//! Keeping one constructor means a reproducibility header of
+//! `(rng mode, base seed)` pins every stream in a run.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

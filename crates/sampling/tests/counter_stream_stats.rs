@@ -1,0 +1,119 @@
+//! Distributional quality of the counter-mode (`Philox 4×64`) streams,
+//! under the same `congames-testutil` χ²/KS machinery the samplers use:
+//!
+//! * **per-site uniformity** — the word stream of each addressed site must
+//!   be uniform (χ² over equiprobable buckets at z = 4.5);
+//! * **cross-site independence** — joint bucket occupancy of sites `s` and
+//!   `s + lag` must fit the product distribution for a small lag set
+//!   (adjacent sites, the player-stride, and a round-crossing lag);
+//! * **cross-backend agreement** — counter-mode and xoshiro-mode uniform
+//!   variates must realize the same distribution (two-sample KS).
+//!
+//! These are the batteries that justify using counter mode interchangeably
+//! with the sequential stream in the round kernels.
+
+use congames_sampling::{seeded_rng, CounterRng, DrawRng, DrawStream, RngMode};
+use congames_testutil::stats::{assert_chi_square_fits, ks_distance, ks_threshold};
+use rand::RngCore;
+
+const Z: f64 = 4.5;
+
+/// χ² of `draws` top-bits bucketed words against the uniform pmf.
+fn check_uniform(label: &str, words: impl Iterator<Item = u64>, buckets: usize) {
+    let mut counts = vec![0u64; buckets];
+    let mut total = 0u64;
+    for w in words {
+        counts[(w >> 32) as usize * buckets / (1usize << 32)] += 1;
+        total += 1;
+    }
+    assert!(total > 0);
+    let pmf = vec![1.0 / buckets as f64; buckets];
+    assert_chi_square_fits(&counts, &pmf, Z, label);
+}
+
+#[test]
+fn per_site_streams_are_uniform() {
+    // Sites of the kind the engines address: small origin ids and larger
+    // player indices, across several rounds and trials.
+    for &site in &[0u64, 1, 7, 1024] {
+        let mut rng = CounterRng::for_trial(20_090_808, 3);
+        let words = (0..40_000u64).map(move |i| {
+            // 16 draws per (round, site) scope, cycling rounds, so both
+            // the in-block walk and the round coordinate are exercised.
+            if i % 16 == 0 {
+                rng.begin_round(i / 16);
+                rng.begin_site(site);
+            }
+            rng.next_u64()
+        });
+        check_uniform(&format!("counter/uniform-site{site}"), words, 16);
+    }
+}
+
+#[test]
+fn cross_site_streams_are_independent() {
+    // Joint occupancy of 4×4 buckets for (site, site + lag) must fit the
+    // product (uniform) distribution. The lag set covers adjacent sites,
+    // a player-stride lag, and a lag crossing the round coordinate.
+    for &lag in &[1u64, 7, 64] {
+        let mut joint = vec![0u64; 16];
+        for round in 0..40_000u64 {
+            let a = CounterRng::at(20_090_808, 0, round, 100, 0);
+            let b = CounterRng::at(20_090_808, 0, round, 100 + lag, 0);
+            let (ba, bb) = ((a >> 62) as usize, (b >> 62) as usize);
+            joint[ba * 4 + bb] += 1;
+        }
+        let pmf = vec![1.0 / 16.0; 16];
+        assert_chi_square_fits(&joint, &pmf, Z, &format!("counter/independence-lag{lag}"));
+    }
+    // Round-to-round independence at a fixed site (lag 1 in the round
+    // coordinate): the engines rely on fresh randomness every round.
+    let mut joint = vec![0u64; 16];
+    for round in 0..40_000u64 {
+        let a = CounterRng::at(20_090_808, 0, round, 5, 0);
+        let b = CounterRng::at(20_090_808, 0, round + 1, 5, 0);
+        joint[(a >> 62) as usize * 4 + (b >> 62) as usize] += 1;
+    }
+    assert_chi_square_fits(&joint, &[1.0 / 16.0; 16], Z, "counter/independence-round-lag1");
+}
+
+#[test]
+fn counter_and_xoshiro_word_distributions_agree() {
+    // Two-sample KS over a 256-bucket histogram of the top byte: the two
+    // backends must be samples of the same (uniform) distribution.
+    let n = 100_000u64;
+    let mut xoshiro_hist = vec![0u64; 256];
+    let mut rng = seeded_rng(20_090_808, 0);
+    for _ in 0..n {
+        xoshiro_hist[(rng.next_u64() >> 56) as usize] += 1;
+    }
+    let mut counter_hist = vec![0u64; 256];
+    let mut stream = DrawStream::for_trial(RngMode::Counter, 20_090_808, 0);
+    for i in 0..n {
+        // Walk sites the way a player kernel would: a new site per draw.
+        stream.begin_site(i);
+        counter_hist[(stream.next_u64() >> 56) as usize] += 1;
+    }
+    let d = ks_distance(&xoshiro_hist, &counter_hist);
+    let thresh = ks_threshold(n as usize, n as usize, 1e-4);
+    assert!(
+        d <= thresh,
+        "counter vs xoshiro word KS distance {d:.5} exceeds {thresh:.5} over {n} draws"
+    );
+}
+
+#[test]
+fn trial_streams_are_mutually_uniform() {
+    // Adjacent trials (as an ensemble addresses them) must look like
+    // independent uniform streams too: χ² over the interleaving.
+    let mut counts = vec![0u64; 16];
+    for trial in 0..64u64 {
+        let mut rng = CounterRng::for_trial(7, trial);
+        rng.begin_round(0);
+        rng.begin_site(0);
+        for _ in 0..625 {
+            counts[(rng.next_u64() >> 60) as usize] += 1;
+        }
+    }
+    assert_chi_square_fits(&counts, &[1.0 / 16.0; 16], Z, "counter/trial-interleave");
+}

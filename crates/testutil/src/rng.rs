@@ -3,6 +3,7 @@
 //! Every suite in this workspace derives its seeds the same way, so a
 //! failing test names the exact `(label, trial)` pair needed to replay it.
 
+use congames_sampling::{DrawStream, RngMode};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -32,6 +33,20 @@ pub fn fixture_seed(label: &str, trial: u64) -> u64 {
 /// A fresh RNG for `(label, trial)`.
 pub fn fixture_rng(label: &str, trial: u64) -> SmallRng {
     SmallRng::seed_from_u64(fixture_seed(label, trial))
+}
+
+/// A fresh [`DrawStream`] for `(label, trial)` under `mode`.
+///
+/// Xoshiro wraps exactly [`fixture_rng`]`(label, trial)` — the consumed
+/// stream (and therefore every historical pin) is unchanged. Counter keys
+/// the Philox stream by `fixture_seed(label, 0)` and addresses the trial
+/// through the counter block, mirroring how `Ensemble` derives per-trial
+/// streams from a base seed.
+pub fn fixture_stream(label: &str, mode: RngMode, trial: u64) -> DrawStream {
+    match mode {
+        RngMode::Xoshiro => DrawStream::from_small_rng(fixture_rng(label, trial)),
+        RngMode::Counter => DrawStream::for_trial(mode, fixture_seed(label, 0), trial),
+    }
 }
 
 #[cfg(test)]

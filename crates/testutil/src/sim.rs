@@ -2,8 +2,9 @@
 
 use congames_dynamics::{EngineKind, Protocol, Simulation};
 use congames_model::{CongestionGame, State};
+use congames_sampling::RngMode;
 
-use crate::rng::fixture_rng;
+use crate::rng::fixture_stream;
 
 /// A per-trial scalar summary of a finished (short) run.
 pub type StateStat = fn(&CongestionGame, &State) -> f64;
@@ -30,12 +31,30 @@ pub fn trial_stats(
     trials: u64,
     stat: StateStat,
 ) -> Vec<f64> {
+    trial_stats_mode(label, RngMode::Xoshiro, game, protocol, start, engine, rounds, trials, stat)
+}
+
+/// [`trial_stats`] with an explicit RNG backend: trial `i` draws from
+/// `fixture_stream(label, mode, i)`. Xoshiro mode is bit-identical to
+/// [`trial_stats`]; counter mode is the cross-backend comparison arm.
+#[allow(clippy::too_many_arguments)]
+pub fn trial_stats_mode(
+    label: &str,
+    mode: RngMode,
+    game: &CongestionGame,
+    protocol: Protocol,
+    start: &State,
+    engine: EngineKind,
+    rounds: u64,
+    trials: u64,
+    stat: StateStat,
+) -> Vec<f64> {
     (0..trials)
         .map(|trial| {
             let mut sim = Simulation::new(game, protocol, start.clone())
                 .expect("valid equivalence-trial simulation")
                 .with_engine(engine);
-            let mut rng = fixture_rng(label, trial);
+            let mut rng = fixture_stream(label, mode, trial);
             for _ in 0..rounds {
                 sim.step(&mut rng).expect("equivalence-trial round");
             }
@@ -59,12 +78,39 @@ pub fn occupancy_histogram(
     trials: u64,
     strategy: usize,
 ) -> Vec<u64> {
+    occupancy_histogram_mode(
+        label,
+        RngMode::Xoshiro,
+        game,
+        protocol,
+        start,
+        engine,
+        rounds,
+        trials,
+        strategy,
+    )
+}
+
+/// [`occupancy_histogram`] with an explicit RNG backend (see
+/// [`trial_stats_mode`] for the stream derivation).
+#[allow(clippy::too_many_arguments)]
+pub fn occupancy_histogram_mode(
+    label: &str,
+    mode: RngMode,
+    game: &CongestionGame,
+    protocol: Protocol,
+    start: &State,
+    engine: EngineKind,
+    rounds: u64,
+    trials: u64,
+    strategy: usize,
+) -> Vec<u64> {
     let mut hist = vec![0u64; game.total_players() as usize + 1];
     for trial in 0..trials {
         let mut sim = Simulation::new(game, protocol, start.clone())
             .expect("valid occupancy-trial simulation")
             .with_engine(engine);
-        let mut rng = fixture_rng(label, trial);
+        let mut rng = fixture_stream(label, mode, trial);
         for _ in 0..rounds {
             sim.step(&mut rng).expect("occupancy-trial round");
         }

@@ -25,6 +25,7 @@ use congames::dynamics::{
     RoundRecord, RunSummary, ScalarStats, Simulation, StopCondition, StopSpec,
 };
 use congames::model::{average_latency, potential, LinearSingleton};
+use congames::sampling::{DrawStream, RngMode};
 use congames::RecordConfig;
 use congames::{Affine, CongestionGame, State};
 use rand::SeedableRng;
@@ -49,7 +50,7 @@ const USAGE: &str = "usage:
   congames run     --links a1,a2,... --players N [--protocol imitation|exploration|combined]
                    [--rounds R] [--lambda L] [--seed S] [--no-nu]
                    [--trials T] [--threads K] [--engine aggregate|player]
-                   [--reduce mean|quantiles|convergence]
+                   [--rng xoshiro|counter] [--reduce mean|quantiles|convergence]
   congames shard   <run flags> --reduce MODE --shard S --num-shards K --out FILE
   congames merge   [--csv FILE] FILE...
 
@@ -62,7 +63,11 @@ confidence bands, `quantiles` the convergence-round and final-potential
 quantiles, `convergence` a stop-reason histogram.
 `shard` runs one slice of a sweep and writes its reducer partials to a
 file; `merge` (given every shard's file, in shard order) reproduces the
-single-process `run --reduce` report byte for byte.";
+single-process `run --reduce` report byte for byte.
+--rng selects the random backend: `xoshiro` (default) draws one sequential
+stream per trial; `counter` addresses every draw by (trial, round, site,
+index), so results are also invariant to future lane/GPU backends. Both
+are bit-reproducible from the printed `# repro:` header line.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?.as_str();
@@ -94,6 +99,7 @@ struct Options {
     trials: usize,
     threads: usize,
     engine: EngineKind,
+    rng: RngMode,
     reduce: Option<ReduceMode>,
     shard: Option<usize>,
     num_shards: Option<usize>,
@@ -140,6 +146,7 @@ impl Options {
             trials: 1,
             threads: Ensemble::default_threads(),
             engine: EngineKind::Aggregate,
+            rng: RngMode::Xoshiro,
             reduce: None,
             shard: None,
             num_shards: None,
@@ -217,6 +224,11 @@ impl Options {
                         "player" | "player-level" => EngineKind::PlayerLevel,
                         other => return Err(format!("unknown engine `{other}`")),
                     };
+                }
+                "--rng" => {
+                    let v = it.next().ok_or("--rng needs a value")?;
+                    o.rng = RngMode::parse(v)
+                        .ok_or_else(|| format!("unknown rng mode `{v}` (xoshiro|counter)"))?;
                 }
                 "--reduce" => {
                     o.reduce =
@@ -315,6 +327,27 @@ impl Options {
             self.trials,
         )
     }
+
+    fn engine_name(&self) -> &'static str {
+        match self.engine {
+            EngineKind::Aggregate => "aggregate",
+            EngineKind::PlayerLevel => "player",
+        }
+    }
+
+    /// The one-line reproducibility header `run` and `shard` print before
+    /// any numbers: rng mode, base seed, and engine (plus the sweep shape),
+    /// so every reported figure is reconstructible from this line alone.
+    fn repro_header(&self) -> String {
+        format!(
+            "# repro: rng={} seed={} engine={} trials={} rounds={}",
+            self.rng.name(),
+            self.seed,
+            self.engine_name(),
+            self.trials,
+            self.rounds,
+        )
+    }
 }
 
 /// Look up one `key=value` entry of a shard header's config digest.
@@ -367,8 +400,16 @@ fn stop_spec(opts: &Options) -> StopSpec {
 }
 
 fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
-    // Random start, then run with per-decade progress lines.
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(opts.seed);
+    println!("{}", opts.repro_header());
+    // Random start, then run. In xoshiro mode the single-run stream is the
+    // historical `SmallRng::seed_from_u64(--seed)`; counter mode runs as
+    // trial 0 of the keyed sweep.
+    let mut rng = match opts.rng {
+        RngMode::Xoshiro => {
+            DrawStream::from_small_rng(rand::rngs::SmallRng::seed_from_u64(opts.seed))
+        }
+        RngMode::Counter => DrawStream::for_trial(RngMode::Counter, opts.seed, 0),
+    };
     let state = start_state(game, opts)?;
     println!(
         "start: Φ = {:.3}, L_av = {:.4}, loads {:?}",
@@ -511,6 +552,7 @@ fn simulate_ensemble(
     let ensemble = Ensemble::new(game, opts.protocol()?, start)
         .map_err(|e| e.to_string())?
         .engine(opts.engine)
+        .rng_mode(opts.rng)
         .trials(opts.trials)
         .base_seed(opts.seed)
         .threads(opts.threads);
@@ -566,11 +608,13 @@ fn shard(game: &CongestionGame, opts: &Options) -> Result<(), String> {
     if shard >= num_shards {
         return Err(format!("--shard {shard} is out of range for --num-shards {num_shards}"));
     }
+    println!("{}", opts.repro_header());
     let start = start_state(game, opts)?;
     let stop = stop_spec(opts);
     let ensemble = Ensemble::new(game, opts.protocol()?, start)
         .map_err(|e| e.to_string())?
         .engine(opts.engine)
+        .rng_mode(opts.rng)
         .trials(opts.trials)
         .base_seed(opts.seed)
         .threads(opts.threads);
@@ -582,6 +626,7 @@ fn shard(game: &CongestionGame, opts: &Options) -> Result<(), String> {
         trial_hi: range.end as u64,
         shard: shard as u32,
         num_shards: num_shards as u32,
+        rng_mode: opts.rng,
         reducer_id: String::new(), // filled in per reducer below
         config: opts.config_digest(),
     };
@@ -664,10 +709,11 @@ fn merge(args: &[String]) -> Result<(), String> {
     // merge must not open with a success-looking line.
     let banner = || {
         println!(
-            "merged {} shards ({} trials, seed {}):",
+            "merged {} shards ({} trials, seed {}, rng {}):",
             headers.len(),
             first.trials,
-            first.base_seed
+            first.base_seed,
+            first.rng_mode,
         )
     };
     // Decode every shard's leaves and replay the single-process merge
@@ -772,6 +818,32 @@ mod tests {
         assert_eq!(o.num_shards, Some(3));
         assert_eq!(o.out.as_deref(), Some("part1.cgshard"));
         assert!(opts(&["--num-shards", "0"]).is_err());
+    }
+
+    #[test]
+    fn rng_flag_parses_and_defaults_to_xoshiro() {
+        assert_eq!(opts(&[]).unwrap().rng, RngMode::Xoshiro);
+        assert_eq!(opts(&["--rng", "counter"]).unwrap().rng, RngMode::Counter);
+        assert_eq!(opts(&["--rng", "xoshiro"]).unwrap().rng, RngMode::Xoshiro);
+        let err = opts(&["--rng", "philox"]).unwrap_err();
+        assert!(err.contains("unknown rng mode"), "{err}");
+    }
+
+    #[test]
+    fn repro_header_reconstructs_the_run() {
+        // The header must carry the rng mode, base seed, and engine — the
+        // complete recipe for every stream the run draws from.
+        let o = opts(&["--rng", "counter", "--seed", "7", "--engine", "player", "--trials", "8"])
+            .unwrap();
+        assert_eq!(
+            o.repro_header(),
+            "# repro: rng=counter seed=7 engine=player trials=8 rounds=1000"
+        );
+        let o = opts(&[]).unwrap();
+        assert_eq!(
+            o.repro_header(),
+            "# repro: rng=xoshiro seed=42 engine=aggregate trials=1 rounds=1000"
+        );
     }
 
     #[test]

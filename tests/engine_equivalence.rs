@@ -24,9 +24,12 @@ use congames::dynamics::{
     EngineKind, Ensemble, ExplorationProtocol, ImitationProtocol, Protocol, Simulation, StopSpec,
 };
 use congames::model::{average_latency, potential, CongestionGame, State};
+use congames::sampling::RngMode;
 use congames_testutil::games;
-use congames_testutil::rng::fixture_rng;
-use congames_testutil::sim::{occupancy_histogram, trial_stats};
+use congames_testutil::rng::{fixture_rng, fixture_stream};
+use congames_testutil::sim::{
+    occupancy_histogram, occupancy_histogram_mode, trial_stats, trial_stats_mode,
+};
 use congames_testutil::stats::{assert_means_equal, ks_distance, ks_threshold};
 
 /// Number of independent trials per engine for the mean comparisons.
@@ -396,6 +399,7 @@ fn sharded_wire_merge_identical_to_single_process_run_reduced() {
                     trial_hi: range.end as u64,
                     shard: shard as u32,
                     num_shards: num_shards as u32,
+                    rng_mode: RngMode::Xoshiro,
                     reducer_id,
                     config: format!("engine={engine:?}"),
                 };
@@ -581,4 +585,271 @@ fn fixture_states_are_stable() {
     let start = games::geometric_state(net.game());
     assert_eq!(start.counts().iter().sum::<u64>(), 128);
     assert!(start.counts().iter().all(|&c| c > 0));
+}
+
+/// Counter-mode sibling of [`kernel_streams_are_pinned`]: the exact
+/// trajectory both kernels realize when drawing from the Philox stream
+/// addressed by `(trial, round, site, index)`. Same re-pinning rules — a
+/// surprise failure means the counter key schedule or a kernel's draw
+/// addressing changed.
+#[test]
+fn counter_kernel_streams_are_pinned() {
+    let game = games::linear_singleton(3, 50);
+    let start = games::geometric_state(&game);
+    let run = |engine: EngineKind| -> Vec<u64> {
+        let mut sim =
+            Simulation::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid simulation")
+                .with_engine(engine);
+        let mut rng = fixture_stream("eq/kernel-pin", RngMode::Counter, 7);
+        for _ in 0..30 {
+            sim.step(&mut rng).expect("step");
+        }
+        sim.state().counts().to_vec()
+    };
+    let aggregate = run(EngineKind::Aggregate);
+    let player = run(EngineKind::PlayerLevel);
+    assert_eq!(aggregate.iter().sum::<u64>(), 50);
+    assert_eq!(player.iter().sum::<u64>(), 50);
+    assert_eq!(aggregate, run(EngineKind::Aggregate), "aggregate kernel must replay exactly");
+    assert_eq!(player, run(EngineKind::PlayerLevel), "player kernel must replay exactly");
+    let pinned_aggregate: &[u64] = &[28, 14, 8];
+    let pinned_player: &[u64] = &[28, 14, 8];
+    assert_eq!(
+        aggregate, pinned_aggregate,
+        "counter-mode aggregate kernel stream drifted from the pinned trajectory"
+    );
+    assert_eq!(
+        player, pinned_player,
+        "counter-mode player kernel stream drifted from the pinned trajectory"
+    );
+}
+
+/// Counter-mode ensembles must be bit-identical across thread counts
+/// 1/2/8 (same guarantee as the xoshiro pin above — here it holds by
+/// construction, since every draw is position-addressed) *and* match a
+/// frozen trajectory pin.
+#[test]
+fn counter_ensemble_identical_across_thread_counts() {
+    let game = games::affine_singleton(120);
+    let start = games::geometric_state(&game);
+    for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
+        let run = |threads: usize| {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .expect("valid ensemble")
+                .engine(engine)
+                .rng_mode(RngMode::Counter)
+                .trials(16)
+                .base_seed(2024)
+                .threads(threads)
+                .run_with(&StopSpec::max_rounds(25), |sim, out| {
+                    (out.rounds, out.potential.to_bits(), sim.state().counts().to_vec())
+                })
+                .expect("ensemble run succeeds")
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                reference,
+                run(threads),
+                "{engine:?}: counter-mode ensemble output changed with {threads} threads"
+            );
+        }
+        // Fresh counter-mode pins: trial 0 and trial 15 of the
+        // single-thread reference (full counts vector + potential bits).
+        let pin: &[(usize, u64, u64, &[u64])] = match engine {
+            EngineKind::Aggregate => &[
+                (0, 25, 0x40ae_5000_0000_0000, &[58, 29, 19, 14]),
+                (15, 25, 0x40ae_5000_0000_0000, &[57, 30, 19, 14]),
+            ],
+            EngineKind::PlayerLevel => &[
+                (0, 25, 0x40ae_5000_0000_0000, &[58, 29, 19, 14]),
+                (15, 25, 0x40ae_5200_0000_0000, &[58, 28, 20, 14]),
+            ],
+        };
+        for &(trial, rounds, pot_bits, counts) in pin {
+            assert_eq!(
+                reference[trial],
+                (rounds, pot_bits, counts.to_vec()),
+                "{engine:?}: counter-mode trial {trial} drifted from the pinned trajectory"
+            );
+        }
+    }
+}
+
+/// Counter-mode sharded wire merge: shard counts 1 and 3 must reproduce
+/// the single-process `run_reduced` bits, and the merged mean is pinned.
+#[test]
+fn counter_sharded_merge_identical_and_pinned() {
+    use congames::dynamics::wire::{decode_shard_file, encode_shard_file, ShardHeader, WireReduce};
+    use congames::dynamics::{merge_partials, FinalSummary, MapItem, ScalarStats};
+    let game = games::affine_singleton(120);
+    let start = games::geometric_state(&game);
+    let stop = StopSpec::max_rounds(25);
+    let ensemble = || {
+        Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+            .expect("valid ensemble")
+            .engine(EngineKind::Aggregate)
+            .rng_mode(RngMode::Counter)
+            .trials(80)
+            .base_seed(2024)
+            .threads(2)
+    };
+    let scalar =
+        || MapItem::new(|s: congames::dynamics::RunSummary| s.potential, ScalarStats::new());
+    let single = ensemble()
+        .run_reduced(&stop, |_t| FinalSummary, scalar())
+        .expect("single-process run succeeds");
+    for num_shards in [1usize, 3] {
+        let mut leaves = Vec::new();
+        for shard in 0..num_shards {
+            let e = ensemble();
+            let range = e.shard_trials(shard, num_shards);
+            let header = ShardHeader {
+                base_seed: 2024,
+                trials: 80,
+                trial_lo: range.start as u64,
+                trial_hi: range.end as u64,
+                shard: shard as u32,
+                num_shards: num_shards as u32,
+                rng_mode: RngMode::Counter,
+                reducer_id: scalar().wire_id(),
+                config: "counter-pin".into(),
+            };
+            let blocks = e
+                .run_reduced_shard(shard, num_shards, &stop, |_t| FinalSummary, &scalar())
+                .expect("shard run succeeds");
+            let bytes = encode_shard_file(&header, &blocks);
+            let (h, blocks) = decode_shard_file(&scalar(), &bytes).expect("shard file decodes");
+            assert_eq!(h.rng_mode, RngMode::Counter, "rng mode must survive the wire");
+            leaves.extend(blocks);
+        }
+        let merged = merge_partials(scalar(), leaves);
+        assert_eq!(
+            merged.inner(),
+            single.inner(),
+            "{num_shards}-shard counter-mode wire merge changed the reduction bits"
+        );
+    }
+    // Fresh pin of the merged mean's bit pattern.
+    assert_eq!(
+        single.inner().mean().to_bits(),
+        0x40ae_5253_3333_3333,
+        "counter-mode merged mean drifted"
+    );
+}
+
+/// Mixed-mode shard sets must be rejected with a precise per-file error —
+/// the `congames merge` negative path.
+#[test]
+fn mixed_rng_mode_shard_sets_are_rejected() {
+    use congames::dynamics::wire::{validate_shard_sequence, ShardHeader, WireError};
+    let header = |shard: u32, rng_mode: RngMode| ShardHeader {
+        base_seed: 2024,
+        trials: 64,
+        trial_lo: u64::from(shard) * 32,
+        trial_hi: u64::from(shard + 1) * 32,
+        shard,
+        num_shards: 2,
+        rng_mode,
+        reducer_id: "welford".into(),
+        config: "mixed-mode-test".into(),
+    };
+    let headers = vec![header(0, RngMode::Xoshiro), header(1, RngMode::Counter)];
+    let err = validate_shard_sequence(&headers).expect_err("mixed modes must not merge");
+    assert_eq!(
+        err,
+        WireError::RngModeMismatch {
+            shard: 1,
+            expected: RngMode::Xoshiro,
+            found: RngMode::Counter
+        }
+    );
+    // The message names the offending shard and both modes.
+    let msg = err.to_string();
+    assert!(msg.contains("shard 1"), "{msg}");
+    assert!(msg.contains("counter") && msg.contains("xoshiro"), "{msg}");
+    // Same-mode counter sets stay mergeable.
+    let ok = vec![header(0, RngMode::Counter), header(1, RngMode::Counter)];
+    validate_shard_sequence(&ok).expect("uniform counter-mode shards merge");
+}
+
+/// Cross-backend statistical equivalence on the engine-equivalence
+/// fixtures: for each engine, xoshiro-mode and counter-mode trial
+/// populations must agree in mean final potential / average latency
+/// (Welch z at Z = 4.5) and in the full final-occupancy distribution (KS).
+#[test]
+fn counter_and_xoshiro_modes_statistically_equivalent() {
+    let game = games::linear_singleton(4, 200);
+    let start = games::geometric_state(&game);
+    let protocol: Protocol = ImitationProtocol::paper_default().into();
+    let stats: [(&str, congames_testutil::sim::StateStat); 2] =
+        [("potential", potential_stat), ("avg_latency", latency_stat)];
+    for engine in [EngineKind::Aggregate, EngineKind::PlayerLevel] {
+        for (stat_name, stat) in stats {
+            let xoshiro = trial_stats_mode(
+                "eq/mode-z",
+                RngMode::Xoshiro,
+                &game,
+                protocol,
+                &start,
+                engine,
+                ROUNDS,
+                TRIALS,
+                stat,
+            );
+            let counter = trial_stats_mode(
+                "eq/mode-z",
+                RngMode::Counter,
+                &game,
+                protocol,
+                &start,
+                engine,
+                ROUNDS,
+                TRIALS,
+                stat,
+            );
+            let scale = xoshiro.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1.0);
+            assert_means_equal(
+                &xoshiro,
+                &counter,
+                Z,
+                1e-9 * scale,
+                &format!("{engine:?}: xoshiro vs counter {stat_name} after {ROUNDS} rounds"),
+            );
+        }
+    }
+    // KS on the strategy-0 occupancy distribution (smaller fixture, more
+    // trials, aggregate engine).
+    let game = games::linear_singleton(3, 60);
+    let start = games::geometric_state(&game);
+    let trials = 400u64;
+    let xoshiro = occupancy_histogram_mode(
+        "eq/mode-ks",
+        RngMode::Xoshiro,
+        &game,
+        protocol,
+        &start,
+        EngineKind::Aggregate,
+        ROUNDS,
+        trials,
+        0,
+    );
+    let counter = occupancy_histogram_mode(
+        "eq/mode-ks",
+        RngMode::Counter,
+        &game,
+        protocol,
+        &start,
+        EngineKind::Aggregate,
+        ROUNDS,
+        trials,
+        0,
+    );
+    let d = ks_distance(&xoshiro, &counter);
+    let thresh = ks_threshold(trials as usize, trials as usize, 1e-4);
+    assert!(
+        d <= thresh,
+        "xoshiro vs counter occupancy KS distance {d:.4} exceeds {thresh:.4} over {trials} trials"
+    );
 }

@@ -13,6 +13,7 @@ use congames::dynamics::{
     ConvergenceHistogram, MapItem, MinMax, PerRoundStats, QuantileSketch, Reducer, RoundRecord,
     RunSummary, ScalarStats, Welford, STOP_REASONS,
 };
+use congames::sampling::RngMode;
 use proptest::prelude::*;
 
 fn samples() -> impl Strategy<Value = Vec<f64>> {
@@ -195,6 +196,7 @@ fn sample_header(reducer_id: &str) -> ShardHeader {
         trial_hi: 32,
         shard: 0,
         num_shards: 3,
+        rng_mode: RngMode::Xoshiro,
         reducer_id: reducer_id.into(),
         config: "links=1,2;players=10;reduce=quantiles".into(),
     }

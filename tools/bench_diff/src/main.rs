@@ -25,9 +25,11 @@ use std::process::ExitCode;
 /// Benchmarks that must never regress silently: the aggregate kernel's
 /// `n`-independence flagship, the player-level kernel, the near-converged
 /// sparse-support cases the per-class support index turns `O(support²)`
-/// (both engines), the ensemble runner, and the batched latency paths
+/// (both engines), the ensemble runner, the batched latency paths
 /// (the big-flow `ΔΦ` walk and the latency-cache rebuild that
-/// `Latency::eval_range_into`/`sum_range` accelerate).
+/// `Latency::eval_range_into`/`sum_range` accelerate), and the RNG
+/// backends — raw word throughput of both generators plus a full round
+/// under each, so counter-mode overhead can't creep past the kernels.
 const DEFAULT_PINS: &[&str] = &[
     "round/aggregate/n10000_m64",
     "round/aggregate/n1000000_m8",
@@ -38,6 +40,10 @@ const DEFAULT_PINS: &[&str] = &[
     "potential/delta_walk/x4096",
     "cache_rebuild/rebuild/m64",
     "cache_rebuild/rebuild/m1024",
+    "rng/raw/xoshiro",
+    "rng/raw/counter",
+    "rng/round/xoshiro",
+    "rng/round/counter",
 ];
 
 fn main() -> ExitCode {
@@ -240,7 +246,11 @@ mod tests {
     {"id": "ensemble/trials16_rounds32/t1", "ns_per_iter": 901000.5, "iters": 60},
     {"id": "potential/delta_walk/x4096", "ns_per_iter": 1800.0, "iters": 25000},
     {"id": "cache_rebuild/rebuild/m64", "ns_per_iter": 950.0, "iters": 50000},
-    {"id": "cache_rebuild/rebuild/m1024", "ns_per_iter": 15000.0, "iters": 3000}
+    {"id": "cache_rebuild/rebuild/m1024", "ns_per_iter": 15000.0, "iters": 3000},
+    {"id": "rng/raw/xoshiro", "ns_per_iter": 1.2, "iters": 40000000},
+    {"id": "rng/raw/counter", "ns_per_iter": 13.5, "iters": 3600000},
+    {"id": "rng/round/xoshiro", "ns_per_iter": 150.0, "iters": 340000},
+    {"id": "rng/round/counter", "ns_per_iter": 152.0, "iters": 340000}
   ]
 }
 "#;
@@ -248,7 +258,7 @@ mod tests {
     #[test]
     fn parses_the_report_shape() {
         let parsed = parse_report(SAMPLE).unwrap();
-        assert_eq!(parsed.len(), 8);
+        assert_eq!(parsed.len(), 12);
         assert_eq!(parsed[0].0, "round/aggregate/n10000_m64");
         assert_eq!(parsed[0].1, 368.4);
         assert_eq!(parsed[2].0, "aggregate/near_converged/S1024_support8");
@@ -341,7 +351,8 @@ mod tests {
                     || pin.starts_with("player_level/")
                     || pin.starts_with("ensemble/")
                     || pin.starts_with("potential/")
-                    || pin.starts_with("cache_rebuild/"),
+                    || pin.starts_with("cache_rebuild/")
+                    || pin.starts_with("rng/"),
                 "unexpected pin group: {pin}"
             );
         }
@@ -398,6 +409,28 @@ mod tests {
             // A report carrying the new id diffs cleanly against itself.
             let d = diff(&parsed, &parsed, &[id], 1.5);
             assert!(d.ok, "{}", d.text);
+        }
+    }
+
+    /// The RNG-backend bench ids (raw word throughput and one full round
+    /// per mode) are accepted by the parser and covered by the default
+    /// pins, so a counter-mode overhead regression fails the gate.
+    #[test]
+    fn rng_backend_pins_are_parsed_and_pinned() {
+        for id in ["rng/raw/xoshiro", "rng/raw/counter", "rng/round/xoshiro", "rng/round/counter"] {
+            assert!(DEFAULT_PINS.contains(&id), "{id} missing from DEFAULT_PINS");
+            let report = format!(
+                "{{\n  \"benchmarks\": [\n    {{\"id\": \"{id}\", \"ns_per_iter\": 14.0, \"iters\": 10}}\n  ]\n}}\n"
+            );
+            let parsed = parse_report(&report).unwrap();
+            assert_eq!(parsed, vec![(id.to_string(), 14.0)]);
+            let d = diff(&parsed, &parsed, &[id], 1.5);
+            assert!(d.ok, "{}", d.text);
+            // A counter kernel that falls off the block-cache fast path
+            // (or a Philox round-count slip) shows up as a step change.
+            let regressed = vec![(id.to_string(), 14.0 * 2.0)];
+            let d = diff(&parsed, &regressed, &[id], 1.5);
+            assert!(!d.ok, "an RNG-backend step regression must fail the gate");
         }
     }
 }
