@@ -17,11 +17,13 @@
 mod csv;
 mod regression;
 mod runner;
+mod shock;
 mod stats;
 mod table;
 
 pub use csv::{convergence_csv, per_round_stats_csv, CsvWriter};
 pub use regression::{linear_fit, loglog_fit, Fit};
 pub use runner::{run_trials, run_trials_sequential};
+pub use shock::{shock_recovery, shock_recovery_csv, ShockSummary};
 pub use stats::Summary;
 pub use table::Table;

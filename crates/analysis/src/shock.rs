@@ -1,0 +1,234 @@
+//! Re-convergence analysis for nonstationary (shocked) runs.
+//!
+//! A shocked trajectory is an ordinary [`RoundRecord`] series in which some
+//! records carry `shock == true`: the scenario layer fired one or more
+//! scheduled events *before* capturing that round, so the shocked record
+//! already reflects the post-event game. The natural questions after each
+//! shock are:
+//!
+//! * **Did the dynamics recover?** — i.e. did the potential return to
+//!   within a relative band `ε·|Φ_pre|` of its pre-shock value, where
+//!   `Φ_pre` is the potential of the last record *strictly before* the
+//!   shock round?
+//! * **How long did recovery take?** — rounds elapsed from the shock round
+//!   to the first in-band record (`0` if the shock itself never left the
+//!   band).
+//! * **How violent was the excursion?** — the peak absolute deviation from
+//!   `Φ_pre` over the observation window (`overshoot`).
+//!
+//! [`shock_recovery`] computes one [`ShockSummary`] per shocked record; the
+//! observation window of a shock ends at the next shocked record (or the end
+//! of the series), so back-to-back shocks don't steal each other's recovery
+//! credit. [`shock_recovery_csv`] renders the summaries as a small CSV for
+//! the experiment harness and the CLI's `--shock-csv` flag.
+//!
+//! Everything here is a pure function of the record series — no RNG, no
+//! game types — so a fixed trace and seed yield a byte-identical CSV on any
+//! thread count, matching the repo-wide determinism contract.
+
+use crate::csv::CsvWriter;
+use congames_dynamics::RoundRecord;
+
+/// Per-shock re-convergence summary (see [`shock_recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShockSummary {
+    /// Round at which the shock fired (the first record with the post-event
+    /// game).
+    pub round: u64,
+    /// Potential of the last record strictly before the shock round — the
+    /// recovery reference. `NaN` when the shock is the first record.
+    pub pre_potential: f64,
+    /// Potential at the shock round itself (post-event).
+    pub shock_potential: f64,
+    /// Rounds from the shock until the potential first re-entered the band
+    /// `|Φ − Φ_pre| ≤ ε·|Φ_pre|`, or `None` if it never did within the
+    /// observation window.
+    pub recovery_rounds: Option<u64>,
+    /// Peak absolute deviation `max |Φ − Φ_pre|` over the observation
+    /// window (shock round inclusive).
+    pub overshoot: f64,
+}
+
+/// Compute one [`ShockSummary`] per shocked record in `records`.
+///
+/// `epsilon` is the relative half-width of the recovery band around the
+/// pre-shock potential. Records must be in increasing round order (as
+/// produced by `Simulation::run_observed`). A shock with no earlier record
+/// (shock at round 0) gets `pre_potential = NaN` and no recovery round —
+/// there is nothing to recover *to*.
+///
+/// Each shock's observation window runs from its own round up to (but not
+/// including) the next shocked record, so consecutive shocks are scored
+/// independently.
+pub fn shock_recovery(records: &[RoundRecord], epsilon: f64) -> Vec<ShockSummary> {
+    let shock_idx: Vec<usize> =
+        records.iter().enumerate().filter(|(_, r)| r.shock).map(|(i, _)| i).collect();
+    let mut out = Vec::with_capacity(shock_idx.len());
+    for (k, &i) in shock_idx.iter().enumerate() {
+        let window_end = shock_idx.get(k + 1).copied().unwrap_or(records.len());
+        let pre_potential = if i == 0 { f64::NAN } else { records[i - 1].potential };
+        let band = epsilon * pre_potential.abs();
+        let mut recovery_rounds = None;
+        let mut overshoot: f64 = 0.0;
+        for r in &records[i..window_end] {
+            let dev = (r.potential - pre_potential).abs();
+            if dev.is_nan() {
+                overshoot = f64::NAN;
+                break;
+            }
+            overshoot = overshoot.max(dev);
+            if recovery_rounds.is_none() && dev <= band {
+                recovery_rounds = Some(r.round - records[i].round);
+            }
+        }
+        out.push(ShockSummary {
+            round: records[i].round,
+            pre_potential,
+            shock_potential: records[i].potential,
+            recovery_rounds,
+            overshoot,
+        });
+    }
+    out
+}
+
+/// Render shock summaries as CSV with columns
+/// `shock_round,pre_potential,shock_potential,recovery_rounds,overshoot`.
+///
+/// An unrecovered shock writes an empty `recovery_rounds` cell, so the
+/// column stays numerically parseable where present.
+///
+/// # Example
+///
+/// ```
+/// use congames_analysis::shock_recovery_csv;
+/// let csv = shock_recovery_csv(&[]).to_csv();
+/// assert_eq!(
+///     csv,
+///     "shock_round,pre_potential,shock_potential,recovery_rounds,overshoot\n"
+/// );
+/// ```
+pub fn shock_recovery_csv(summaries: &[ShockSummary]) -> CsvWriter {
+    let mut csv = CsvWriter::new(vec![
+        "shock_round",
+        "pre_potential",
+        "shock_potential",
+        "recovery_rounds",
+        "overshoot",
+    ]);
+    for s in summaries {
+        csv.row_strings(&[
+            s.round.to_string(),
+            format!("{}", s.pre_potential),
+            format!("{}", s.shock_potential),
+            s.recovery_rounds.map(|r| r.to_string()).unwrap_or_default(),
+            format!("{}", s.overshoot),
+        ]);
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: u64, potential: f64, shock: bool) -> RoundRecord {
+        RoundRecord {
+            round,
+            potential,
+            l_av: 0.0,
+            l_av_plus: 0.0,
+            max_latency: 0.0,
+            migrations: 0,
+            support: 1,
+            unsatisfied_fraction: None,
+            shock,
+        }
+    }
+
+    #[test]
+    fn recovery_measured_against_last_preshock_record() {
+        let records = vec![
+            rec(0, 100.0, false),
+            rec(1, 100.0, false),
+            rec(2, 180.0, true), // shock: +80%
+            rec(3, 130.0, false),
+            rec(4, 104.0, false), // within 5% of 100
+            rec(5, 101.0, false),
+        ];
+        let s = shock_recovery(&records, 0.05);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].round, 2);
+        assert_eq!(s[0].pre_potential, 100.0);
+        assert_eq!(s[0].shock_potential, 180.0);
+        assert_eq!(s[0].recovery_rounds, Some(2));
+        assert_eq!(s[0].overshoot, 80.0);
+    }
+
+    #[test]
+    fn unrecovered_shock_has_no_recovery_round() {
+        let records = vec![rec(0, 100.0, false), rec(1, 200.0, true), rec(2, 150.0, false)];
+        let s = shock_recovery(&records, 0.05);
+        assert_eq!(s[0].recovery_rounds, None);
+        assert_eq!(s[0].overshoot, 100.0);
+    }
+
+    #[test]
+    fn windows_end_at_the_next_shock() {
+        // First shock never recovers inside its window even though the
+        // series is back in band after the second shock.
+        let records = vec![
+            rec(0, 100.0, false),
+            rec(10, 150.0, true),
+            rec(20, 140.0, false),
+            rec(30, 90.0, true), // second shock; its pre-reference is 140
+            rec(40, 139.0, false),
+        ];
+        let s = shock_recovery(&records, 0.05);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].recovery_rounds, None);
+        assert_eq!(s[0].overshoot, 50.0);
+        assert_eq!(s[1].pre_potential, 140.0);
+        assert_eq!(s[1].recovery_rounds, Some(10));
+    }
+
+    #[test]
+    fn shock_at_first_record_has_nan_reference() {
+        let records = vec![rec(0, 100.0, true), rec(1, 90.0, false)];
+        let s = shock_recovery(&records, 0.05);
+        assert!(s[0].pre_potential.is_nan());
+        assert_eq!(s[0].recovery_rounds, None);
+        assert!(s[0].overshoot.is_nan());
+    }
+
+    #[test]
+    fn shock_already_in_band_recovers_immediately() {
+        let records = vec![rec(0, 100.0, false), rec(5, 101.0, true)];
+        let s = shock_recovery(&records, 0.05);
+        assert_eq!(s[0].recovery_rounds, Some(0));
+    }
+
+    #[test]
+    fn csv_renders_missing_recovery_as_empty_cell() {
+        let summaries = vec![
+            ShockSummary {
+                round: 10,
+                pre_potential: 100.0,
+                shock_potential: 180.0,
+                recovery_rounds: Some(12),
+                overshoot: 80.0,
+            },
+            ShockSummary {
+                round: 50,
+                pre_potential: 101.0,
+                shock_potential: 400.0,
+                recovery_rounds: None,
+                overshoot: 299.0,
+            },
+        ];
+        let csv = shock_recovery_csv(&summaries).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "10,100,180,12,80");
+        assert_eq!(lines[2], "50,101,400,,299");
+    }
+}

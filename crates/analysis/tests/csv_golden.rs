@@ -19,6 +19,7 @@ fn rec(round: u64, potential: f64, migrations: u64) -> RoundRecord {
         migrations,
         support: 2,
         unsatisfied_fraction: None,
+        shock: false,
     }
 }
 

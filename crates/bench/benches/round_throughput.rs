@@ -200,12 +200,55 @@ fn bench_rng_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scenario-layer overhead on the round loop. One iteration = a full
+/// 32-round run of the n=10⁴, m=8 fixture: with no hook (`none`), with an
+/// armed schedule whose only event lies beyond the budget (`armed_idle` —
+/// the per-round cost of polling `next_fire`, which every shocked sweep
+/// pays on every non-shock round), and with a mid-run latency shock
+/// (`shocked` — one full cache rebuild + revalidation amortized over the
+/// run). `none` and `armed_idle` are pinned in `tools/bench_diff`: the
+/// armed-but-idle schedule must stay in the noise of the hook-free loop.
+fn bench_scenario(c: &mut Criterion) {
+    use congames_scenario::{generate::step_shock, ScheduleCursor};
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("scenario");
+    let n = 10_000u64;
+    let game = poly_links(8, 2, n);
+    let start = skewed_two_hot(&game);
+    let stop = StopSpec::max_rounds(32);
+    // Armed-but-idle: first fire at round 1000, far past the 32-round
+    // budget. Shocked: a ×4 shock at round 16, mid-run.
+    let idle = Arc::new(step_shock(1000, 0, 4.0).expect("valid schedule"));
+    let shocked = Arc::new(step_shock(16, 0, 4.0).expect("valid schedule"));
+    let variants: [(&str, Option<Arc<congames_scenario::Schedule>>); 3] =
+        [("none", None), ("armed_idle", Some(idle)), ("shocked", Some(shocked))];
+    for (label, schedule) in variants {
+        group.bench_function(BenchmarkId::new("shock_reconverge", label), |b| {
+            let mut rng = seeded_rng(5, 0);
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    &game,
+                    ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+                    start.clone(),
+                )
+                .expect("valid simulation");
+                if let Some(s) = &schedule {
+                    sim = sim.with_hook(Box::new(ScheduleCursor::new(Arc::clone(s))));
+                }
+                sim.run(&stop, &mut rng).expect("run succeeds").rounds
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rounds,
     bench_sparse_rounds,
     bench_ensemble,
     bench_batched_latency,
-    bench_rng_throughput
+    bench_rng_throughput,
+    bench_scenario
 );
 criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Scenario shock experiment binary; see
+//! `congames_bench::experiments::shock_reconverge`.
+fn main() {
+    congames_bench::experiments::shock_reconverge::run(congames_bench::quick_flag());
+}

@@ -13,6 +13,7 @@ pub mod c6_sequential;
 pub mod c7_omega_n;
 pub mod c8_extinction;
 pub mod c9_price_of_imitation;
+pub mod shock_reconverge;
 pub mod wardrop_limit;
 
 /// Run every experiment in order.
@@ -29,5 +30,6 @@ pub fn run_all(quick: bool) {
     c10_singleton_convergence::run(quick);
     c11_exploration::run(quick);
     wardrop_limit::run(quick);
+    shock_reconverge::run(quick);
     ablation::run(quick);
 }

@@ -1,0 +1,118 @@
+//! Scenario experiment: local shock, global re-convergence. On a fleet of
+//! `m = 32` identical linear links, degrading a *single* link moves the
+//! equilibrium potential by only ≈ `1/(m-1)` ≈ 3% — inside the ε = 5%
+//! recovery band — so time-to-recover after the shock is well defined:
+//! the dynamics must evacuate the shocked link and re-spread its load.
+//!
+//! For each shock factor `f` the table reports, over many seeded trials,
+//! the fraction of runs whose potential re-entered the ε-band of its
+//! pre-shock value, the mean rounds that took, the mean overshoot ratio
+//! (peak excursion over the pre-shock potential), and the mean rounds
+//! until the run re-stabilized (`ImitationStable` rearmed after the
+//! schedule drained). Larger factors displace more players, so overshoot
+//! grows with `f` — but the steeper latency gradient also drives faster
+//! evacuation, so re-stabilization *accelerates* with `f` while the
+//! recovered fraction stays at 1: the convergence story of Theorem 1
+//! carries over unchanged to the post-shock game.
+
+use congames_analysis::{run_trials, shock_recovery, Summary, Table};
+use congames_dynamics::{
+    ImitationProtocol, Observer as _, RecordConfig, RecordSeries, Simulation, StopCondition,
+    StopSpec,
+};
+use congames_model::{Affine, CongestionGame, State};
+use congames_sampling::seeded_rng;
+use congames_scenario::{generate::step_shock, ScheduleCursor};
+use std::sync::Arc;
+
+use crate::harness::{banner, default_threads, fmt_f};
+
+/// Relative half-width of the recovery band.
+const EPSILON: f64 = 0.05;
+
+/// Run the experiment; `quick` shrinks seeds.
+pub fn run(quick: bool) {
+    banner("SHOCK", "scenario replay: ε-band re-convergence after a single-link shock");
+    let m = 32usize;
+    let n = 4096u64;
+    let shock_round = 40u64;
+    let budget = 2000u64;
+    let seeds = if quick { 24 } else { 120 };
+    println!(
+        "m = {m} identical linear links, n = {n}; link 0 scaled ×f at round {shock_round}, \
+         ε = {EPSILON} (equilibrium shift ≈ 1/(m-1) ≈ {:.1}%)",
+        100.0 / (m as f64 - 1.0)
+    );
+
+    let game = CongestionGame::singleton(vec![Affine::linear(1.0).into(); m], n)
+        .expect("valid fleet game");
+    let mut table = Table::new(vec![
+        "shock ×f",
+        "recovered",
+        "recovery rounds",
+        "overshoot Φ_peak/Φ_pre",
+        "re-stable rounds",
+    ]);
+    for factor in [2.0f64, 4.0, 16.0] {
+        let schedule =
+            Arc::new(step_shock(shock_round, 0, factor).expect("valid step shock").clone());
+        // Per seed: (recovered 0/1, recovery rounds, overshoot ratio,
+        // rounds from shock to re-stabilization).
+        let rows: Vec<(f64, f64, f64, f64)> =
+            run_trials(seeds, 0x5C0C + factor as u64, default_threads(), |seed| {
+                let mut rng = seeded_rng(seed, 0);
+                let start = random_state(&game, seed);
+                let mut sim =
+                    Simulation::new(&game, ImitationProtocol::paper_default().into(), start)
+                        .expect("valid simulation")
+                        .with_recording(RecordConfig::every(1))
+                        .with_hook(Box::new(ScheduleCursor::new(Arc::clone(&schedule))));
+                let stop = StopSpec::new(vec![
+                    StopCondition::ImitationStable,
+                    StopCondition::MaxRounds(budget),
+                ])
+                .with_check_every(4);
+                let mut series = RecordSeries::new();
+                let summary = sim.run_observed(&stop, &mut rng, &mut series).expect("run succeeds");
+                let records = series.finish(&summary);
+                let shocks = shock_recovery(&records, EPSILON);
+                assert_eq!(shocks.len(), 1, "exactly one shock fired");
+                let s = shocks[0];
+                (
+                    f64::from(u8::from(s.recovery_rounds.is_some())),
+                    s.recovery_rounds.map_or(f64::NAN, |r| r as f64),
+                    (s.pre_potential + s.overshoot) / s.pre_potential,
+                    (summary.rounds - shock_round) as f64,
+                )
+            });
+        let recovered = Summary::of(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+        let recovery =
+            Summary::of(&rows.iter().map(|r| r.1).filter(|v| v.is_finite()).collect::<Vec<_>>());
+        let overshoot = Summary::of(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        let restable = Summary::of(&rows.iter().map(|r| r.3).collect::<Vec<_>>());
+        table.row(vec![
+            fmt_f(factor),
+            format!("{:.0}%", recovered.mean() * 100.0),
+            format!("{} ± {}", fmt_f(recovery.mean()), fmt_f(recovery.ci95())),
+            format!("{} ± {}", fmt_f(overshoot.mean()), fmt_f(overshoot.ci95())),
+            fmt_f(restable.mean()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: recovered = 100% at every factor; overshoot grows with f (more displaced \
+         players) while re-stabilization accelerates (a steeper latency gradient evacuates the \
+         shocked link faster) — the fleet re-spreads within the ε-band every time.\n"
+    );
+}
+
+/// A seed-derived uniform random start (the CLI's start-state recipe).
+fn random_state(game: &CongestionGame, seed: u64) -> State {
+    let mut rng = seeded_rng(seed, 1);
+    let mut counts = vec![0u64; game.num_strategies()];
+    for _ in 0..game.total_players() {
+        use rand::Rng;
+        counts[rng.gen_range(0..game.num_strategies())] += 1;
+    }
+    State::from_counts(game, counts).expect("valid start state")
+}

@@ -22,6 +22,7 @@ use congames_sampling::{multinomial_with_rest_into, DrawRng};
 
 use crate::error::DynamicsError;
 use crate::expectation::PairFlow;
+use crate::hook::RoundHook;
 use crate::observe::Observer;
 use crate::protocol::{ImitationProtocol, Protocol, SelfSampling};
 use crate::stopping::{RunOutcome, RunSummary, StopCondition, StopReason, StopSpec};
@@ -325,6 +326,26 @@ impl MuTable {
     }
 }
 
+/// The simulation's game: borrowed for the common stationary case, owned
+/// (a private clone) once a [`RoundHook`] needs mutable access. All reads
+/// go through `Deref`, so the two cases share every code path.
+#[derive(Debug)]
+enum GameHandle<'g> {
+    Borrowed(&'g CongestionGame),
+    Owned(Box<CongestionGame>),
+}
+
+impl std::ops::Deref for GameHandle<'_> {
+    type Target = CongestionGame;
+
+    fn deref(&self) -> &CongestionGame {
+        match self {
+            GameHandle::Borrowed(g) => g,
+            GameHandle::Owned(g) => g,
+        }
+    }
+}
+
 /// A running simulation: a game, a protocol, and the evolving state.
 ///
 /// Both round kernels are *zero-steady-state-allocation*: all per-round
@@ -336,8 +357,11 @@ impl MuTable {
 /// See the crate-level example for typical usage.
 #[derive(Debug)]
 pub struct Simulation<'g> {
-    game: &'g CongestionGame,
+    game: GameHandle<'g>,
     protocol: Protocol,
+    /// Between-rounds mutation hook (nonstationary scenarios); `None` for
+    /// the stationary fast path.
+    hook: Option<Box<dyn RoundHook>>,
     params: GameParams,
     state: State,
     engine: EngineKind,
@@ -414,8 +438,9 @@ impl<'g> Simulation<'g> {
         state.ensure_latency_cache(game);
         state.ensure_support_index(game);
         Ok(Simulation {
-            game,
+            game: GameHandle::Borrowed(game),
             protocol,
+            hook: None,
             params,
             state,
             engine: EngineKind::Aggregate,
@@ -447,6 +472,29 @@ impl<'g> Simulation<'g> {
     /// Configure trajectory recording.
     pub fn with_recording(mut self, record: RecordConfig) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Attach a between-rounds mutation hook (see [`RoundHook`]).
+    ///
+    /// The game is cloned into the simulation so the hook can mutate it;
+    /// the borrowed original is never touched. [`Simulation::run_observed`]
+    /// polls the hook before every round and fires it when an event is
+    /// due; manual [`Simulation::step`] calls never fire the hook (drive
+    /// the schedule through a run, or fire it by hand).
+    ///
+    /// While the hook still reports a pending fire, equilibrium-type stop
+    /// conditions (stability, approximate/Nash equilibrium, potential
+    /// targets) are deferred — a pre-shock stable state is the recovery
+    /// reference, not an outcome — and only
+    /// [`StopCondition::MaxRounds`](crate::StopCondition::MaxRounds) can
+    /// end the run. Once the schedule drains, all conditions rearm, so a
+    /// shocked run naturally ends at its first post-schedule stable state.
+    pub fn with_hook(mut self, hook: Box<dyn RoundHook>) -> Self {
+        if let GameHandle::Borrowed(g) = self.game {
+            self.game = GameHandle::Owned(Box::new(g.clone()));
+        }
+        self.hook = Some(hook);
         self
     }
 
@@ -507,6 +555,80 @@ impl<'g> Simulation<'g> {
         self.players = Some(players);
     }
 
+    /// Fire the attached hook if it has events due at (or before — a
+    /// resumed run catches up) the current round. Returns whether the
+    /// firing changed anything; `Ok(false)` without a hook costs one
+    /// `Option` compare.
+    fn fire_due_events(&mut self) -> Result<bool, DynamicsError> {
+        let due = match self.hook.as_ref().and_then(|h| h.next_fire()) {
+            Some(next) => next <= self.round,
+            None => return Ok(false),
+        };
+        if !due {
+            return Ok(false);
+        }
+        let round = self.round;
+        let hook = self.hook.as_mut().expect("due implies a hook");
+        let game = match &mut self.game {
+            GameHandle::Owned(g) => g.as_mut(),
+            GameHandle::Borrowed(_) => {
+                return Err(DynamicsError::Hook {
+                    message: "round hook attached to a borrowed game (attach via with_hook)"
+                        .to_string(),
+                });
+            }
+        };
+        let changed = hook.fire(round, game, &mut self.state)?;
+        if hook.next_fire().is_some_and(|next| next <= round) {
+            return Err(DynamicsError::Hook {
+                message: format!("hook did not advance past round {round} after firing"),
+            });
+        }
+        if changed {
+            self.after_game_change()?;
+        }
+        Ok(changed)
+    }
+
+    /// Rebuild everything derived from the game after a hook mutated it:
+    /// protocol parameters (the population may have changed), class
+    /// offsets, the explicit player array, the state's latency cache and
+    /// support index, and the potential (recomputed from scratch — shocks
+    /// are rare, and incremental tracking across an arbitrary latency swap
+    /// has no valid delta).
+    fn after_game_change(&mut self) -> Result<(), DynamicsError> {
+        for (ci, class) in self.game.classes().iter().enumerate() {
+            let sum: u64 = class.strategy_range().map(|s| self.state.counts()[s as usize]).sum();
+            if sum != class.players() {
+                return Err(GameError::CountMismatch {
+                    class: ci,
+                    expected: class.players(),
+                    found: sum,
+                }
+                .into());
+            }
+        }
+        self.params = self.game.params();
+        self.class_offsets.clear();
+        self.class_offsets.push(0);
+        let mut off = 0usize;
+        for c in self.game.classes() {
+            off += c.players() as usize;
+            self.class_offsets.push(off);
+        }
+        if self.players.is_some() {
+            // Arrivals/departures invalidate the explicit player array;
+            // rebuild it from the (deterministic) per-strategy counts.
+            self.players = None;
+            self.ensure_players();
+        }
+        self.state.invalidate_caches_for_game_change();
+        self.state.ensure_latency_cache(&self.game);
+        self.state.ensure_support_index(&self.game);
+        self.potential = potential(&self.game, &self.state);
+        Ok(())
+    }
+
     /// Iterate all `(from, to)` pairs with positive migration probability in
     /// the *current* state, yielding the per-player probability (already
     /// combining imitation sampling, exploration sampling, and the mixture
@@ -557,12 +679,12 @@ impl<'g> Simulation<'g> {
             if imit_scale == 0.0 && explore_scale == 0.0 {
                 continue;
             }
-            let occ = self.state.occupied(self.game, ci);
+            let occ = self.state.occupied(&self.game, ci);
             // Only pure-imitation, non-virtual-agent rounds are confined to
             // the support on the destination side.
             let support_dest = explore_scale == 0.0 && !virtual_agents;
             let mut visit_origin = |from: StrategyId| {
-                let l_from = self.state.strategy_latency(self.game, from);
+                let l_from = self.state.strategy_latency(&self.game, from);
                 let mut visit_dest = |to: StrategyId| {
                     let x_to = self.state.counts()[to.index()];
                     // Sampling weight of `to` before any latency is looked
@@ -572,7 +694,7 @@ impl<'g> Simulation<'g> {
                     if imit_w == 0.0 && explore_scale == 0.0 {
                         return;
                     }
-                    let l_to = self.state.latency_after_move(self.game, from, to);
+                    let l_to = self.state.latency_after_move(&self.game, from, to);
                     let gain = l_from - l_to;
                     let mut prob = 0.0;
                     if imit_w > 0.0 {
@@ -672,13 +794,13 @@ impl<'g> Simulation<'g> {
         let mut old_loads = std::mem::take(&mut self.old_loads_buf);
         old_loads.clear();
         old_loads.extend_from_slice(self.state.loads());
-        self.state.apply_migrations(self.game, &migrations)?;
+        self.state.apply_migrations(&self.game, &migrations)?;
         let mut delta = 0.0;
         for (i, (&o, &n)) in old_loads.iter().zip(self.state.loads()).enumerate() {
             if o != n {
                 let r = ResourceId::new(i as u32);
                 let base = self.state.effective_load(r) - self.state.load(r);
-                delta += potential_delta_for_load_change(self.game, r, base, o, n);
+                delta += potential_delta_for_load_change(&self.game, r, base, o, n);
             }
         }
         self.potential += delta;
@@ -687,8 +809,8 @@ impl<'g> Simulation<'g> {
         // the per-resource entries fresh for only the touched resources);
         // the support index was maintained in-place by the apply, so its
         // ensure is an O(1) validity check.
-        self.state.ensure_latency_cache(self.game);
-        self.state.ensure_support_index(self.game);
+        self.state.ensure_latency_cache(&self.game);
+        self.state.ensure_support_index(&self.game);
         let moved: u64 = migrations.iter().map(|m| m.count).sum();
         self.last_migrations = moved;
         self.migrations_buf = migrations;
@@ -824,8 +946,8 @@ impl<'g> Simulation<'g> {
                     // the straight-line path avoids an unpredictable branch
                     // on a freshly gathered value.
                     let compute_mu = || {
-                        let l_from = self.state.strategy_latency(self.game, from);
-                        let l_to = self.state.latency_after_move(self.game, from, to);
+                        let l_from = self.state.strategy_latency(&self.game, from);
+                        let l_to = self.state.latency_after_move(&self.game, from, to);
                         let gain = l_from - l_to;
                         if is_explore {
                             exploration_mu(
@@ -965,6 +1087,11 @@ impl<'g> Simulation<'g> {
         let mut last_migrations = self.last_migrations;
         let start_round = self.round;
         loop {
+            // Scheduled events fire before the round's record is captured
+            // and before the stop conditions run, so the record *at* a
+            // shock round already reflects the post-event game/state (the
+            // pre-shock reference is the last record strictly before).
+            let fired = self.fire_due_events()?;
             // The starting round is recorded even when a manually-stepped
             // simulation resumes off the cadence — the documented contract
             // is "start record, cadence records, stop record".
@@ -972,23 +1099,25 @@ impl<'g> Simulation<'g> {
                 && (self.round == start_round || self.round % self.record.every == 0);
             if recording {
                 observer.observe(&capture_record(
-                    self.game,
+                    &self.game,
                     &self.state,
                     self.round,
                     self.potential,
                     last_migrations,
                     self.record.approx.as_ref(),
+                    fired,
                 ));
             }
             if let Some(reason) = self.check_stop(stop) {
                 if self.record.every > 0 && !recording {
                     observer.observe(&capture_record(
-                        self.game,
+                        &self.game,
                         &self.state,
                         self.round,
                         self.potential,
                         last_migrations,
                         self.record.approx.as_ref(),
+                        fired,
                     ));
                 }
                 return Ok(RunSummary { reason, rounds: self.round, potential: self.potential });
@@ -999,29 +1128,35 @@ impl<'g> Simulation<'g> {
     }
 
     fn check_stop(&self, stop: &StopSpec) -> Option<StopReason> {
-        let expensive_due = self.round % stop.check_every() == 0;
+        // While a round hook still has scheduled fires pending, the run is
+        // nonstationary by declaration: equilibrium-type conditions are
+        // deferred until the schedule drains (today's stable state is not
+        // an outcome, it is the pre-shock reference). Only the round
+        // budget can stop a run mid-schedule.
+        let events_pending = self.hook.as_ref().and_then(|h| h.next_fire()).is_some();
+        let expensive_due = self.round % stop.check_every() == 0 && !events_pending;
         for cond in stop.conditions() {
             match cond {
                 StopCondition::MaxRounds(r) if self.round >= *r => {
                     return Some(StopReason::MaxRounds);
                 }
-                StopCondition::PotentialAtMost(v) if self.potential <= *v => {
+                StopCondition::PotentialAtMost(v) if !events_pending && self.potential <= *v => {
                     return Some(StopReason::PotentialReached);
                 }
                 StopCondition::ImitationStable if expensive_due => {
                     let nu = self.protocol.stability_threshold(&self.params);
-                    if congames_model::is_imitation_stable(self.game, &self.state, nu) {
+                    if congames_model::is_imitation_stable(&self.game, &self.state, nu) {
                         return Some(StopReason::ImitationStable);
                     }
                 }
                 StopCondition::ApproxEquilibrium(eq)
-                    if expensive_due && eq.is_satisfied(self.game, &self.state) =>
+                    if expensive_due && eq.is_satisfied(&self.game, &self.state) =>
                 {
                     return Some(StopReason::ApproxEquilibrium);
                 }
                 StopCondition::NashEquilibrium { tol }
                     if expensive_due
-                        && congames_model::is_nash_equilibrium(self.game, &self.state, *tol) =>
+                        && congames_model::is_nash_equilibrium(&self.game, &self.state, *tol) =>
                 {
                     return Some(StopReason::NashEquilibrium);
                 }
@@ -1243,6 +1378,122 @@ mod tests {
         // The start record carries the migrations of the manual step that
         // produced round 4, not a placeholder zero.
         assert_eq!(out.trajectory.records()[0].migrations, moved);
+    }
+
+    /// A hook that scales link 0's latency ×10 once, at round 5.
+    #[derive(Debug)]
+    struct ScaleHook {
+        fired: bool,
+    }
+
+    impl crate::hook::RoundHook for ScaleHook {
+        fn next_fire(&self) -> Option<u64> {
+            if self.fired {
+                None
+            } else {
+                Some(5)
+            }
+        }
+
+        fn fire(
+            &mut self,
+            round: u64,
+            game: &mut CongestionGame,
+            _state: &mut State,
+        ) -> Result<bool, DynamicsError> {
+            assert_eq!(round, 5);
+            self.fired = true;
+            game.scale_latency(ResourceId::new(0), 10.0)?;
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn hook_fires_once_marks_the_shock_round_and_rebuilds_the_potential() {
+        let game = two_links(100);
+        let state = State::from_counts(&game, vec![50, 50]).unwrap();
+        let mut sim = Simulation::new(&game, imit(), state)
+            .unwrap()
+            .with_recording(RecordConfig::every_round())
+            .with_hook(Box::new(ScaleHook { fired: false }));
+        let mut rng = SmallRng::seed_from_u64(21);
+        let out = sim.run(&StopSpec::max_rounds(10), &mut rng).unwrap();
+        let records = out.trajectory.records();
+        assert_eq!(records.len(), 11);
+        let shocked: Vec<u64> = records.iter().filter(|r| r.shock).map(|r| r.round).collect();
+        assert_eq!(shocked, vec![5], "exactly the firing round is marked");
+        // The shock round's record already reflects the ×10 latency on
+        // link 0 — a strict potential jump over the pre-shock record.
+        assert!(
+            records[5].potential > records[4].potential * 2.0,
+            "post-shock potential {} vs pre-shock {}",
+            records[5].potential,
+            records[4].potential
+        );
+        // The borrowed original game is untouched.
+        assert_eq!(game.resource(ResourceId::new(0)).latency().value(10), 10.0);
+        // The incrementally-maintained potential stays exact across the
+        // shock (the hook path recomputes from scratch).
+        let exact = potential(&game_scaled(), sim.state());
+        assert!((sim.potential() - exact).abs() < 1e-9, "{} vs {exact}", sim.potential());
+    }
+
+    fn game_scaled() -> CongestionGame {
+        CongestionGame::singleton(
+            vec![Affine::linear(10.0).into(), Affine::linear(1.0).into()],
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pending_hook_defers_equilibrium_stops_until_the_schedule_drains() {
+        // All players on the cheaper link is imitation-stable immediately —
+        // a stationary run stops at round 0. With a shock pending at round
+        // 5, the stability stop is deferred, the shock fires, and the run
+        // ends at the first post-shock stable round (not the budget).
+        let game = two_links(100);
+        let state = State::from_counts(&game, vec![0, 100]).unwrap();
+        let stop =
+            StopSpec::new(vec![StopCondition::ImitationStable, StopCondition::MaxRounds(200)])
+                .with_check_every(1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut stationary = Simulation::new(&game, imit(), state.clone()).unwrap();
+        let out = stationary.run(&stop, &mut rng).unwrap();
+        assert_eq!((out.reason, out.rounds), (StopReason::ImitationStable, 0));
+        let mut shocked = Simulation::new(&game, imit(), state)
+            .unwrap()
+            .with_hook(Box::new(ScaleHook { fired: false }));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = shocked.run(&stop, &mut rng).unwrap();
+        assert_eq!(out.reason, StopReason::ImitationStable, "re-stabilized after the shock");
+        assert!(out.rounds >= 5, "ran through the shock round, got {}", out.rounds);
+        assert!(out.rounds < 200, "did not burn the whole budget");
+    }
+
+    #[test]
+    fn hook_that_does_not_advance_is_an_error() {
+        #[derive(Debug)]
+        struct Wedged;
+        impl crate::hook::RoundHook for Wedged {
+            fn next_fire(&self) -> Option<u64> {
+                Some(0)
+            }
+            fn fire(
+                &mut self,
+                _round: u64,
+                _game: &mut CongestionGame,
+                _state: &mut State,
+            ) -> Result<bool, DynamicsError> {
+                Ok(false)
+            }
+        }
+        let game = two_links(10);
+        let state = State::from_counts(&game, vec![5, 5]).unwrap();
+        let mut sim = Simulation::new(&game, imit(), state).unwrap().with_hook(Box::new(Wedged));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let err = sim.run(&StopSpec::max_rounds(3), &mut rng).unwrap_err();
+        assert!(matches!(err, DynamicsError::Hook { .. }), "{err:?}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ use std::sync::{Condvar, Mutex, PoisonError};
 
 use crate::engine::{EngineKind, Simulation};
 use crate::error::DynamicsError;
+use crate::hook::RoundHook;
 use crate::observe::Observer;
 use crate::protocol::Protocol;
 use crate::reduce::Reducer;
@@ -150,7 +151,6 @@ pub fn run_indexed<T: Send>(tasks: usize, threads: usize, f: impl Fn(usize) -> T
 /// assert_eq!(outcomes.len(), 8);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
 pub struct Ensemble<'g> {
     game: &'g CongestionGame,
     protocol: Protocol,
@@ -161,6 +161,27 @@ pub struct Ensemble<'g> {
     base_seed: u64,
     threads: usize,
     rng_mode: RngMode,
+    /// Builds one fresh [`RoundHook`] per replica, so every trial replays
+    /// the same event schedule against its own simulation. `None` for
+    /// stationary ensembles.
+    round_hook: Option<std::sync::Arc<dyn Fn() -> Box<dyn RoundHook> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Ensemble<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("game", &self.game)
+            .field("protocol", &self.protocol)
+            .field("start", &self.start)
+            .field("engine", &self.engine)
+            .field("record", &self.record)
+            .field("trials", &self.trials)
+            .field("base_seed", &self.base_seed)
+            .field("threads", &self.threads)
+            .field("rng_mode", &self.rng_mode)
+            .field("round_hook", &self.round_hook.as_ref().map(|_| "<factory>"))
+            .finish()
+    }
 }
 
 impl<'g> Ensemble<'g> {
@@ -190,6 +211,7 @@ impl<'g> Ensemble<'g> {
             base_seed: 0,
             threads: Self::default_threads(),
             rng_mode: RngMode::Xoshiro,
+            round_hook: None,
         })
     }
 
@@ -241,6 +263,32 @@ impl<'g> Ensemble<'g> {
         self.rng_mode
     }
 
+    /// Attach a nonstationary scenario: `factory` builds one fresh
+    /// [`RoundHook`] per replica (hooks are stateful cursors, so they
+    /// cannot be shared), and every replica — including every shard of a
+    /// sharded sweep — replays the same event schedule. Hooks are RNG-free
+    /// by contract, so all the ensemble's bit-identity guarantees (thread
+    /// counts, shard/merge, both RNG backends) carry over unchanged.
+    pub fn with_round_hook(
+        mut self,
+        factory: impl Fn() -> Box<dyn RoundHook> + Send + Sync + 'static,
+    ) -> Self {
+        self.round_hook = Some(std::sync::Arc::new(factory));
+        self
+    }
+
+    /// One replica simulation, with the engine, recording, and (if any)
+    /// scenario hook attached — the single constructor all run paths use.
+    fn make_sim(&self) -> Result<Simulation<'g>, DynamicsError> {
+        let mut sim = Simulation::new(self.game, self.protocol, self.start.clone())?
+            .with_engine(self.engine)
+            .with_recording(self.record);
+        if let Some(factory) = &self.round_hook {
+            sim = sim.with_hook(factory());
+        }
+        Ok(sim)
+    }
+
     /// Set the worker-thread budget (clamped to at least 1). The results
     /// are identical for every choice; only wall-clock time changes.
     pub fn threads(mut self, threads: usize) -> Self {
@@ -284,9 +332,7 @@ impl<'g> Ensemble<'g> {
         f: impl Fn(&Simulation<'_>, RunOutcome) -> T + Sync,
     ) -> Result<Vec<T>, DynamicsError> {
         let results = run_indexed(self.trials, self.threads, |trial| {
-            let mut sim = Simulation::new(self.game, self.protocol, self.start.clone())?
-                .with_engine(self.engine)
-                .with_recording(self.record);
+            let mut sim = self.make_sim()?;
             let mut rng = self.trial_stream(trial);
             let outcome = sim.run(stop, &mut rng)?;
             Ok(f(&sim, outcome))
@@ -301,9 +347,7 @@ impl<'g> Ensemble<'g> {
         stop: &StopSpec,
         observer_factory: &(impl Fn(usize) -> O + Sync),
     ) -> Result<O::Output, DynamicsError> {
-        let mut sim = Simulation::new(self.game, self.protocol, self.start.clone())?
-            .with_engine(self.engine)
-            .with_recording(self.record);
+        let mut sim = self.make_sim()?;
         let mut rng = self.trial_stream(trial);
         let mut observer = observer_factory(trial);
         let summary = sim.run_observed(stop, &mut rng, &mut observer)?;

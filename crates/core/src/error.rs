@@ -20,6 +20,13 @@ pub enum DynamicsError {
     /// An underlying sampling operation failed (indicates an internal
     /// probability computation bug; surfaced rather than panicking).
     Sampling(SamplingError),
+    /// A between-rounds mutation hook (see
+    /// [`RoundHook`](crate::RoundHook)) failed or left the simulation in
+    /// an inconsistent configuration.
+    Hook {
+        /// What went wrong, in the hook's own words.
+        message: String,
+    },
 }
 
 impl fmt::Display for DynamicsError {
@@ -30,6 +37,7 @@ impl fmt::Display for DynamicsError {
             }
             DynamicsError::Game(e) => write!(f, "game error: {e}"),
             DynamicsError::Sampling(e) => write!(f, "sampling error: {e}"),
+            DynamicsError::Hook { message } => write!(f, "round hook error: {message}"),
         }
     }
 }
@@ -40,6 +48,7 @@ impl Error for DynamicsError {
             DynamicsError::InvalidParameter { .. } => None,
             DynamicsError::Game(e) => Some(e),
             DynamicsError::Sampling(e) => Some(e),
+            DynamicsError::Hook { .. } => None,
         }
     }
 }

@@ -91,6 +91,7 @@ mod engine;
 mod ensemble;
 mod error;
 mod expectation;
+mod hook;
 mod observe;
 mod protocol;
 mod reduce;
@@ -103,6 +104,7 @@ pub use engine::{EngineKind, MuMemoStats, RoundStats, Simulation};
 pub use ensemble::{run_indexed, Ensemble, REDUCE_BLOCK};
 pub use error::DynamicsError;
 pub use expectation::PairFlow;
+pub use hook::RoundHook;
 pub use observe::{FinalSummary, Observer, RecordSeries};
 pub use protocol::{
     Damping, ExplorationProtocol, ImitationProtocol, NuRule, Protocol, SelfSampling,

@@ -159,6 +159,7 @@ mod tests {
             migrations: 0,
             support: 1,
             unsatisfied_fraction: None,
+            shock: false,
         }
     }
 

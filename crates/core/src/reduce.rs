@@ -1059,6 +1059,7 @@ mod tests {
             migrations,
             support: 2,
             unsatisfied_fraction: Some(0.5),
+            shock: false,
         }
     }
 

@@ -26,6 +26,11 @@ pub struct RoundRecord {
     /// Fraction of players on expensive/cheap strategies per Definition 1,
     /// when an [`ApproxEquilibrium`] was configured.
     pub unsatisfied_fraction: Option<f64>,
+    /// Whether a scheduled-event hook (see [`RoundHook`](crate::RoundHook))
+    /// mutated the game/state immediately before this round — i.e. this
+    /// record is the first one reflecting the post-shock world. Always
+    /// `false` in stationary runs.
+    pub shock: bool,
 }
 
 /// What to record along a run.
@@ -109,6 +114,7 @@ pub(crate) fn capture_record(
     potential: f64,
     migrations: u64,
     approx: Option<&ApproxEquilibrium>,
+    shock: bool,
 ) -> RoundRecord {
     let l_av = congames_model::average_latency(game, state);
     let l_av_plus = congames_model::average_latency_plus(game, state);
@@ -123,6 +129,7 @@ pub(crate) fn capture_record(
         migrations,
         support: state.support_size(),
         unsatisfied_fraction,
+        shock,
     }
 }
 
@@ -140,6 +147,7 @@ mod tests {
             migrations: 0,
             support: 1,
             unsatisfied_fraction: None,
+            shock: false,
         }
     }
 

@@ -19,7 +19,7 @@
 //!    global block order — the same left-deep chain the single process
 //!    walks — and lands on the same bits.
 //!
-//! # Frame layout (version 2)
+//! # Frame layout (version 3)
 //!
 //! A shard file is:
 //!
@@ -71,8 +71,9 @@ use crate::stopping::{RunSummary, StopReason};
 use crate::trajectory::RoundRecord;
 
 /// Version tag written into (and required from) every shard file.
-/// Version 2 added the `rng_mode` header byte.
-pub const WIRE_VERSION: u32 = 2;
+/// Version 2 added the `rng_mode` header byte; version 3 added the
+/// per-record `shock` flag (nonstationary scenarios).
+pub const WIRE_VERSION: u32 = 3;
 
 /// Magic bytes opening every shard file.
 pub const MAGIC: [u8; 8] = *b"CGSHARD\0";
@@ -705,6 +706,7 @@ impl WireItem for RoundRecord {
                 put_f64(out, u);
             }
         }
+        out.push(self.shock as u8);
     }
 
     fn decode_item(cur: &mut WireCursor<'_>) -> Result<Self, WireError> {
@@ -721,6 +723,11 @@ impl WireItem for RoundRecord {
             1 => Some(cur.f64("record unsatisfied fraction")?),
             _ => return Err(WireError::Malformed { context: "record unsatisfied tag" }),
         };
+        let shock = match cur.u8("record shock flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Malformed { context: "record shock flag" }),
+        };
         Ok(RoundRecord {
             round,
             potential,
@@ -730,6 +737,7 @@ impl WireItem for RoundRecord {
             migrations,
             support,
             unsatisfied_fraction,
+            shock,
         })
     }
 }

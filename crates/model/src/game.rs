@@ -236,6 +236,79 @@ impl CongestionGame {
     pub fn params(&self) -> GameParams {
         GameParams::of(self)
     }
+
+    /// Replace the latency function of resource `r` (link re-provisioning;
+    /// the `SetLatency` scenario event).
+    ///
+    /// A [`State`](crate::State) with a latency cache built against this
+    /// game keeps serving the **old** function's values until
+    /// [`State::invalidate_caches_for_game_change`](crate::State::invalidate_caches_for_game_change)
+    /// runs; cached protocol parameters ([`CongestionGame::params`]) go
+    /// stale the same way. Every game mutator carries this obligation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::UnknownResource`] if `r` is out of range.
+    pub fn set_latency(&mut self, r: ResourceId, latency: LatencyFn) -> Result<(), GameError> {
+        let resources = self.resources.len();
+        self.resources
+            .get_mut(r.index())
+            .ok_or(GameError::UnknownResource { resource: r.raw(), resources })?
+            .set_latency(latency);
+        Ok(())
+    }
+
+    /// Scale the latency function of resource `r` by `factor` (link
+    /// degradation for `factor > 1`, capacity upgrades for `factor < 1`;
+    /// the `ScaleLatency` scenario event). Wraps the current function in
+    /// [`Scaled`](crate::latency::Scaled), so repeated scaling composes.
+    ///
+    /// The same cache-invalidation obligation as
+    /// [`CongestionGame::set_latency`] applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] unless `factor` is finite
+    /// and positive, and [`GameError::UnknownResource`] if `r` is out of
+    /// range.
+    pub fn scale_latency(&mut self, r: ResourceId, factor: f64) -> Result<(), GameError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(GameError::InvalidParameter {
+                name: "factor",
+                message: "latency scale factor must be finite and positive",
+            });
+        }
+        let resources = self.resources.len();
+        let res = self
+            .resources
+            .get_mut(r.index())
+            .ok_or(GameError::UnknownResource { resource: r.raw(), resources })?;
+        let scaled = crate::latency::Scaled::new(res.latency().clone(), factor);
+        res.set_latency(scaled.into());
+        Ok(())
+    }
+
+    /// Set the player count of class `class` (arrivals/departures; the
+    /// `AddPlayers`/`RemovePlayers`/`SetDemand` scenario events).
+    ///
+    /// This changes only the game's bookkeeping — any `State` must be
+    /// adjusted to match (`State::add_players` / `State::remove_players`)
+    /// or it will fail count validation, and population-dependent protocol
+    /// parameters ([`CongestionGame::params`] uses `n`) must be recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] if `class` is out of range.
+    pub fn set_class_players(&mut self, class: usize, players: u64) -> Result<(), GameError> {
+        self.classes
+            .get_mut(class)
+            .ok_or(GameError::InvalidParameter {
+                name: "class",
+                message: "class index out of range",
+            })?
+            .players = players;
+        Ok(())
+    }
 }
 
 /// Protocol-relevant analytic parameters of a game (Section 2.2 and 6).

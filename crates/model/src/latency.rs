@@ -328,6 +328,83 @@ pub fn estimate_elasticity_batched<L: Latency + ?Sized>(l: &L, max_load: u64) ->
 /// clone and can mix families.
 pub type LatencyFn = Arc<dyn Latency>;
 
+/// A latency function scaled by a positive factor: `ℓ(x) = factor·inner(x)`.
+///
+/// The family-agnostic form of link degradation/re-provisioning (the
+/// `ScaleLatency` scenario event): it wraps whatever function a resource
+/// already carries without knowing its family. Batched evaluation delegates
+/// to the inner function and then applies exactly one `factor·v` rounding
+/// per value — the same single rounding pointwise [`Scaled::value`] calls
+/// perform — so the batch==pointwise bit-identity every family guarantees
+/// is preserved through the wrapper. The elasticity bound is inherited
+/// unchanged: `(c·ℓ)'·x / (c·ℓ) = ℓ'·x / ℓ` for `c > 0`.
+#[derive(Debug, Clone)]
+pub struct Scaled {
+    inner: LatencyFn,
+    factor: f64,
+}
+
+impl Scaled {
+    /// Scale `inner` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive (a non-positive factor
+    /// would break the non-decreasing/positive latency contract). Callers
+    /// needing a fallible path validate first — see
+    /// `CongestionGame::scale_latency`.
+    pub fn new(inner: LatencyFn, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "latency scale factor must be finite and positive"
+        );
+        Scaled { inner, factor }
+    }
+
+    /// The scale factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// The wrapped latency function.
+    pub fn inner(&self) -> &LatencyFn {
+        &self.inner
+    }
+}
+
+impl Latency for Scaled {
+    fn value(&self, load: u64) -> f64 {
+        self.factor * self.inner.value(load)
+    }
+
+    fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
+        self.inner.eval_range_into(base, range, out);
+        for v in out {
+            *v *= self.factor;
+        }
+    }
+
+    fn elasticity_bound(&self, max_load: u64) -> f64 {
+        // Scale-invariant for positive factors; inherit the inner (possibly
+        // closed-form) bound instead of re-estimating numerically.
+        self.inner.elasticity_bound(max_load)
+    }
+
+    fn value_at(&self, load: f64) -> f64 {
+        self.factor * self.inner.value_at(load)
+    }
+
+    fn integral_to(&self, load: f64) -> f64 {
+        self.factor * self.inner.integral_to(load)
+    }
+}
+
+impl From<Scaled> for LatencyFn {
+    fn from(l: Scaled) -> LatencyFn {
+        Arc::new(l)
+    }
+}
+
 /// A constant latency `ℓ(x) = c`.
 ///
 /// Elasticity 0, slope 0. Useful for modeling fixed-delay links (e.g. the

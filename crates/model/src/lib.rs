@@ -63,7 +63,7 @@ pub use error::GameError;
 pub use game::{CongestionGame, GameParams, PlayerClass, SymmetricBuilder};
 pub use latency::{
     estimate_elasticity_batched, sum_range_via_eval, Affine, Bpr, Constant, FnLatency, Latency,
-    LatencyFn, Monomial, Polynomial,
+    LatencyFn, Monomial, Polynomial, Scaled,
 };
 pub use metrics::{average_latency, average_latency_plus, makespan, ClassMetrics};
 pub use potential::{potential, potential_delta_for_load_change, potential_of_loads};

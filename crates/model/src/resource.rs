@@ -72,6 +72,17 @@ impl Resource {
     pub fn name(&self) -> Option<&str> {
         self.name.as_deref()
     }
+
+    /// Replace the latency function, keeping the name.
+    ///
+    /// Any [`State`](crate::State) carrying a latency cache built against
+    /// the owning game keeps serving the *old* function's values until
+    /// [`State::invalidate_caches_for_game_change`](crate::State::invalidate_caches_for_game_change)
+    /// runs — game mutators (see `CongestionGame::set_latency`) document
+    /// the same obligation.
+    pub fn set_latency(&mut self, latency: LatencyFn) {
+        self.latency = latency;
+    }
 }
 
 #[cfg(test)]

@@ -864,6 +864,88 @@ impl State {
     pub fn loads_consistent(&self, game: &CongestionGame) -> bool {
         self.loads == loads_from_counts(game, &self.counts)
     }
+
+    /// Invalidate **every** derived cache after the game changed under this
+    /// state: the latency cache *and* the support index.
+    ///
+    /// This is the single entry point game mutators
+    /// (`CongestionGame::set_latency`, `scale_latency`,
+    /// `set_class_players`, scenario event appliers) must route through.
+    /// The piecemeal invalidators are not interchangeable with it:
+    /// [`State::invalidate_support_index`] alone leaves the latency cache
+    /// serving the old game's `ℓ_e` values after a latency swap, and
+    /// [`State::invalidate_latency_cache`] alone leaves per-class occupied
+    /// lists stale after a partition change. Population mutations
+    /// ([`State::add_players`] / [`State::remove_players`]) call it
+    /// internally.
+    pub fn invalidate_caches_for_game_change(&mut self) {
+        self.invalidate_latency_cache();
+        self.invalidate_support_index();
+    }
+
+    /// Add `count` players to strategy `s` (a scenario *arrival*): bumps
+    /// the strategy's count and the loads of its resources, then routes
+    /// through [`State::invalidate_caches_for_game_change`] — arrivals can
+    /// break support invariance (a previously-empty strategy becomes
+    /// occupied) and change every cached latency on the touched resources.
+    ///
+    /// The owning class's player count in the game must be grown to match
+    /// (see `CongestionGame::set_class_players`) before the state is
+    /// validated against the game again.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `s` is out of range for `game`.
+    pub fn add_players(
+        &mut self,
+        game: &CongestionGame,
+        s: StrategyId,
+        count: u64,
+    ) -> Result<(), GameError> {
+        game.check_strategy(s)?;
+        if count == 0 {
+            return Ok(());
+        }
+        self.counts[s.index()] += count;
+        for &r in game.strategy(s).resources() {
+            self.loads[r.index()] += count;
+        }
+        self.invalidate_caches_for_game_change();
+        Ok(())
+    }
+
+    /// Remove `count` players from strategy `s` (a scenario *departure*);
+    /// the cache-coherence mirror of [`State::add_players`].
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the state unchanged) if `s` is out of range or has
+    /// fewer than `count` players.
+    pub fn remove_players(
+        &mut self,
+        game: &CongestionGame,
+        s: StrategyId,
+        count: u64,
+    ) -> Result<(), GameError> {
+        game.check_strategy(s)?;
+        if count == 0 {
+            return Ok(());
+        }
+        let available = self.counts[s.index()];
+        if available < count {
+            return Err(GameError::InsufficientPlayers {
+                strategy: s.raw(),
+                available,
+                requested: count,
+            });
+        }
+        self.counts[s.index()] -= count;
+        for &r in game.strategy(s).resources() {
+            self.loads[r.index()] -= count;
+        }
+        self.invalidate_caches_for_game_change();
+        Ok(())
+    }
 }
 
 fn loads_from_counts(game: &CongestionGame, counts: &[u64]) -> Vec<u64> {
@@ -1271,6 +1353,73 @@ mod tests {
         assert!(err.is_err());
         assert_eq!(s.occupied(&game, 0).unwrap(), &[sid(0), sid(1)]);
         assert!(s.support_consistent(&game));
+    }
+
+    /// Regression guard for the scenario/event layer: after a latency swap
+    /// on the game, `invalidate_support_index` alone is NOT enough — the
+    /// latency cache would keep serving the old function's `ℓ_e`. The
+    /// single entry point `invalidate_caches_for_game_change` must clear
+    /// both.
+    #[test]
+    fn latency_swap_without_full_invalidation_would_serve_stale_values() {
+        let mut game = two_link_game(4);
+        let mut s = State::from_counts(&game, vec![3, 1]).unwrap();
+        s.ensure_latency_cache(&game);
+        s.ensure_support_index(&game);
+        assert_eq!(s.resource_latency(&game, rid(0)), 3.0);
+        // The game mutates under the state: link 0's slope becomes 10.
+        game.set_latency(rid(0), Affine::linear(10.0).into()).unwrap();
+        // Partial invalidation (the pre-existing support-only path) leaves
+        // the latency cache valid — and stale: it still answers with the
+        // old slope. This is the bug `invalidate_caches_for_game_change`
+        // exists to prevent.
+        s.invalidate_support_index();
+        assert_eq!(
+            s.resource_latency(&game, rid(0)),
+            3.0,
+            "support-only invalidation must leave the stale cache observable \
+             (otherwise this regression test guards nothing)"
+        );
+        // The full invalidation serves the new function.
+        s.invalidate_caches_for_game_change();
+        assert!(!s.latency_cache_valid());
+        assert!(!s.support_index_valid());
+        assert_eq!(s.resource_latency(&game, rid(0)), 30.0);
+        s.ensure_latency_cache(&game);
+        s.ensure_support_index(&game);
+        assert_eq!(s.resource_latency(&game, rid(0)), 30.0);
+        assert!(s.support_consistent(&game));
+    }
+
+    #[test]
+    fn add_and_remove_players_keep_loads_and_invalidate_caches() {
+        let game = overlap_game(6);
+        let mut s = State::from_counts(&game, vec![2, 3, 1]).unwrap();
+        s.ensure_latency_cache(&game);
+        s.ensure_support_index(&game);
+        // Arrival on strategy 0 = {r0, r1}.
+        s.add_players(&game, sid(0), 4).unwrap();
+        assert_eq!(s.count(sid(0)), 6);
+        assert_eq!(s.load(rid(0)), 6);
+        assert_eq!(s.load(rid(1)), 9);
+        assert!(!s.latency_cache_valid());
+        assert!(!s.support_index_valid());
+        assert!(s.loads_consistent(&game));
+        // Departure drains it back; the latency accessors recompute fresh.
+        s.remove_players(&game, sid(0), 6).unwrap();
+        assert_eq!(s.count(sid(0)), 0);
+        assert!(s.loads_consistent(&game));
+        assert_eq!(s.support_size(), 2);
+        // Over-draining is rejected without mutating anything.
+        let before = s.clone();
+        assert!(matches!(
+            s.remove_players(&game, sid(0), 1),
+            Err(GameError::InsufficientPlayers { available: 0, requested: 1, .. })
+        ));
+        assert_eq!(s, before);
+        // Zero-count events are no-ops.
+        s.add_players(&game, sid(1), 0).unwrap();
+        assert_eq!(s, before);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use congames_model::GameError;
+
+/// Error type for building, parsing, and applying scenarios.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// A trace line failed to parse (1-based line number).
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A schedule parameter was invalid (bad factor, empty schedule where
+    /// one is required, …).
+    Invalid {
+        /// Constraint description.
+        message: String,
+    },
+    /// An event could not be applied to the game/state it fired on.
+    Apply {
+        /// The round the event was scheduled for.
+        round: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying game/state operation failed.
+    Game(GameError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+            ScenarioError::Invalid { message } => write!(f, "invalid schedule: {message}"),
+            ScenarioError::Apply { round, message } => {
+                write!(f, "event at round {round} failed to apply: {message}")
+            }
+            ScenarioError::Game(e) => write!(f, "game error: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Game(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GameError> for ScenarioError {
+    fn from(e: GameError) -> Self {
+        ScenarioError::Game(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ScenarioError::Parse { line: 3, message: "unknown event `foo`".into() };
+        assert_eq!(e.to_string(), "trace line 3: unknown event `foo`");
+        assert!(e.source().is_none());
+        let g: ScenarioError = GameError::EmptyStrategy.into();
+        assert!(g.source().is_some());
+        let a = ScenarioError::Apply { round: 7, message: "x".into() };
+        assert!(a.to_string().contains("round 7"));
+    }
+}

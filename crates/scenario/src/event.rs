@@ -1,0 +1,254 @@
+//! The scheduled-event model: what can change, and when.
+
+use congames_model::latency::{Affine, Constant, LatencyFn, Monomial};
+
+use crate::error::ScenarioError;
+use crate::trace;
+
+/// A textual, serializable latency function — the subset of the model's
+/// latency families a trace file can carry.
+///
+/// The spec exists so [`ScheduledEvent::SetLatency`] round-trips through
+/// the line-oriented trace format; [`LatencySpec::build`] materializes the
+/// actual [`LatencyFn`] at apply time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencySpec {
+    /// `ℓ(x) = c`.
+    Constant {
+        /// The constant latency `c`.
+        value: f64,
+    },
+    /// `ℓ(x) = a·x + b`.
+    Affine {
+        /// Slope `a`.
+        slope: f64,
+        /// Intercept `b`.
+        intercept: f64,
+    },
+    /// `ℓ(x) = c·x^d`.
+    Monomial {
+        /// Coefficient `c`.
+        coefficient: f64,
+        /// Degree `d` (≥ 1).
+        degree: u32,
+    },
+}
+
+impl LatencySpec {
+    /// Materialize the spec into a model latency function.
+    pub fn build(&self) -> LatencyFn {
+        match *self {
+            LatencySpec::Constant { value } => Constant::new(value).into(),
+            LatencySpec::Affine { slope, intercept } => Affine::new(slope, intercept).into(),
+            LatencySpec::Monomial { coefficient, degree } => {
+                Monomial::new(coefficient, degree).into()
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        let ok = match *self {
+            LatencySpec::Constant { value } => value.is_finite() && value >= 0.0,
+            LatencySpec::Affine { slope, intercept } => {
+                slope.is_finite() && intercept.is_finite() && slope >= 0.0 && intercept >= 0.0
+            }
+            LatencySpec::Monomial { coefficient, degree } => {
+                coefficient.is_finite() && coefficient >= 0.0 && degree >= 1
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ScenarioError::Invalid {
+                message: format!("latency spec {self:?} must have finite, non-negative parameters"),
+            })
+        }
+    }
+}
+
+/// One scheduled mutation of a running game.
+///
+/// Population events ([`AddPlayers`](ScheduledEvent::AddPlayers) /
+/// [`RemovePlayers`](ScheduledEvent::RemovePlayers)) name an explicit
+/// strategy so replay is exactly reproducible;
+/// [`SetDemand`](ScheduledEvent::SetDemand) names only a class and places
+/// the difference deterministically (see
+/// [`apply_event`](crate::apply_event)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduledEvent {
+    /// Replace resource `resource`'s latency function.
+    SetLatency {
+        /// Raw resource id.
+        resource: u32,
+        /// The new latency.
+        latency: LatencySpec,
+    },
+    /// Multiply resource `resource`'s latency by `factor` (composes with
+    /// earlier scalings — a ramp of `k` factor-`f` events scales by `f^k`).
+    ScaleLatency {
+        /// Raw resource id.
+        resource: u32,
+        /// Multiplicative factor (finite, positive).
+        factor: f64,
+    },
+    /// `count` players arrive on strategy `strategy` (the strategy's class
+    /// grows by `count`).
+    AddPlayers {
+        /// Raw strategy id the arrivals start on.
+        strategy: u32,
+        /// Number of arrivals (> 0).
+        count: u64,
+    },
+    /// `count` players on strategy `strategy` depart (fails at apply time
+    /// if fewer are there).
+    RemovePlayers {
+        /// Raw strategy id the departures leave from.
+        strategy: u32,
+        /// Number of departures (> 0).
+        count: u64,
+    },
+    /// Set class `class`'s total demand to `players`, adding to the
+    /// class's lowest-id occupied strategy or draining strategies in
+    /// ascending id order.
+    SetDemand {
+        /// Class index.
+        class: usize,
+        /// New total player count of the class.
+        players: u64,
+    },
+}
+
+impl ScheduledEvent {
+    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        match self {
+            ScheduledEvent::SetLatency { latency, .. } => latency.validate(),
+            ScheduledEvent::ScaleLatency { factor, .. } => {
+                if factor.is_finite() && *factor > 0.0 {
+                    Ok(())
+                } else {
+                    Err(ScenarioError::Invalid {
+                        message: format!("scale factor {factor} must be finite and positive"),
+                    })
+                }
+            }
+            ScheduledEvent::AddPlayers { count, .. }
+            | ScheduledEvent::RemovePlayers { count, .. } => {
+                if *count > 0 {
+                    Ok(())
+                } else {
+                    Err(ScenarioError::Invalid {
+                        message: "population events must move at least one player".into(),
+                    })
+                }
+            }
+            ScheduledEvent::SetDemand { .. } => Ok(()),
+        }
+    }
+}
+
+/// A validated event schedule: `(fire round, event)` pairs sorted by fire
+/// round, with the insertion order preserved among events of one round
+/// (the deterministic tie order — a trace file's same-round lines apply
+/// top to bottom).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    events: Vec<(u64, ScheduledEvent)>,
+}
+
+impl Schedule {
+    /// Build a schedule from `(round, event)` pairs in any order; events
+    /// are stably sorted by round, so same-round events keep their given
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Rejects events with invalid parameters (non-positive scale factor,
+    /// zero-count population events, non-finite latency parameters).
+    pub fn new(mut events: Vec<(u64, ScheduledEvent)>) -> Result<Self, ScenarioError> {
+        for (_, event) in &events {
+            event.validate()?;
+        }
+        events.sort_by_key(|(round, _)| *round);
+        Ok(Schedule { events })
+    }
+
+    /// The events, sorted by fire round.
+    pub fn events(&self) -> &[(u64, ScheduledEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The last fire round, if any event is scheduled.
+    pub fn last_round(&self) -> Option<u64> {
+        self.events.last().map(|(round, _)| *round)
+    }
+
+    /// A 16-hex-digit digest of the schedule's canonical trace text
+    /// (FNV-1a 64 — the same hash the shard wire format uses for
+    /// payloads). Two schedules digest equal iff their canonical traces
+    /// are byte-equal, so embedding the digest in a run-configuration
+    /// string makes differently-shocked shard sets refuse to merge.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", congames_dynamics::wire::fnv1a64(trace::write_trace(self).as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_stably_by_round() {
+        let a = ScheduledEvent::ScaleLatency { resource: 0, factor: 2.0 };
+        let b = ScheduledEvent::ScaleLatency { resource: 1, factor: 3.0 };
+        let c = ScheduledEvent::AddPlayers { strategy: 0, count: 5 };
+        let s = Schedule::new(vec![(9, a.clone()), (3, b.clone()), (9, c.clone())]).unwrap();
+        let rounds: Vec<u64> = s.events().iter().map(|(r, _)| *r).collect();
+        assert_eq!(rounds, vec![3, 9, 9]);
+        // Tie order = insertion order: `a` (inserted first) before `c`.
+        assert_eq!(s.events()[1].1, a);
+        assert_eq!(s.events()[2].1, c);
+        assert_eq!(s.last_round(), Some(9));
+        assert_eq!(s.len(), 3);
+        let _ = b;
+    }
+
+    #[test]
+    fn invalid_events_are_rejected() {
+        let bad =
+            Schedule::new(vec![(0, ScheduledEvent::ScaleLatency { resource: 0, factor: 0.0 })]);
+        assert!(matches!(bad, Err(ScenarioError::Invalid { .. })));
+        let bad = Schedule::new(vec![(0, ScheduledEvent::AddPlayers { strategy: 0, count: 0 })]);
+        assert!(matches!(bad, Err(ScenarioError::Invalid { .. })));
+        let bad = Schedule::new(vec![(
+            0,
+            ScheduledEvent::SetLatency {
+                resource: 0,
+                latency: LatencySpec::Affine { slope: f64::NAN, intercept: 0.0 },
+            },
+        )]);
+        assert!(matches!(bad, Err(ScenarioError::Invalid { .. })));
+    }
+
+    #[test]
+    fn digests_separate_schedules() {
+        let s1 =
+            Schedule::new(vec![(5, ScheduledEvent::ScaleLatency { resource: 0, factor: 2.0 })])
+                .unwrap();
+        let s2 =
+            Schedule::new(vec![(5, ScheduledEvent::ScaleLatency { resource: 0, factor: 2.5 })])
+                .unwrap();
+        assert_eq!(s1.digest().len(), 16);
+        assert_ne!(s1.digest(), s2.digest());
+        assert_eq!(s1.digest(), s1.clone().digest());
+    }
+}

@@ -1,0 +1,128 @@
+//! Synthetic schedule families for re-convergence experiments.
+//!
+//! Three canonical nonstationarities, each a one-call [`Schedule`]:
+//!
+//! * [`step_shock`] — one abrupt latency scaling at a single round; the
+//!   cleanest probe of time-to-recover.
+//! * [`ramp_drift`] — the same total scaling spread over many small
+//!   multiplicative steps; probes tracking of a slowly drifting optimum.
+//! * [`square_wave_demand`] — a class's demand toggling between two
+//!   levels with a fixed period; probes repeated re-convergence under
+//!   population churn.
+
+use crate::error::ScenarioError;
+use crate::event::{Schedule, ScheduledEvent};
+
+/// One abrupt shock: at `round`, resource `resource`'s latency is scaled
+/// by `factor`.
+///
+/// # Errors
+///
+/// Rejects a non-finite or non-positive `factor`.
+pub fn step_shock(round: u64, resource: u32, factor: f64) -> Result<Schedule, ScenarioError> {
+    Schedule::new(vec![(round, ScheduledEvent::ScaleLatency { resource, factor })])
+}
+
+/// A gradual drift: starting at `start_round`, resource `resource` is
+/// scaled by `step_factor` every `every` rounds, `steps` times, for a
+/// total scaling of `step_factor^steps`.
+///
+/// # Errors
+///
+/// Rejects `every == 0`, `steps == 0`, and invalid factors.
+pub fn ramp_drift(
+    start_round: u64,
+    every: u64,
+    steps: u32,
+    resource: u32,
+    step_factor: f64,
+) -> Result<Schedule, ScenarioError> {
+    if every == 0 || steps == 0 {
+        return Err(ScenarioError::Invalid {
+            message: "ramp_drift needs every ≥ 1 and steps ≥ 1".into(),
+        });
+    }
+    let events = (0..steps)
+        .map(|i| {
+            (
+                start_round + u64::from(i) * every,
+                ScheduledEvent::ScaleLatency { resource, factor: step_factor },
+            )
+        })
+        .collect();
+    Schedule::new(events)
+}
+
+/// A demand square wave: starting at `start_round`, class `class`'s
+/// demand is set to `high`, then back to `low`, alternating every
+/// `half_period` rounds for `cycles` full cycles (so `2·cycles` events).
+///
+/// The wave assumes the class starts at demand `low`; the first event
+/// raises it to `high`.
+///
+/// # Errors
+///
+/// Rejects `half_period == 0`, `cycles == 0`, and `low == high`.
+pub fn square_wave_demand(
+    class: usize,
+    low: u64,
+    high: u64,
+    half_period: u64,
+    cycles: u32,
+    start_round: u64,
+) -> Result<Schedule, ScenarioError> {
+    if half_period == 0 || cycles == 0 {
+        return Err(ScenarioError::Invalid {
+            message: "square_wave_demand needs half_period ≥ 1 and cycles ≥ 1".into(),
+        });
+    }
+    if low == high {
+        return Err(ScenarioError::Invalid {
+            message: "square_wave_demand needs two distinct demand levels".into(),
+        });
+    }
+    let mut events = Vec::with_capacity(2 * cycles as usize);
+    for i in 0..u64::from(cycles) * 2 {
+        let players = if i % 2 == 0 { high } else { low };
+        events.push((start_round + i * half_period, ScheduledEvent::SetDemand { class, players }));
+    }
+    Schedule::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_shock_is_one_event() {
+        let s = step_shock(50, 2, 4.0).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last_round(), Some(50));
+        assert!(step_shock(50, 2, -4.0).is_err());
+    }
+
+    #[test]
+    fn ramp_drift_spaces_its_steps() {
+        let s = ramp_drift(100, 10, 5, 0, 1.1).unwrap();
+        let rounds: Vec<u64> = s.events().iter().map(|(r, _)| *r).collect();
+        assert_eq!(rounds, vec![100, 110, 120, 130, 140]);
+        assert!(ramp_drift(100, 0, 5, 0, 1.1).is_err());
+        assert!(ramp_drift(100, 10, 0, 0, 1.1).is_err());
+    }
+
+    #[test]
+    fn square_wave_alternates_levels() {
+        let s = square_wave_demand(0, 100, 160, 50, 2, 30).unwrap();
+        let got: Vec<(u64, u64)> = s
+            .events()
+            .iter()
+            .map(|(r, e)| match e {
+                ScheduledEvent::SetDemand { players, .. } => (*r, *players),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(got, vec![(30, 160), (80, 100), (130, 160), (180, 100)]);
+        assert!(square_wave_demand(0, 100, 100, 50, 2, 30).is_err());
+        assert!(square_wave_demand(0, 100, 160, 0, 2, 30).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! # congames-scenario
+//!
+//! Nonstationary, trace-driven scenarios for the congestion-game
+//! simulator: scheduled mutations of a running game — latency shocks,
+//! drift, arrivals/departures, demand changes — with deterministic
+//! replay, so the re-convergence behaviour the PODC 2009 potential
+//! arguments predict can be measured instead of assumed. (The paper's
+//! convergence times are stated for a fixed game; shocking the game and
+//! timing the recovery is the natural out-of-model experiment.)
+//!
+//! The crate has four layers:
+//!
+//! * [`ScheduledEvent`] / [`Schedule`] — the validated event model: which
+//!   mutation fires at which round, sorted by fire round with a
+//!   deterministic (insertion-order) tie order.
+//! * [`trace`] — a versioned, line-oriented text format for schedules,
+//!   with a canonical writer (the basis of the [`Schedule::digest`] every
+//!   shard header embeds) and a loader that rejects malformed or
+//!   out-of-order lines with line-numbered errors.
+//! * [`apply`] — the mutation layer: [`apply_event`] routes every event
+//!   through the model's cache-coherent mutators, and [`ScheduleCursor`]
+//!   adapts a schedule to the engine's
+//!   [`RoundHook`](congames_dynamics::RoundHook) seam.
+//! * [`generate`] — synthetic schedule families (step shock, ramp drift,
+//!   square-wave demand) for experiments.
+//!
+//! # Determinism
+//!
+//! Schedules are RNG-free: a scenario run draws exactly the random
+//! variates the stationary run would, so every bit-identity guarantee of
+//! the simulator (thread counts 1/2/8, shard/merge, xoshiro vs. counter
+//! streams) holds for shocked runs too. The [`Schedule::digest`] — a hash
+//! of the canonical trace text — travels in run-configuration digests so
+//! that shards of differently-shocked sweeps refuse to merge.
+//!
+//! # Example
+//!
+//! ```
+//! use congames_scenario::{generate, ScheduleCursor};
+//! use congames_dynamics::{ImitationProtocol, RecordConfig, Simulation, StopSpec};
+//! use congames_model::{Affine, CongestionGame, State};
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let game = CongestionGame::singleton(
+//!     vec![Affine::linear(1.0).into(), Affine::linear(1.0).into()],
+//!     100,
+//! )?;
+//! let start = State::from_counts(&game, vec![50, 50])?;
+//! // At round 50, link 0 becomes 4× slower.
+//! let schedule = Arc::new(generate::step_shock(50, 0, 4.0)?);
+//! let mut sim = Simulation::new(&game, ImitationProtocol::paper_default().into(), start)?
+//!     .with_recording(RecordConfig::every_round())
+//!     .with_hook(Box::new(ScheduleCursor::new(schedule)));
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+//! let out = sim.run(&StopSpec::max_rounds(200), &mut rng)?;
+//! assert!(out.trajectory.records().iter().any(|r| r.shock && r.round == 50));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apply;
+mod error;
+mod event;
+pub mod generate;
+pub mod trace;
+
+pub use apply::{apply_event, ScheduleCursor};
+pub use error::ScenarioError;
+pub use event::{LatencySpec, Schedule, ScheduledEvent};

@@ -1,0 +1,301 @@
+//! The versioned, line-oriented trace format.
+//!
+//! A trace file is the on-disk form of a [`Schedule`]:
+//!
+//! ```text
+//! # congames-trace v1
+//! 50,scale_latency,0,4
+//! 120,add_players,1,200
+//! 200,set_demand,0,1500
+//! ```
+//!
+//! * The **first line** must be exactly the version header
+//!   [`TRACE_HEADER`]; readers reject anything else (including future
+//!   versions) outright.
+//! * Every other non-blank, non-`#` line is one event:
+//!   `round,event,args…`, comma-separated, with the event-specific
+//!   argument layouts shown by [`write_trace`].
+//! * Event lines must be **non-decreasing in round** — the file order *is*
+//!   the deterministic tie order for same-round events, so an out-of-order
+//!   file is ambiguous and rejected with a line-numbered error rather than
+//!   silently re-sorted.
+//!
+//! [`write_trace`] emits the canonical form (header + one line per event,
+//! no comments); [`Schedule::digest`] hashes exactly those bytes, so two
+//! schedules share a digest iff their canonical traces are identical.
+//! Floats are written in Rust's shortest-round-trip format, so
+//! `parse_trace(write_trace(s)) == s` exactly.
+
+use std::fmt::Write as _;
+
+use crate::error::ScenarioError;
+use crate::event::{LatencySpec, Schedule, ScheduledEvent};
+
+/// The exact first line of every version-1 trace file.
+pub const TRACE_HEADER: &str = "# congames-trace v1";
+
+/// Render `schedule` in canonical trace form (ends with a newline).
+pub fn write_trace(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    out.push_str(TRACE_HEADER);
+    out.push('\n');
+    for (round, event) in schedule.events() {
+        match event {
+            ScheduledEvent::SetLatency { resource, latency } => {
+                let _ = writeln!(out, "{round},set_latency,{resource},{}", spec_text(latency));
+            }
+            ScheduledEvent::ScaleLatency { resource, factor } => {
+                let _ = writeln!(out, "{round},scale_latency,{resource},{factor}");
+            }
+            ScheduledEvent::AddPlayers { strategy, count } => {
+                let _ = writeln!(out, "{round},add_players,{strategy},{count}");
+            }
+            ScheduledEvent::RemovePlayers { strategy, count } => {
+                let _ = writeln!(out, "{round},remove_players,{strategy},{count}");
+            }
+            ScheduledEvent::SetDemand { class, players } => {
+                let _ = writeln!(out, "{round},set_demand,{class},{players}");
+            }
+        }
+    }
+    out
+}
+
+fn spec_text(spec: &LatencySpec) -> String {
+    match *spec {
+        LatencySpec::Constant { value } => format!("constant:{value}"),
+        LatencySpec::Affine { slope, intercept } => format!("affine:{slope}:{intercept}"),
+        LatencySpec::Monomial { coefficient, degree } => {
+            format!("monomial:{coefficient}:{degree}")
+        }
+    }
+}
+
+/// Parse a trace file's text into a validated [`Schedule`].
+///
+/// # Errors
+///
+/// Every rejection is a [`ScenarioError::Parse`] carrying the 1-based
+/// line number: missing/wrong version header, unknown event names, wrong
+/// argument counts, unparsable numbers, invalid event parameters, and
+/// out-of-order rounds.
+pub fn parse_trace(text: &str) -> Result<Schedule, ScenarioError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim_end() == TRACE_HEADER => {}
+        Some((_, first)) => {
+            return Err(ScenarioError::Parse {
+                line: 1,
+                message: format!("expected header `{TRACE_HEADER}`, found `{}`", first.trim_end()),
+            });
+        }
+        None => {
+            return Err(ScenarioError::Parse {
+                line: 1,
+                message: format!("empty trace (expected header `{TRACE_HEADER}`)"),
+            });
+        }
+    }
+    let mut events = Vec::new();
+    let mut last_round: Option<u64> = None;
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (round, event) = parse_event_line(line_no, line)?;
+        if let Some(prev) = last_round {
+            if round < prev {
+                return Err(ScenarioError::Parse {
+                    line: line_no,
+                    message: format!(
+                        "events out of order: round {round} after round {prev} \
+                         (trace lines must be non-decreasing in round)"
+                    ),
+                });
+            }
+        }
+        event
+            .validate()
+            .map_err(|e| ScenarioError::Parse { line: line_no, message: e.to_string() })?;
+        last_round = Some(round);
+        events.push((round, event));
+    }
+    // Already sorted and validated; `new` re-checks cheaply.
+    Schedule::new(events)
+}
+
+fn parse_event_line(line_no: usize, line: &str) -> Result<(u64, ScheduledEvent), ScenarioError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    let err = |message: String| ScenarioError::Parse { line: line_no, message };
+    if fields.len() < 2 {
+        return Err(err("expected `round,event,args…`".into()));
+    }
+    let round: u64 = parse_num(line_no, fields[0], "round")?;
+    let args = &fields[2..];
+    let want = |n: usize| {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("event `{}` takes {n} argument(s), found {}", fields[1], args.len())))
+        }
+    };
+    let event = match fields[1] {
+        "set_latency" => {
+            want(2)?;
+            ScheduledEvent::SetLatency {
+                resource: parse_num(line_no, args[0], "resource")?,
+                latency: parse_spec(line_no, args[1])?,
+            }
+        }
+        "scale_latency" => {
+            want(2)?;
+            ScheduledEvent::ScaleLatency {
+                resource: parse_num(line_no, args[0], "resource")?,
+                factor: parse_num(line_no, args[1], "factor")?,
+            }
+        }
+        "add_players" => {
+            want(2)?;
+            ScheduledEvent::AddPlayers {
+                strategy: parse_num(line_no, args[0], "strategy")?,
+                count: parse_num(line_no, args[1], "count")?,
+            }
+        }
+        "remove_players" => {
+            want(2)?;
+            ScheduledEvent::RemovePlayers {
+                strategy: parse_num(line_no, args[0], "strategy")?,
+                count: parse_num(line_no, args[1], "count")?,
+            }
+        }
+        "set_demand" => {
+            want(2)?;
+            ScheduledEvent::SetDemand {
+                class: parse_num(line_no, args[0], "class")?,
+                players: parse_num(line_no, args[1], "players")?,
+            }
+        }
+        other => {
+            return Err(err(format!(
+                "unknown event `{other}` (expected set_latency, scale_latency, \
+                 add_players, remove_players, or set_demand)"
+            )));
+        }
+    };
+    Ok((round, event))
+}
+
+fn parse_spec(line_no: usize, text: &str) -> Result<LatencySpec, ScenarioError> {
+    let parts: Vec<&str> = text.split(':').collect();
+    let err = |message: String| ScenarioError::Parse { line: line_no, message };
+    match parts.as_slice() {
+        ["constant", v] => Ok(LatencySpec::Constant { value: parse_num(line_no, v, "constant")? }),
+        ["affine", a, b] => Ok(LatencySpec::Affine {
+            slope: parse_num(line_no, a, "slope")?,
+            intercept: parse_num(line_no, b, "intercept")?,
+        }),
+        ["monomial", c, d] => Ok(LatencySpec::Monomial {
+            coefficient: parse_num(line_no, c, "coefficient")?,
+            degree: parse_num(line_no, d, "degree")?,
+        }),
+        _ => Err(err(format!(
+            "unknown latency spec `{text}` (expected constant:<c>, \
+             affine:<slope>:<intercept>, or monomial:<coef>:<degree>)"
+        ))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    line_no: usize,
+    text: &str,
+    field: &str,
+) -> Result<T, ScenarioError> {
+    text.parse().map_err(|_| ScenarioError::Parse {
+        line: line_no,
+        message: format!("field `{field}`: cannot parse `{text}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule::new(vec![
+            (50, ScheduledEvent::ScaleLatency { resource: 0, factor: 4.0 }),
+            (
+                50,
+                ScheduledEvent::SetLatency {
+                    resource: 1,
+                    latency: LatencySpec::Affine { slope: 2.5, intercept: 0.125 },
+                },
+            ),
+            (120, ScheduledEvent::AddPlayers { strategy: 1, count: 200 }),
+            (150, ScheduledEvent::RemovePlayers { strategy: 0, count: 30 }),
+            (200, ScheduledEvent::SetDemand { class: 0, players: 1500 }),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn writer_then_loader_is_the_identity() {
+        let s = sample();
+        let text = write_trace(&s);
+        assert!(text.starts_with(TRACE_HEADER));
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, s);
+        // Canonical text is a fixed point.
+        assert_eq!(write_trace(&back), text);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = format!("{TRACE_HEADER}\n\n# a comment\n50,scale_latency,0,4\n\n# trailing\n");
+        let s = parse_trace(&text).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn missing_or_wrong_header_is_line_1() {
+        for text in ["", "50,scale_latency,0,4\n", "# congames-trace v9\n"] {
+            match parse_trace(text) {
+                Err(ScenarioError::Parse { line: 1, .. }) => {}
+                other => panic!("expected line-1 parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_lines_carry_their_line_number() {
+        let text = format!("{TRACE_HEADER}\n9,scale_latency,0,2\n3,scale_latency,0,2\n");
+        match parse_trace(&text) {
+            Err(ScenarioError::Parse { line: 3, message }) => {
+                assert!(message.contains("out of order"), "{message}");
+            }
+            other => panic!("expected line-3 out-of-order error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_carry_their_line_number() {
+        let cases = [
+            ("5,warp_latency,0,2", "unknown event"),
+            ("5,scale_latency,0", "takes 2 argument"),
+            ("5,scale_latency,zero,2", "cannot parse `zero`"),
+            ("5,scale_latency,0,-1", "finite and positive"),
+            ("5,set_latency,0,spline:1:2:3", "unknown latency spec"),
+            ("banana", "expected `round,event"),
+        ];
+        for (bad, needle) in cases {
+            let text = format!("{TRACE_HEADER}\n{bad}\n");
+            match parse_trace(&text) {
+                Err(ScenarioError::Parse { line: 2, message }) => {
+                    assert!(message.contains(needle), "`{bad}` gave `{message}`");
+                }
+                other => panic!("`{bad}` should fail on line 2, got {other:?}"),
+            }
+        }
+    }
+}

@@ -14,7 +14,9 @@
 //! CLI covers the singleton-game slice of the library (the API covers far
 //! more — see the examples).
 
-use congames::analysis::{convergence_csv, per_round_stats_csv, Summary};
+use congames::analysis::{
+    convergence_csv, per_round_stats_csv, shock_recovery, shock_recovery_csv, Summary,
+};
 use congames::dynamics::wire::{
     decode_shard_file, decode_shard_header, encode_shard_file, validate_shard_sequence,
     ShardHeader, WireReduce,
@@ -26,10 +28,16 @@ use congames::dynamics::{
 };
 use congames::model::{average_latency, potential, LinearSingleton};
 use congames::sampling::{DrawStream, RngMode};
+use congames::scenario::{trace::parse_trace, Schedule, ScheduleCursor};
 use congames::RecordConfig;
 use congames::{Affine, CongestionGame, State};
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Relative half-width of the recovery band `--shock-csv` scores against
+/// (see [`shock_recovery`]).
+const SHOCK_EPSILON: f64 = 0.05;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +59,7 @@ const USAGE: &str = "usage:
                    [--rounds R] [--lambda L] [--seed S] [--no-nu]
                    [--trials T] [--threads K] [--engine aggregate|player]
                    [--rng xoshiro|counter] [--reduce mean|quantiles|convergence]
+                   [--scenario TRACE] [--shock-csv FILE]
   congames shard   <run flags> --reduce MODE --shard S --num-shards K --out FILE
   congames merge   [--csv FILE] FILE...
 
@@ -67,7 +76,12 @@ single-process `run --reduce` report byte for byte.
 --rng selects the random backend: `xoshiro` (default) draws one sequential
 stream per trial; `counter` addresses every draw by (trial, round, site,
 index), so results are also invariant to future lane/GPU backends. Both
-are bit-reproducible from the printed `# repro:` header line.";
+are bit-reproducible from the printed `# repro:` header line.
+--scenario replays a nonstationary trace (`# congames-trace v1` format):
+scheduled latency shocks, demand changes, and arrivals/departures fire
+between rounds, deterministically, in every trial of a sweep and in every
+shard of a distributed run. --shock-csv (single runs only) records every
+round and writes the per-shock re-convergence summary as CSV.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?.as_str();
@@ -104,6 +118,31 @@ struct Options {
     shard: Option<usize>,
     num_shards: Option<usize>,
     out: Option<String>,
+    scenario: Option<ScenarioFile>,
+    shock_csv: Option<String>,
+}
+
+/// A `--scenario` trace, loaded and digested at parse time so every
+/// consumer (run, shard header, repro line) sees one canonical schedule.
+#[derive(Debug)]
+struct ScenarioFile {
+    schedule: Arc<Schedule>,
+    digest: String,
+}
+
+impl ScenarioFile {
+    fn load(path: &str) -> Result<ScenarioFile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read scenario `{path}`: {e}"))?;
+        let schedule = parse_trace(&text).map_err(|e| format!("scenario `{path}`: {e}"))?;
+        let digest = schedule.digest();
+        Ok(ScenarioFile { schedule: Arc::new(schedule), digest })
+    }
+
+    /// A fresh per-trial cursor over the shared schedule.
+    fn cursor(&self) -> ScheduleCursor {
+        ScheduleCursor::new(Arc::clone(&self.schedule))
+    }
 }
 
 /// Which streaming reduction `--reduce` asked for.
@@ -151,6 +190,8 @@ impl Options {
             shard: None,
             num_shards: None,
             out: None,
+            scenario: None,
+            shock_csv: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -256,6 +297,13 @@ impl Options {
                 "--out" => {
                     o.out = Some(it.next().ok_or("--out needs a value")?.clone());
                 }
+                "--scenario" => {
+                    let path = it.next().ok_or("--scenario needs a trace file")?;
+                    o.scenario = Some(ScenarioFile::load(path)?);
+                }
+                "--shock-csv" => {
+                    o.shock_csv = Some(it.next().ok_or("--shock-csv needs a value")?.clone());
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -269,6 +317,11 @@ impl Options {
         // defined for every trial count (0 trials is the identity, 1 trial
         // is identity + one absorb), so a single-trial "ensemble" is just
         // a well-defined small sweep.
+        if o.shock_csv.is_some() && o.scenario.is_none() {
+            return Err("--shock-csv needs --scenario (without scheduled shocks there is \
+                        nothing to recover from)"
+                .into());
+        }
         Ok(o)
     }
 
@@ -315,7 +368,7 @@ impl Options {
         let links: Vec<String> = self.links.iter().map(|a| a.to_bits().to_string()).collect();
         format!(
             "links={};players={};protocol={};rounds={};lambda={};nu={};engine={:?};reduce={};\
-             trials={}",
+             trials={};scenario={}",
             links.join(","),
             self.players,
             self.protocol,
@@ -325,7 +378,15 @@ impl Options {
             self.engine,
             self.reduce.map_or("none", ReduceMode::name),
             self.trials,
+            self.scenario_digest(),
         )
+    }
+
+    /// The scenario schedule's digest, or `none` — the value every
+    /// digest/banner/header renders so stationary and shocked runs are
+    /// distinguishable (and differently-shocked shard sets unmergeable).
+    fn scenario_digest(&self) -> &str {
+        self.scenario.as_ref().map_or("none", |s| s.digest.as_str())
     }
 
     fn engine_name(&self) -> &'static str {
@@ -340,12 +401,13 @@ impl Options {
     /// so every reported figure is reconstructible from this line alone.
     fn repro_header(&self) -> String {
         format!(
-            "# repro: rng={} seed={} engine={} trials={} rounds={}",
+            "# repro: rng={} seed={} engine={} trials={} rounds={} scenario={}",
             self.rng.name(),
             self.seed,
             self.engine_name(),
             self.trials,
             self.rounds,
+            self.scenario_digest(),
         )
     }
 }
@@ -419,20 +481,45 @@ fn simulate(game: &CongestionGame, opts: &Options) -> Result<(), String> {
     );
     let stop = stop_spec(opts);
     if opts.trials > 1 || opts.reduce.is_some() {
+        if opts.shock_csv.is_some() {
+            return Err("--shock-csv analyzes a single trajectory; drop --trials/--reduce \
+                        (ensembles summarize via --reduce instead)"
+                .into());
+        }
         return simulate_ensemble(game, opts, state, &stop);
     }
     let mut sim = Simulation::new(game, opts.protocol()?, state)
         .map_err(|e| e.to_string())?
         .with_engine(opts.engine);
-    let out = sim.run(&stop, &mut rng).map_err(|e| e.to_string())?;
+    if let Some(sc) = &opts.scenario {
+        sim = sim.with_hook(Box::new(sc.cursor()));
+    }
+    if opts.shock_csv.is_some() {
+        // Re-convergence is scored on the full-resolution trajectory.
+        sim = sim.with_recording(RecordConfig::every(1));
+    }
+    let mut series = RecordSeries::new();
+    let summary = sim.run_observed(&stop, &mut rng, &mut series).map_err(|e| e.to_string())?;
     println!(
         "after {} rounds ({:?}): Φ = {:.3}, L_av = {:.4}, loads {:?}",
-        out.rounds,
-        out.reason,
+        summary.rounds,
+        summary.reason,
         sim.potential(),
         average_latency(game, sim.state()),
         sim.state().loads()
     );
+    if let Some(path) = &opts.shock_csv {
+        use congames::dynamics::Observer as _;
+        let records = series.finish(&summary);
+        let shocks = shock_recovery(&records, SHOCK_EPSILON);
+        shock_recovery_csv(&shocks)
+            .write_to(path)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!(
+            "wrote re-convergence summary for {} shocks (ε = {SHOCK_EPSILON}) to {path}",
+            shocks.len()
+        );
+    }
     Ok(())
 }
 
@@ -549,13 +636,18 @@ fn simulate_ensemble(
     start: State,
     stop: &StopSpec,
 ) -> Result<(), String> {
-    let ensemble = Ensemble::new(game, opts.protocol()?, start)
+    let mut ensemble = Ensemble::new(game, opts.protocol()?, start)
         .map_err(|e| e.to_string())?
         .engine(opts.engine)
         .rng_mode(opts.rng)
         .trials(opts.trials)
         .base_seed(opts.seed)
         .threads(opts.threads);
+    if let Some(sc) = &opts.scenario {
+        let schedule = Arc::clone(&sc.schedule);
+        ensemble =
+            ensemble.with_round_hook(move || Box::new(ScheduleCursor::new(Arc::clone(&schedule))));
+    }
     println!("ensemble of {} trials ({} threads, seed {}):", opts.trials, opts.threads, opts.seed);
     match opts.reduce {
         None => {
@@ -611,13 +703,18 @@ fn shard(game: &CongestionGame, opts: &Options) -> Result<(), String> {
     println!("{}", opts.repro_header());
     let start = start_state(game, opts)?;
     let stop = stop_spec(opts);
-    let ensemble = Ensemble::new(game, opts.protocol()?, start)
+    let mut ensemble = Ensemble::new(game, opts.protocol()?, start)
         .map_err(|e| e.to_string())?
         .engine(opts.engine)
         .rng_mode(opts.rng)
         .trials(opts.trials)
         .base_seed(opts.seed)
         .threads(opts.threads);
+    if let Some(sc) = &opts.scenario {
+        let schedule = Arc::clone(&sc.schedule);
+        ensemble =
+            ensemble.with_round_hook(move || Box::new(ScheduleCursor::new(Arc::clone(&schedule))));
+    }
     let range = ensemble.shard_trials(shard, num_shards);
     let header = ShardHeader {
         base_seed: opts.seed,
@@ -709,11 +806,12 @@ fn merge(args: &[String]) -> Result<(), String> {
     // merge must not open with a success-looking line.
     let banner = || {
         println!(
-            "merged {} shards ({} trials, seed {}, rng {}):",
+            "merged {} shards ({} trials, seed {}, rng {}, scenario {}):",
             headers.len(),
             first.trials,
             first.base_seed,
             first.rng_mode,
+            config_value(&first.config, "scenario").unwrap_or("none"),
         )
     };
     // Decode every shard's leaves and replay the single-process merge
@@ -837,12 +935,12 @@ mod tests {
             .unwrap();
         assert_eq!(
             o.repro_header(),
-            "# repro: rng=counter seed=7 engine=player trials=8 rounds=1000"
+            "# repro: rng=counter seed=7 engine=player trials=8 rounds=1000 scenario=none"
         );
         let o = opts(&[]).unwrap();
         assert_eq!(
             o.repro_header(),
-            "# repro: rng=xoshiro seed=42 engine=aggregate trials=1 rounds=1000"
+            "# repro: rng=xoshiro seed=42 engine=aggregate trials=1 rounds=1000 scenario=none"
         );
     }
 
@@ -853,6 +951,46 @@ mod tests {
         assert_eq!(config_value(&cfg, "reduce"), Some("mean"));
         assert_eq!(config_value(&cfg, "rounds"), Some("200"));
         assert_eq!(config_value(&cfg, "trials"), Some("96"));
+        assert_eq!(config_value(&cfg, "scenario"), Some("none"));
         assert_eq!(config_value(&cfg, "missing"), None);
+    }
+
+    /// Write a trace to a unique temp file and return its path.
+    fn temp_trace(name: &str, text: &str) -> String {
+        let path = std::env::temp_dir().join(format!("congames-cli-test-{name}.trace"));
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn scenario_flag_loads_and_digests_the_trace() {
+        let path = temp_trace("digest", "# congames-trace v1\n100,scale_latency,0,4\n");
+        let o = opts(&["--scenario", &path]).unwrap();
+        let digest = o.scenario_digest().to_string();
+        assert_eq!(digest.len(), 16, "digest is 16 hex chars: {digest}");
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+        // Every reproducibility surface carries the digest.
+        assert!(o.repro_header().ends_with(&format!("scenario={digest}")), "{}", o.repro_header());
+        assert_eq!(config_value(&o.config_digest(), "scenario"), Some(digest.as_str()));
+        // A different schedule yields a different digest (so mixed-scenario
+        // shard sets hit the config-mismatch rejection).
+        let other = temp_trace("digest-other", "# congames-trace v1\n200,scale_latency,0,4\n");
+        let o2 = opts(&["--scenario", &other]).unwrap();
+        assert_ne!(o2.scenario_digest(), digest);
+    }
+
+    #[test]
+    fn malformed_scenario_is_rejected_with_line_context() {
+        let path = temp_trace("bad", "# congames-trace v1\n100,scale_latency,0\n");
+        let err = opts(&["--scenario", &path]).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = opts(&["--scenario", "/nonexistent/x.trace"]).unwrap_err();
+        assert!(err.contains("cannot read scenario"), "{err}");
+    }
+
+    #[test]
+    fn shock_csv_requires_a_scenario() {
+        let err = opts(&["--shock-csv", "out.csv"]).unwrap_err();
+        assert!(err.contains("--shock-csv needs --scenario"), "{err}");
     }
 }

@@ -15,6 +15,7 @@
 //! | [`sampling`] | `congames-sampling` | binomial/multinomial/alias-table samplers, seed derivation |
 //! | [`wardrop`] | `congames-wardrop` | the continuous (non-atomic) limit: Wardrop equilibria, mean-field imitation flow |
 //! | [`analysis`] | `congames-analysis` | statistics, regression, tables, trial runner |
+//! | [`scenario`] | `congames-scenario` | nonstationary, trace-driven scenarios: scheduled shocks with deterministic replay |
 //!
 //! The most common items are also re-exported at the crate root.
 //!
@@ -61,6 +62,7 @@ pub use congames_lowerbounds as lowerbounds;
 pub use congames_model as model;
 pub use congames_network as network;
 pub use congames_sampling as sampling;
+pub use congames_scenario as scenario;
 pub use congames_wardrop as wardrop;
 
 pub use congames_dynamics::{

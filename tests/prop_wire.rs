@@ -76,6 +76,7 @@ fn records(xs: &[f64]) -> Vec<RoundRecord> {
             migrations: (i % 7) as u64,
             support: i % 3 + 1,
             unsatisfied_fraction: if i % 2 == 0 { Some(x.fract()) } else { None },
+            shock: i % 5 == 0,
         })
         .collect()
 }

@@ -29,7 +29,10 @@ use std::process::ExitCode;
 /// (the big-flow `ΔΦ` walk and the latency-cache rebuild that
 /// `Latency::eval_range_into`/`sum_range` accelerate), and the RNG
 /// backends — raw word throughput of both generators plus a full round
-/// under each, so counter-mode overhead can't creep past the kernels.
+/// under each, so counter-mode overhead can't creep past the kernels —
+/// and the scenario hook: a hook-free run vs. an armed-but-idle schedule,
+/// so the per-round `next_fire` poll every shocked sweep pays on every
+/// non-shock round stays in the noise.
 const DEFAULT_PINS: &[&str] = &[
     "round/aggregate/n10000_m64",
     "round/aggregate/n1000000_m8",
@@ -44,6 +47,8 @@ const DEFAULT_PINS: &[&str] = &[
     "rng/raw/counter",
     "rng/round/xoshiro",
     "rng/round/counter",
+    "scenario/shock_reconverge/none",
+    "scenario/shock_reconverge/armed_idle",
 ];
 
 fn main() -> ExitCode {
@@ -250,7 +255,9 @@ mod tests {
     {"id": "rng/raw/xoshiro", "ns_per_iter": 1.2, "iters": 40000000},
     {"id": "rng/raw/counter", "ns_per_iter": 13.5, "iters": 3600000},
     {"id": "rng/round/xoshiro", "ns_per_iter": 150.0, "iters": 340000},
-    {"id": "rng/round/counter", "ns_per_iter": 152.0, "iters": 340000}
+    {"id": "rng/round/counter", "ns_per_iter": 152.0, "iters": 340000},
+    {"id": "scenario/shock_reconverge/none", "ns_per_iter": 21355.7, "iters": 4700},
+    {"id": "scenario/shock_reconverge/armed_idle", "ns_per_iter": 21828.3, "iters": 4600}
   ]
 }
 "#;
@@ -258,7 +265,7 @@ mod tests {
     #[test]
     fn parses_the_report_shape() {
         let parsed = parse_report(SAMPLE).unwrap();
-        assert_eq!(parsed.len(), 12);
+        assert_eq!(parsed.len(), 14);
         assert_eq!(parsed[0].0, "round/aggregate/n10000_m64");
         assert_eq!(parsed[0].1, 368.4);
         assert_eq!(parsed[2].0, "aggregate/near_converged/S1024_support8");
@@ -352,7 +359,8 @@ mod tests {
                     || pin.starts_with("ensemble/")
                     || pin.starts_with("potential/")
                     || pin.starts_with("cache_rebuild/")
-                    || pin.starts_with("rng/"),
+                    || pin.starts_with("rng/")
+                    || pin.starts_with("scenario/"),
                 "unexpected pin group: {pin}"
             );
         }
