@@ -45,8 +45,15 @@ pub struct ShockSummary {
     /// observation window.
     pub recovery_rounds: Option<u64>,
     /// Peak absolute deviation `max |Φ − Φ_pre|` over the observation
-    /// window (shock round inclusive).
+    /// window (shock round inclusive), taken over the records with finite
+    /// potential. `NaN` when no finite record was observed (including the
+    /// shock-at-round-0 case, which has no reference to deviate from).
     pub overshoot: f64,
+    /// Records in the observation window whose potential was non-finite
+    /// and therefore excluded from `recovery_rounds`/`overshoot`. One bad
+    /// sample must not clobber an otherwise measurable recovery, but it
+    /// must not vanish either.
+    pub skipped_records: u64,
 }
 
 /// Compute one [`ShockSummary`] per shocked record in `records`.
@@ -70,15 +77,35 @@ pub fn shock_recovery(records: &[RoundRecord], epsilon: f64) -> Vec<ShockSummary
         let band = epsilon * pre_potential.abs();
         let mut recovery_rounds = None;
         let mut overshoot: f64 = 0.0;
-        for r in &records[i..window_end] {
-            let dev = (r.potential - pre_potential).abs();
-            if dev.is_nan() {
-                overshoot = f64::NAN;
-                break;
+        let mut skipped_records = 0u64;
+        let mut observed = 0u64;
+        if pre_potential.is_nan() {
+            // No reference to measure deviation or recovery against (shock
+            // at the first record, or a non-finite pre-shock potential);
+            // keep the documented `NaN`/`None` contract for the window.
+            overshoot = f64::NAN;
+        } else {
+            for r in &records[i..window_end] {
+                // One non-finite sample must not abort the window: skip it
+                // (tallied below) so the finite overshoot accumulated so
+                // far survives and later in-band records still count as
+                // recovery.
+                if !r.potential.is_finite() {
+                    skipped_records += 1;
+                    continue;
+                }
+                observed += 1;
+                let dev = (r.potential - pre_potential).abs();
+                overshoot = overshoot.max(dev);
+                if recovery_rounds.is_none() && dev <= band {
+                    recovery_rounds = Some(r.round - records[i].round);
+                }
             }
-            overshoot = overshoot.max(dev);
-            if recovery_rounds.is_none() && dev <= band {
-                recovery_rounds = Some(r.round - records[i].round);
+            if observed == 0 {
+                // Every record was skipped: an overshoot of 0.0 would
+                // claim the potential never deviated, which was not
+                // observed.
+                overshoot = f64::NAN;
             }
         }
         out.push(ShockSummary {
@@ -87,13 +114,14 @@ pub fn shock_recovery(records: &[RoundRecord], epsilon: f64) -> Vec<ShockSummary
             shock_potential: records[i].potential,
             recovery_rounds,
             overshoot,
+            skipped_records,
         });
     }
     out
 }
 
 /// Render shock summaries as CSV with columns
-/// `shock_round,pre_potential,shock_potential,recovery_rounds,overshoot`.
+/// `shock_round,pre_potential,shock_potential,recovery_rounds,overshoot,skipped_records`.
 ///
 /// An unrecovered shock writes an empty `recovery_rounds` cell, so the
 /// column stays numerically parseable where present.
@@ -105,7 +133,7 @@ pub fn shock_recovery(records: &[RoundRecord], epsilon: f64) -> Vec<ShockSummary
 /// let csv = shock_recovery_csv(&[]).to_csv();
 /// assert_eq!(
 ///     csv,
-///     "shock_round,pre_potential,shock_potential,recovery_rounds,overshoot\n"
+///     "shock_round,pre_potential,shock_potential,recovery_rounds,overshoot,skipped_records\n"
 /// );
 /// ```
 pub fn shock_recovery_csv(summaries: &[ShockSummary]) -> CsvWriter {
@@ -115,6 +143,7 @@ pub fn shock_recovery_csv(summaries: &[ShockSummary]) -> CsvWriter {
         "shock_potential",
         "recovery_rounds",
         "overshoot",
+        "skipped_records",
     ]);
     for s in summaries {
         csv.row_strings(&[
@@ -123,6 +152,7 @@ pub fn shock_recovery_csv(summaries: &[ShockSummary]) -> CsvWriter {
             format!("{}", s.shock_potential),
             s.recovery_rounds.map(|r| r.to_string()).unwrap_or_default(),
             format!("{}", s.overshoot),
+            s.skipped_records.to_string(),
         ]);
     }
     csv
@@ -199,6 +229,51 @@ mod tests {
         assert!(s[0].pre_potential.is_nan());
         assert_eq!(s[0].recovery_rounds, None);
         assert!(s[0].overshoot.is_nan());
+        assert_eq!(s[0].skipped_records, 0);
+    }
+
+    #[test]
+    fn nan_mid_window_is_skipped_and_tallied() {
+        // A single NaN record inside the window must not clobber the
+        // finite overshoot accumulated around it.
+        let records = vec![
+            rec(0, 100.0, false),
+            rec(1, 180.0, true),
+            rec(2, f64::NAN, false),
+            rec(3, 150.0, false),
+        ];
+        let s = shock_recovery(&records, 0.05);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].overshoot, 80.0);
+        assert_eq!(s[0].recovery_rounds, None);
+        assert_eq!(s[0].skipped_records, 1);
+    }
+
+    #[test]
+    fn recovery_after_a_nan_record_is_still_observed() {
+        // The potential re-enters the band *after* a NaN sample; the old
+        // early-abort made this recovery unobservable.
+        let records = vec![
+            rec(0, 100.0, false),
+            rec(10, 180.0, true),
+            rec(20, f64::INFINITY, false),
+            rec(30, 102.0, false),
+        ];
+        let s = shock_recovery(&records, 0.05);
+        assert_eq!(s[0].recovery_rounds, Some(20));
+        assert_eq!(s[0].overshoot, 80.0);
+        assert_eq!(s[0].skipped_records, 1);
+    }
+
+    #[test]
+    fn all_nonfinite_window_reports_nan_overshoot() {
+        // With no finite record observed, an overshoot of 0.0 would claim
+        // the potential never left the band; report NaN instead.
+        let records = vec![rec(0, 100.0, false), rec(1, f64::NAN, true)];
+        let s = shock_recovery(&records, 0.05);
+        assert!(s[0].overshoot.is_nan());
+        assert_eq!(s[0].recovery_rounds, None);
+        assert_eq!(s[0].skipped_records, 1);
     }
 
     #[test]
@@ -217,6 +292,7 @@ mod tests {
                 shock_potential: 180.0,
                 recovery_rounds: Some(12),
                 overshoot: 80.0,
+                skipped_records: 0,
             },
             ShockSummary {
                 round: 50,
@@ -224,11 +300,12 @@ mod tests {
                 shock_potential: 400.0,
                 recovery_rounds: None,
                 overshoot: 299.0,
+                skipped_records: 3,
             },
         ];
         let csv = shock_recovery_csv(&summaries).to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[1], "10,100,180,12,80");
-        assert_eq!(lines[2], "50,101,400,,299");
+        assert_eq!(lines[1], "10,100,180,12,80,0");
+        assert_eq!(lines[2], "50,101,400,,299,3");
     }
 }

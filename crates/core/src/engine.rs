@@ -54,16 +54,16 @@ pub struct RoundStats {
 /// Reused across rounds so the aggregate kernel performs no steady-state
 /// heap allocations.
 #[derive(Debug, Default)]
-struct PairBuffer {
-    origins: Vec<StrategyId>,
+pub(crate) struct PairBuffer {
+    pub(crate) origins: Vec<StrategyId>,
     /// `origins.len() + 1` offsets into `pair_to`/`pair_prob`.
-    offsets: Vec<usize>,
-    pair_to: Vec<StrategyId>,
-    pair_prob: Vec<f64>,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) pair_to: Vec<StrategyId>,
+    pub(crate) pair_prob: Vec<f64>,
 }
 
 impl PairBuffer {
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.origins.clear();
         self.offsets.clear();
         self.offsets.push(0);
@@ -73,7 +73,7 @@ impl PairBuffer {
 
     /// Append one pair; `for_each_pair` visits origins contiguously, so a
     /// new origin group starts exactly when `from` changes.
-    fn push(&mut self, from: StrategyId, to: StrategyId, prob: f64) {
+    pub(crate) fn push(&mut self, from: StrategyId, to: StrategyId, prob: f64) {
         if self.origins.last() != Some(&from) {
             self.offsets.push(self.pair_to.len());
             self.origins.push(from);
@@ -1167,7 +1167,7 @@ impl<'g> Simulation<'g> {
     }
 }
 
-fn imitation_mu(
+pub(crate) fn imitation_mu(
     p: &crate::protocol::ImitationProtocol,
     params: &GameParams,
     l_from: f64,
@@ -1179,7 +1179,7 @@ fn imitation_mu(
     (p.lambda() / p.damping_factor(params) * gain / l_from).clamp(0.0, 1.0)
 }
 
-fn exploration_mu(
+pub(crate) fn exploration_mu(
     p: &crate::protocol::ExplorationProtocol,
     params: &GameParams,
     l_from: f64,

@@ -34,6 +34,7 @@ use std::sync::{Condvar, Mutex, PoisonError};
 use crate::engine::{EngineKind, Simulation};
 use crate::error::DynamicsError;
 use crate::hook::RoundHook;
+use crate::lanes::{LaneKernel, LANE_WIDTHS};
 use crate::observe::Observer;
 use crate::protocol::Protocol;
 use crate::reduce::Reducer;
@@ -165,6 +166,9 @@ pub struct Ensemble<'g> {
     /// the same event schedule against its own simulation. `None` for
     /// stationary ensembles.
     round_hook: Option<std::sync::Arc<dyn Fn() -> Box<dyn RoundHook> + Send + Sync>>,
+    /// When set, the reduced paths run trials through the replica-major
+    /// [`LaneKernel`] in lockstep groups of at most this width.
+    lane_width: Option<usize>,
 }
 
 impl std::fmt::Debug for Ensemble<'_> {
@@ -180,6 +184,7 @@ impl std::fmt::Debug for Ensemble<'_> {
             .field("threads", &self.threads)
             .field("rng_mode", &self.rng_mode)
             .field("round_hook", &self.round_hook.as_ref().map(|_| "<factory>"))
+            .field("lane_width", &self.lane_width)
             .finish()
     }
 }
@@ -212,6 +217,7 @@ impl<'g> Ensemble<'g> {
             threads: Self::default_threads(),
             rng_mode: RngMode::Xoshiro,
             round_hook: None,
+            lane_width: None,
         })
     }
 
@@ -277,6 +283,104 @@ impl<'g> Ensemble<'g> {
         self
     }
 
+    /// Run the reduced paths through the replica-major [`LaneKernel`]:
+    /// trials are grouped into lockstep lane blocks of at most `width`
+    /// replicas (one of [`LANE_WIDTHS`]), aligned with the
+    /// [`REDUCE_BLOCK`]-trial reduction blocks (widths ≤ 32 slice a block,
+    /// width 64 pairs two). Counter mode only: each lane's trajectory is
+    /// bit-identical to the scalar counter-mode run of its trial, so
+    /// reduced results — and the thread-count and shard/merge identities —
+    /// are **byte-identical with the lane kernel on or off**; only
+    /// wall-clock changes. Validated when a run starts (see
+    /// [`Ensemble::run_reduced`] for the accepted configurations).
+    pub fn lane_width(mut self, width: usize) -> Self {
+        self.lane_width = Some(width);
+        self
+    }
+
+    /// The configured lane width, if any.
+    pub fn get_lane_width(&self) -> Option<usize> {
+        self.lane_width
+    }
+
+    /// Check a [`Ensemble::lane_width`] configuration: the width must be
+    /// one of [`LANE_WIDTHS`], the RNG backend must be counter mode (lane
+    /// bit-identity is a property of addressed draws), the engine must be
+    /// the aggregate kernel, and no round hook may be attached (scenario
+    /// schedules mutate the game, which lanes share).
+    fn validate_lane_config(&self, width: usize) -> Result<(), DynamicsError> {
+        if !LANE_WIDTHS.contains(&width) {
+            return Err(DynamicsError::InvalidParameter {
+                name: "lane_width",
+                message: "lane width must be one of 8, 16, 32, 64",
+            });
+        }
+        if self.rng_mode != RngMode::Counter {
+            return Err(DynamicsError::InvalidParameter {
+                name: "lane_width",
+                message: "the lane kernel requires counter-mode RNG (rng_mode(RngMode::Counter))",
+            });
+        }
+        if self.engine != EngineKind::Aggregate {
+            return Err(DynamicsError::InvalidParameter {
+                name: "lane_width",
+                message: "the lane kernel supports only the aggregate engine",
+            });
+        }
+        if self.round_hook.is_some() {
+            return Err(DynamicsError::InvalidParameter {
+                name: "lane_width",
+                message: "the lane kernel does not support round hooks (nonstationary scenarios)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Run trials `start..end` through lockstep lane groups of at most
+    /// `width`, feeding each finished trial's output to `absorb` in trial
+    /// order. Grouping is pure scheduling — per-trial outputs are
+    /// bit-identical for any chunking — so callers may anchor groups
+    /// wherever their block coverage starts. Errors carry the failing
+    /// global trial index; `abort` (when given) stops the group loop
+    /// early after a concurrent failure.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lane_trials<O: Observer>(
+        &self,
+        start: usize,
+        end: usize,
+        width: usize,
+        stop: &StopSpec,
+        observer_factory: &(impl Fn(usize) -> O + Sync),
+        abort: Option<&AtomicBool>,
+        mut absorb: impl FnMut(usize, O::Output),
+    ) -> Result<(), (usize, DynamicsError)> {
+        let mut t = start;
+        while t < end {
+            if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
+                return Ok(());
+            }
+            let lanes = width.min(end - t);
+            let mut kernel = LaneKernel::new(
+                self.game,
+                self.protocol,
+                &self.start,
+                self.base_seed,
+                t as u64,
+                lanes,
+            )
+            .map_err(|e| (t, e))?
+            .with_recording(self.record);
+            let observers: Vec<O> = (0..lanes).map(|l| observer_factory(t + l)).collect();
+            let outputs =
+                kernel.run_observed(stop, observers).map_err(|(lane, e)| (t + lane, e))?;
+            for (l, out) in outputs.into_iter().enumerate() {
+                absorb(t + l, out);
+            }
+            t += lanes;
+        }
+        Ok(())
+    }
+
     /// One replica simulation, with the engine, recording, and (if any)
     /// scenario hook attached — the single constructor all run paths use.
     fn make_sim(&self) -> Result<Simulation<'g>, DynamicsError> {
@@ -331,6 +435,13 @@ impl<'g> Ensemble<'g> {
         stop: &StopSpec,
         f: impl Fn(&Simulation<'_>, RunOutcome) -> T + Sync,
     ) -> Result<Vec<T>, DynamicsError> {
+        if self.lane_width.is_some() {
+            return Err(DynamicsError::InvalidParameter {
+                name: "lane_width",
+                message: "lane groups stream through run_reduced/run_reduced_shard; \
+                          run/run_with are scalar-only",
+            });
+        }
         let results = run_indexed(self.trials, self.threads, |trial| {
             let mut sim = self.make_sim()?;
             let mut rng = self.trial_stream(trial);
@@ -430,25 +541,64 @@ impl<'g> Ensemble<'g> {
         if trials == 0 {
             return Ok(acc);
         }
+        if let Some(width) = self.lane_width {
+            self.validate_lane_config(width)?;
+        }
         let blocks = trials.div_ceil(REDUCE_BLOCK);
         let block_range = |b: usize| b * REDUCE_BLOCK..((b + 1) * REDUCE_BLOCK).min(trials);
-        let threads = self.threads.min(blocks);
+        // The scheduling unit: one reduce block, except that a 64-lane
+        // group spans two consecutive blocks (one lockstep run fills both
+        // partials). The unit split is scheduling only — per-trial outputs,
+        // and therefore the block partials and the merge tree, are
+        // bit-identical however trials are grouped into lanes.
+        let unit_blocks = self.lane_width.map_or(1, |w| w.div_ceil(REDUCE_BLOCK));
+        let units = blocks.div_ceil(unit_blocks);
+        let threads = self.threads.min(units);
         if threads <= 1 {
             // Sequential path: same block structure, same merge order.
-            for block in 0..blocks {
-                let mut partial = acc.identity();
-                for trial in block_range(block) {
-                    partial.absorb(self.reduce_one_trial(trial, stop, &observer_factory)?);
+            for unit in 0..units {
+                let b0 = unit * unit_blocks;
+                let b1 = ((unit + 1) * unit_blocks).min(blocks);
+                let mut partials: Vec<R> = (b0..b1).map(|_| acc.identity()).collect();
+                match self.lane_width {
+                    None => {
+                        for block in b0..b1 {
+                            for trial in block_range(block) {
+                                partials[block - b0].absorb(self.reduce_one_trial(
+                                    trial,
+                                    stop,
+                                    &observer_factory,
+                                )?);
+                            }
+                        }
+                    }
+                    Some(width) => {
+                        let t0 = b0 * REDUCE_BLOCK;
+                        let t1 = (b1 * REDUCE_BLOCK).min(trials);
+                        self.run_lane_trials(
+                            t0,
+                            t1,
+                            width,
+                            stop,
+                            &observer_factory,
+                            None,
+                            |trial, out| partials[trial / REDUCE_BLOCK - b0].absorb(out),
+                        )
+                        .map_err(|(_, e)| e)?;
+                    }
                 }
-                acc.merge(partial);
+                for partial in partials {
+                    acc.merge(partial);
+                }
             }
             return Ok(acc);
         }
 
         type Panic = Box<dyn std::any::Any + Send + 'static>;
         struct MergeState<R> {
-            /// Next block index to hand out.
-            next_block: usize,
+            /// Next scheduling unit to hand out (a unit is `unit_blocks`
+            /// consecutive reduce blocks; see above).
+            next_unit: usize,
             /// Blocks merged into `acc` so far (block `merged` is the next
             /// one the in-order merge is waiting for).
             merged: usize,
@@ -462,7 +612,7 @@ impl<'g> Ensemble<'g> {
         }
         let prototype = acc.identity();
         let state = Mutex::new(MergeState {
-            next_block: 0,
+            next_unit: 0,
             merged: 0,
             pending: BTreeMap::new(),
             acc: Some(acc),
@@ -475,37 +625,41 @@ impl<'g> Ensemble<'g> {
         // surfaces its failure promptly instead of simulating every
         // remaining trial first — mirroring `run_indexed`'s abort flag.
         let abort = AtomicBool::new(false);
-        // Reorder window: a worker only claims block `b` once block
-        // `b − window` has been merged, bounding `pending` (and therefore
-        // live partials) to `O(threads)` however uneven the block
-        // durations are.
-        let window = threads * 2;
+        // Reorder window: a worker only claims a unit whose first block is
+        // `b` once block `b − window` has been merged, bounding `pending`
+        // (and therefore live partials) to `O(threads)` however uneven the
+        // block durations are.
+        let window = threads * 2 * unit_blocks;
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let block = {
+                    let unit = {
                         let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
                         loop {
-                            if st.next_block >= blocks || abort.load(Ordering::Relaxed) {
+                            if st.next_unit >= units || abort.load(Ordering::Relaxed) {
                                 return;
                             }
-                            if st.next_block - st.merged < window {
+                            if st.next_unit * unit_blocks - st.merged < window {
                                 break;
                             }
                             st = cv.wait(st).unwrap_or_else(PoisonError::into_inner);
                         }
-                        st.next_block += 1;
-                        st.next_block - 1
+                        st.next_unit += 1;
+                        st.next_unit - 1
                     };
+                    let b0 = unit * unit_blocks;
+                    let b1 = ((unit + 1) * unit_blocks).min(blocks);
                     // Even `identity()` runs under a catch: a worker that
-                    // dies without parking its block would stall the
+                    // dies without parking its blocks would stall the
                     // in-order pipeline, and window waiters would sleep
                     // forever.
-                    let partial = catch_unwind(AssertUnwindSafe(|| prototype.identity()));
-                    let mut partial = match partial {
+                    let partials = catch_unwind(AssertUnwindSafe(|| {
+                        (b0..b1).map(|_| prototype.identity()).collect::<Vec<R>>()
+                    }));
+                    let mut partials = match partials {
                         Ok(p) => p,
                         Err(payload) => {
-                            let trial = block * REDUCE_BLOCK;
+                            let trial = b0 * REDUCE_BLOCK;
                             let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
                             if st.panic.as_ref().map_or(true, |(t, _)| trial < *t) {
                                 st.panic = Some((trial, payload));
@@ -517,28 +671,63 @@ impl<'g> Ensemble<'g> {
                     };
                     let mut error: Option<(usize, DynamicsError)> = None;
                     let mut panic: Option<(usize, Panic)> = None;
-                    for trial in block_range(block) {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        // The catch covers the reducer's `absorb` too: a
-                        // panicking accumulator (e.g. a user-written reducer
-                        // with an internal assertion) must not kill the
-                        // worker, or the in-order merge pipeline would wait
-                        // on its block forever.
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            self.reduce_one_trial(trial, stop, &observer_factory)
-                                .map(|item| partial.absorb(item))
-                        }));
-                        match result {
-                            Ok(Ok(())) => {}
-                            Ok(Err(e)) => {
-                                error = Some((trial, e));
-                                break;
+                    match self.lane_width {
+                        None => {
+                            'blocks: for block in b0..b1 {
+                                for trial in block_range(block) {
+                                    if abort.load(Ordering::Relaxed) {
+                                        break 'blocks;
+                                    }
+                                    // The catch covers the reducer's `absorb`
+                                    // too: a panicking accumulator (e.g. a
+                                    // user-written reducer with an internal
+                                    // assertion) must not kill the worker, or
+                                    // the in-order merge pipeline would wait
+                                    // on its block forever.
+                                    let result = catch_unwind(AssertUnwindSafe(|| {
+                                        self.reduce_one_trial(trial, stop, &observer_factory)
+                                            .map(|item| partials[block - b0].absorb(item))
+                                    }));
+                                    match result {
+                                        Ok(Ok(())) => {}
+                                        Ok(Err(e)) => {
+                                            error = Some((trial, e));
+                                            break 'blocks;
+                                        }
+                                        Err(payload) => {
+                                            panic = Some((trial, payload));
+                                            break 'blocks;
+                                        }
+                                    }
+                                }
                             }
-                            Err(payload) => {
-                                panic = Some((trial, payload));
-                                break;
+                        }
+                        Some(width) => {
+                            let t0 = b0 * REDUCE_BLOCK;
+                            let t1 = (b1 * REDUCE_BLOCK).min(trials);
+                            // One catch around the whole lane group: the
+                            // kernel steps all lanes in lockstep, so a panic
+                            // cannot be pinned to a single trial — attribute
+                            // it to the group's first trial (the payload is
+                            // what propagates; the index only picks the
+                            // winner when several workers fail at once).
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                self.run_lane_trials(
+                                    t0,
+                                    t1,
+                                    width,
+                                    stop,
+                                    &observer_factory,
+                                    Some(&abort),
+                                    |trial, out| {
+                                        partials[trial / REDUCE_BLOCK - b0].absorb(out);
+                                    },
+                                )
+                            }));
+                            match result {
+                                Ok(Ok(())) => {}
+                                Ok(Err((trial, e))) => error = Some((trial, e)),
+                                Err(payload) => panic = Some((t0, payload)),
                             }
                         }
                     }
@@ -554,11 +743,13 @@ impl<'g> Ensemble<'g> {
                             st.panic = Some((trial, p));
                         }
                     }
-                    // Park the partial (possibly incomplete on error — the
-                    // reduction is discarded in that case, but parking it
+                    // Park the partials (possibly incomplete on error — the
+                    // reduction is discarded in that case, but parking them
                     // keeps the in-order pipeline advancing), then drain
                     // every partial whose merge slot has come up.
-                    st.pending.insert(block, partial);
+                    for (i, partial) in partials.into_iter().enumerate() {
+                        st.pending.insert(b0 + i, partial);
+                    }
                     let mut advanced = false;
                     loop {
                         let slot = st.merged;
@@ -662,11 +853,51 @@ impl<'g> Ensemble<'g> {
     {
         let range = self.shard_trials(shard, num_shards);
         if range.is_empty() {
+            if let Some(width) = self.lane_width {
+                self.validate_lane_config(width)?;
+            }
             return Ok(Vec::new());
         }
         debug_assert_eq!(range.start % REDUCE_BLOCK, 0, "shard ranges are block-aligned");
         let lo_block = range.start / REDUCE_BLOCK;
         let shard_blocks = (range.end - range.start).div_ceil(REDUCE_BLOCK);
+        if let Some(width) = self.lane_width {
+            self.validate_lane_config(width)?;
+            // Lane groups anchor at shard-local block boundaries. That is
+            // safe without any global alignment: the counter addressing
+            // makes every trial's output bit-identical regardless of which
+            // lane group runs it, so only the per-block absorption order
+            // matters — and `run_lane_trials` delivers outputs in trial
+            // order within each group.
+            let unit_blocks = width.div_ceil(REDUCE_BLOCK);
+            let units = shard_blocks.div_ceil(unit_blocks);
+            let results: Vec<Result<Vec<R>, DynamicsError>> =
+                run_indexed(units, self.threads.min(units), |u| {
+                    let b0 = lo_block + u * unit_blocks;
+                    let b1 = (b0 + unit_blocks).min(lo_block + shard_blocks);
+                    let mut partials: Vec<R> = (b0..b1).map(|_| reducer.identity()).collect();
+                    let t0 = b0 * REDUCE_BLOCK;
+                    let t1 = (b1 * REDUCE_BLOCK).min(self.trials);
+                    self.run_lane_trials(
+                        t0,
+                        t1,
+                        width,
+                        stop,
+                        &observer_factory,
+                        None,
+                        |trial, out| {
+                            partials[trial / REDUCE_BLOCK - b0].absorb(out);
+                        },
+                    )
+                    .map_err(|(_, e)| e)?;
+                    Ok(partials)
+                });
+            let mut leaves = Vec::with_capacity(shard_blocks);
+            for unit in results {
+                leaves.extend(unit?);
+            }
+            return Ok(leaves);
+        }
         let results = run_indexed(shard_blocks, self.threads.min(shard_blocks), |b| {
             let block = lo_block + b;
             let block_range = block * REDUCE_BLOCK..((block + 1) * REDUCE_BLOCK).min(self.trials);
@@ -940,6 +1171,133 @@ mod tests {
             .unwrap()
             .into_inner();
         assert_eq!(stats.count() + stats.non_finite(), 40);
+    }
+
+    #[test]
+    fn lane_reduced_is_bit_identical_to_scalar_for_every_width_and_thread_count() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::{MapItem, ScalarStats};
+        use crate::stopping::RunSummary;
+        let game = two_links(120);
+        let start = State::from_counts(&game, vec![90, 30]).unwrap();
+        let stop = StopSpec::max_rounds(20);
+        // 70 trials = 3 blocks: W=64 exercises a two-block unit plus a
+        // narrow tail group, W=8..32 exercise sub-block groups.
+        let run = |lanes: Option<usize>, threads: usize| {
+            let mut e =
+                Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                    .unwrap()
+                    .trials(70)
+                    .base_seed(5)
+                    .threads(threads)
+                    .rng_mode(RngMode::Counter);
+            if let Some(w) = lanes {
+                e = e.lane_width(w);
+            }
+            e.run_reduced(
+                &stop,
+                |_trial| FinalSummary,
+                MapItem::new(|s: RunSummary| s.potential, ScalarStats::new()),
+            )
+            .unwrap()
+            .into_inner()
+        };
+        let scalar = run(None, 1);
+        for width in LANE_WIDTHS {
+            for threads in [1, 2, 8] {
+                assert_eq!(
+                    scalar,
+                    run(Some(width), threads),
+                    "lanes={width} threads={threads} changed the reduction bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_sharded_leaves_merge_bit_identical_to_scalar_run_reduced() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::{merge_partials, MapItem, ScalarStats};
+        use crate::stopping::RunSummary;
+        let game = two_links(120);
+        let start = State::from_counts(&game, vec![90, 30]).unwrap();
+        let stop = StopSpec::max_rounds(20);
+        let ensemble = |lanes: Option<usize>| {
+            let mut e =
+                Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                    .unwrap()
+                    .trials(70)
+                    .base_seed(5)
+                    .threads(2)
+                    .rng_mode(RngMode::Counter);
+            if let Some(w) = lanes {
+                e = e.lane_width(w);
+            }
+            e
+        };
+        let reducer = || MapItem::new(|s: RunSummary| s.potential, ScalarStats::new());
+        let single = ensemble(None)
+            .run_reduced(&stop, |_trial| FinalSummary, reducer())
+            .unwrap()
+            .into_inner();
+        // W=64 lane groups re-anchor at each shard's first block; the
+        // leaves must still be the single-process leaves bit for bit.
+        for num_shards in [1usize, 2, 3, 5] {
+            let mut leaves = Vec::new();
+            for shard in 0..num_shards {
+                leaves.extend(
+                    ensemble(Some(64))
+                        .run_reduced_shard(
+                            shard,
+                            num_shards,
+                            &stop,
+                            |_trial| FinalSummary,
+                            &reducer(),
+                        )
+                        .unwrap(),
+                );
+            }
+            let merged = merge_partials(reducer(), leaves).into_inner();
+            assert_eq!(merged, single, "{num_shards} lane shards changed the reduction bits");
+        }
+    }
+
+    #[test]
+    fn lane_width_is_validated() {
+        use crate::observe::FinalSummary;
+        use crate::reduce::ConvergenceHistogram;
+        let game = two_links(20);
+        let start = State::from_counts(&game, vec![15, 5]).unwrap();
+        let stop = StopSpec::max_rounds(5);
+        let base = || {
+            Ensemble::new(&game, ImitationProtocol::paper_default().into(), start.clone())
+                .unwrap()
+                .trials(8)
+        };
+        // Width must be one of LANE_WIDTHS.
+        let err = base()
+            .rng_mode(RngMode::Counter)
+            .lane_width(12)
+            .run_reduced(&stop, |_t| FinalSummary, ConvergenceHistogram::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("8, 16, 32, 64"), "got: {err}");
+        // Counter mode is required (xoshiro streams are draw-order serial).
+        let err = base()
+            .rng_mode(RngMode::Xoshiro)
+            .lane_width(8)
+            .run_reduced(&stop, |_t| FinalSummary, ConvergenceHistogram::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("counter-mode RNG"), "got: {err}");
+        // Sharded entry point validates too, even for an empty shard.
+        let err = base()
+            .rng_mode(RngMode::Xoshiro)
+            .lane_width(8)
+            .run_reduced_shard(0, 1, &stop, |_t| FinalSummary, &ConvergenceHistogram::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("counter-mode RNG"), "got: {err}");
+        // The materializing path is scalar-only.
+        let err = base().rng_mode(RngMode::Counter).lane_width(8).run(&stop).unwrap_err();
+        assert!(err.to_string().contains("scalar-only"), "got: {err}");
     }
 
     #[test]

@@ -549,11 +549,26 @@ impl QuantileSketch {
 
     /// The `q`-quantile for `q ∈ [0, 1]` (`NaN` when empty), within
     /// relative error [`alpha`](QuantileSketch::alpha) of the exact sample
-    /// quantile; the result is clamped into `[min, max]`.
+    /// quantile; the result is clamped into `[min, max]`. The boundary
+    /// quantiles are exact: `quantile(0.0)` is [`min`](QuantileSketch::min)
+    /// and `quantile(1.0)` is [`max`](QuantileSketch::max) — the envelope
+    /// tracks them precisely, so no bucket representative is ever returned
+    /// for the extremes.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.count == 0 {
             return f64::NAN;
+        }
+        // Serve the extremes from the exact envelope: rank 0 walks into
+        // the minimum's *bucket* (a representative up to α off, and for a
+        // lone negative bucket the clamp may even answer with max), and
+        // the top rank can fall through to `max()` only when the largest
+        // sample is positive.
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
         }
         let rank = (q * (self.count - 1) as f64).floor() as u64;
         let mut seen = 0u64;
@@ -1156,6 +1171,52 @@ mod tests {
         assert!(s.quantile(0.0) <= -99.0);
         assert_eq!(s.median().abs(), 0.0);
         assert!(s.quantile(1.0) >= 99.0);
+    }
+
+    /// The boundary quantiles are exact, not bucket representatives: the
+    /// envelope tracks min/max precisely, so `quantile(0.0)`/`quantile(1.0)`
+    /// must return them bit for bit — for any sign mix.
+    #[test]
+    fn quantile_sketch_boundaries_are_exact_min_and_max() {
+        let mut mixed = QuantileSketch::default();
+        for x in [-37.5, -2.25, 0.0, 1.125, 96.0625] {
+            mixed.push(x);
+        }
+        assert_eq!(mixed.quantile(0.0), -37.5);
+        assert_eq!(mixed.quantile(1.0), 96.0625);
+        // A single sample: both boundaries are that sample exactly.
+        let mut one = QuantileSketch::default();
+        one.push(-3.75);
+        assert_eq!((one.quantile(0.0), one.quantile(1.0)), (-3.75, -3.75));
+    }
+
+    /// All-negative samples: the top quantile must be the (negative)
+    /// maximum, not a positive-bucket fallthrough, and the bottom must be
+    /// the exact minimum rather than its bucket's representative.
+    #[test]
+    fn quantile_sketch_all_negative_samples() {
+        let mut s = QuantileSketch::default();
+        for x in [-80.0, -40.0, -20.0, -10.0] {
+            s.push(x);
+        }
+        assert_eq!(s.quantile(0.0), -80.0);
+        assert_eq!(s.quantile(1.0), -10.0);
+        let med = s.median();
+        assert!(med < 0.0, "median of all-negative samples is negative, got {med}");
+        assert!((-45.0..=-35.0).contains(&med), "median near -40, got {med}");
+    }
+
+    /// All-zero samples: every quantile is exactly 0.0 (the zero bucket is
+    /// exact and the envelope is [0, 0]).
+    #[test]
+    fn quantile_sketch_all_zero_samples() {
+        let mut s = QuantileSketch::default();
+        for _ in 0..5 {
+            s.push(0.0);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(s.quantile(q), 0.0, "q={q}");
+        }
     }
 
     /// One NaN latency in a huge sweep must not abort the run (the sketch

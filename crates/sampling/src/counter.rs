@@ -39,7 +39,20 @@
 //! counter blocks (or distinct words of one block), so the stream a site
 //! consumes does not depend on how many draws any *other* site made — the
 //! property that makes counter mode bit-identical across thread counts,
-//! shard counts, and (eventually) lane widths by construction.
+//! shard counts, and lane widths by construction.
+//!
+//! # Lane addressing
+//!
+//! Replica-major lane kernels run `W` trials of the same game in lockstep
+//! (lane = trial; see `congames_dynamics::LaneKernel`). Each lane owns one
+//! [`CounterRng`] from [`lane_streams`], positioned per round/site exactly
+//! like the scalar engine positions its single stream. Because the address
+//! tuple fully determines every variate, the interleaving the lane kernel
+//! introduces — lane 0 draws site 3, then lane 1 draws site 3, … — consumes
+//! *the same words* the scalar runs would have, so each lane's trajectory
+//! is bit-identical to the scalar counter-mode run of its trial. No
+//! cross-lane draw helper is needed: per-lane streams + pure addressing
+//! ([`CounterRng::at`] is the random-access form) are the whole mechanism.
 
 use crate::seeds::split_seed;
 use rand::RngCore;
@@ -134,11 +147,19 @@ impl CounterRng {
 
     /// The variate at an explicit `(trial, round, site, index)` address —
     /// the pure function the sequential interface walks. Exposed so tests
-    /// (and future lane kernels) can pin random access against it.
+    /// (and lane kernels) can pin random access against it.
     pub fn at(base_seed: u64, trial: u64, round: u64, site: u64, index: u64) -> u64 {
         let key = [split_seed(base_seed, KEY_STREAM_0), split_seed(base_seed, KEY_STREAM_1)];
         philox4x64(key, [index >> 2, site, round, trial])[(index & 3) as usize]
     }
+}
+
+/// One [`CounterRng`] per lane of a replica-major lane block: lane `l`
+/// draws the stream of trial `first_trial + l`, so a kernel stepping the
+/// lanes in lockstep consumes exactly the words the scalar per-trial runs
+/// would (see the [module docs](self) on lane addressing).
+pub fn lane_streams(base_seed: u64, first_trial: u64, lanes: usize) -> Vec<CounterRng> {
+    (0..lanes as u64).map(|l| CounterRng::for_trial(base_seed, first_trial + l)).collect()
 }
 
 impl RngCore for CounterRng {
@@ -220,6 +241,21 @@ mod tests {
                 0x7EE7_FB72_9BCE_9F9C,
             ]
         );
+    }
+
+    #[test]
+    fn lane_streams_are_the_per_trial_streams() {
+        let mut lanes = lane_streams(20090808, 5, 4);
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            lane.begin_round(3);
+            lane.begin_site(2);
+            let mut scalar = CounterRng::for_trial(20090808, 5 + l as u64);
+            scalar.begin_round(3);
+            scalar.begin_site(2);
+            for i in 0..6u64 {
+                assert_eq!(lane.next_u64(), scalar.next_u64(), "lane {l} index {i}");
+            }
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod stream;
 
 pub use alias::AliasTable;
 pub use binomial::binomial;
-pub use counter::CounterRng;
+pub use counter::{lane_streams, CounterRng};
 pub use error::SamplingError;
 pub use multinomial::{multinomial, multinomial_with_rest, multinomial_with_rest_into};
 pub use seeds::{seeded_rng, split_seed, SeedSequence};

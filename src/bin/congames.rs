@@ -58,7 +58,8 @@ const USAGE: &str = "usage:
   congames run     --links a1,a2,... --players N [--protocol imitation|exploration|combined]
                    [--rounds R] [--lambda L] [--seed S] [--no-nu]
                    [--trials T] [--threads K] [--engine aggregate|player]
-                   [--rng xoshiro|counter] [--reduce mean|quantiles|convergence]
+                   [--rng xoshiro|counter] [--lanes 8|16|32|64]
+                   [--reduce mean|quantiles|convergence]
                    [--scenario TRACE] [--shock-csv FILE]
   congames shard   <run flags> --reduce MODE --shard S --num-shards K --out FILE
   congames merge   [--csv FILE] FILE...
@@ -77,6 +78,10 @@ single-process `run --reduce` report byte for byte.
 stream per trial; `counter` addresses every draw by (trial, round, site,
 index), so results are also invariant to future lane/GPU backends. Both
 are bit-reproducible from the printed `# repro:` header line.
+--lanes runs reduced sweeps through the replica-major lane kernel: W
+counter-mode replicas step in lockstep, sharing every latency evaluation.
+Counter mode only; the reported numbers are byte-identical with the flag
+on or off — only wall-clock time changes.
 --scenario replays a nonstationary trace (`# congames-trace v1` format):
 scheduled latency shocks, demand changes, and arrivals/departures fire
 between rounds, deterministically, in every trial of a sweep and in every
@@ -114,6 +119,7 @@ struct Options {
     threads: usize,
     engine: EngineKind,
     rng: RngMode,
+    lanes: Option<usize>,
     reduce: Option<ReduceMode>,
     shard: Option<usize>,
     num_shards: Option<usize>,
@@ -186,6 +192,7 @@ impl Options {
             threads: Ensemble::default_threads(),
             engine: EngineKind::Aggregate,
             rng: RngMode::Xoshiro,
+            lanes: None,
             reduce: None,
             shard: None,
             num_shards: None,
@@ -271,6 +278,17 @@ impl Options {
                     o.rng = RngMode::parse(v)
                         .ok_or_else(|| format!("unknown rng mode `{v}` (xoshiro|counter)"))?;
                 }
+                "--lanes" => {
+                    let w: usize = it
+                        .next()
+                        .ok_or("--lanes needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad lane width: {e}"))?;
+                    if !congames::dynamics::LANE_WIDTHS.contains(&w) {
+                        return Err(format!("--lanes must be one of 8, 16, 32, 64 (got {w})"));
+                    }
+                    o.lanes = Some(w);
+                }
                 "--reduce" => {
                     o.reduce =
                         Some(ReduceMode::from_name(it.next().ok_or("--reduce needs a value")?)?);
@@ -317,6 +335,27 @@ impl Options {
         // defined for every trial count (0 trials is the identity, 1 trial
         // is identity + one absorb), so a single-trial "ensemble" is just
         // a well-defined small sweep.
+        if o.lanes.is_some() {
+            if o.rng != RngMode::Counter {
+                return Err("--lanes requires --rng counter: the lane kernel replays each \
+                            trial's counter-addressed Philox stream in lockstep, and xoshiro \
+                            streams are draw-order serial (pass `--rng counter`)"
+                    .into());
+            }
+            if o.reduce.is_none() {
+                return Err("--lanes needs --reduce: lane groups stream through the reduced \
+                            sweep paths"
+                    .into());
+            }
+            if o.engine != EngineKind::Aggregate {
+                return Err("--lanes supports only --engine aggregate".into());
+            }
+            if o.scenario.is_some() {
+                return Err("--lanes does not support --scenario (round hooks run per \
+                            simulation, not per lane group)"
+                    .into());
+            }
+        }
         if o.shock_csv.is_some() && o.scenario.is_none() {
             return Err("--shock-csv needs --scenario (without scheduled shocks there is \
                         nothing to recover from)"
@@ -361,7 +400,8 @@ impl Options {
     }
 
     /// Deterministic digest of everything that shapes a sweep's streams and
-    /// reduction (threads excluded — results are thread-count invariant).
+    /// reduction (threads and lanes excluded — results are invariant to the
+    /// thread count and to the lane width, which is scheduling only).
     /// Written into every shard header so `merge` can reject partials from
     /// a differently-configured run and rebuild the right reducer.
     fn config_digest(&self) -> String {
@@ -643,6 +683,9 @@ fn simulate_ensemble(
         .trials(opts.trials)
         .base_seed(opts.seed)
         .threads(opts.threads);
+    if let Some(w) = opts.lanes {
+        ensemble = ensemble.lane_width(w);
+    }
     if let Some(sc) = &opts.scenario {
         let schedule = Arc::clone(&sc.schedule);
         ensemble =
@@ -710,6 +753,9 @@ fn shard(game: &CongestionGame, opts: &Options) -> Result<(), String> {
         .trials(opts.trials)
         .base_seed(opts.seed)
         .threads(opts.threads);
+    if let Some(w) = opts.lanes {
+        ensemble = ensemble.lane_width(w);
+    }
     if let Some(sc) = &opts.scenario {
         let schedule = Arc::clone(&sc.schedule);
         ensemble =
@@ -925,6 +971,40 @@ mod tests {
         assert_eq!(opts(&["--rng", "xoshiro"]).unwrap().rng, RngMode::Xoshiro);
         let err = opts(&["--rng", "philox"]).unwrap_err();
         assert!(err.contains("unknown rng mode"), "{err}");
+    }
+
+    #[test]
+    fn lanes_flag_parses_and_is_validated() {
+        let o = opts(&["--rng", "counter", "--lanes", "32", "--reduce", "quantiles"]).unwrap();
+        assert_eq!(o.lanes, Some(32));
+        // Width must be a supported lane count.
+        let err = opts(&["--rng", "counter", "--lanes", "12", "--reduce", "mean"]).unwrap_err();
+        assert!(err.contains("8, 16, 32, 64"), "{err}");
+        // The lane kernel replays counter streams; xoshiro (default) is a
+        // precise, explanatory error.
+        let err = opts(&["--lanes", "8", "--reduce", "mean"]).unwrap_err();
+        assert!(err.contains("--lanes requires --rng counter"), "{err}");
+        let err = opts(&["--rng", "xoshiro", "--lanes", "8", "--reduce", "mean"]).unwrap_err();
+        assert!(err.contains("draw-order serial"), "{err}");
+        // Lane groups only stream through the reduced paths.
+        let err = opts(&["--rng", "counter", "--lanes", "8"]).unwrap_err();
+        assert!(err.contains("--lanes needs --reduce"), "{err}");
+        // Aggregate engine only.
+        let err =
+            opts(&["--rng", "counter", "--lanes", "8", "--reduce", "mean", "--engine", "player"])
+                .unwrap_err();
+        assert!(err.contains("--engine aggregate"), "{err}");
+    }
+
+    #[test]
+    fn config_digest_excludes_the_lane_width() {
+        // Lane-mode shards must merge with scalar shards of the same sweep:
+        // the digest (like threads) must not see the lane width.
+        let base = opts(&["--rng", "counter", "--trials", "96", "--reduce", "mean"]).unwrap();
+        let laned =
+            opts(&["--rng", "counter", "--trials", "96", "--reduce", "mean", "--lanes", "32"])
+                .unwrap();
+        assert_eq!(base.config_digest(), laned.config_digest());
     }
 
     #[test]

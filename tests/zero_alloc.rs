@@ -233,6 +233,42 @@ fn assert_support_index_maintenance_alloc_free() {
     );
 }
 
+/// Steady-state replica-major lane rounds: once the kernel's SoA blocks,
+/// union latency window, per-lane CSR pair buffers, and draw scratch have
+/// hit their high-water marks, stepping 16 lockstep replicas must not
+/// touch the heap — the lane kernel holds the same zero-allocation
+/// contract as the scalar engines it replays.
+fn assert_lane_rounds_alloc_free() {
+    use congames::dynamics::LaneKernel;
+    let game = game();
+    let start = skewed_start(&game);
+    let mut kernel = LaneKernel::new(
+        &game,
+        ImitationProtocol::paper_default().with_nu_rule(NuRule::None).into(),
+        &start,
+        20090808,
+        0,
+        16,
+    )
+    .expect("valid lane kernel");
+    // Warm-up: the first rounds carry the largest flows across every lane.
+    for _ in 0..50 {
+        kernel.step();
+    }
+    assert!((0..16).all(|l| kernel.lane_active(l)), "no lane may retire in this fixture");
+    let before = allocations();
+    for _ in 0..100 {
+        kernel.step();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "lane kernel: {} heap allocations in 100 measured lockstep rounds",
+        after - before
+    );
+}
+
 #[test]
 fn round_kernels_do_not_allocate_in_steady_state() {
     let base = ImitationProtocol::paper_default().with_nu_rule(NuRule::None);
@@ -261,4 +297,6 @@ fn round_kernels_do_not_allocate_in_steady_state() {
     // Incremental support-index maintenance (inserts/removes as counts
     // cross zero) is likewise allocation-free once built.
     assert_support_index_maintenance_alloc_free();
+    // Replica-major lane rounds reuse the same scratch discipline.
+    assert_lane_rounds_alloc_free();
 }
