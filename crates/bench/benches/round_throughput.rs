@@ -13,7 +13,7 @@ use congames_dynamics::{
     EngineKind, Ensemble, ImitationProtocol, LaneKernel, NuRule, Simulation, StopSpec,
 };
 use congames_model::{potential_delta_for_load_change, ResourceId};
-use congames_sampling::{seeded_rng, CounterRng, DrawStream, RngMode};
+use congames_sampling::{counter_blocks, seeded_rng, CounterRng, Dispatch, DrawStream, RngMode};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::RngCore;
 
@@ -183,6 +183,21 @@ fn bench_rng_throughput(c: &mut Criterion) {
             rng.begin_site(i);
             i = i.wrapping_add(1);
             black_box(rng.next_u64())
+        });
+    });
+    // Batched across-lane keystream: one iteration produces 32 lanes' first
+    // blocks (128 words) for a shared `(round, site)` address — the lane
+    // kernel's per-site draw pattern. Compare ns/iter ÷ 128 against
+    // `raw/counter`'s ns/word (which pays a full Philox block per word
+    // measured); the id is pinned in `tools/bench_diff`.
+    group.bench_function(BenchmarkId::new("raw", "counter_batched"), |b| {
+        let trials: Vec<u64> = (0..32).collect();
+        let mut out = vec![[0u64; 4]; 32];
+        let mut site = 0u64;
+        b.iter(|| {
+            site = site.wrapping_add(1);
+            counter_blocks(Dispatch::global(), 1, 0, site, 0, &trials, &mut out);
+            black_box(out[31][3])
         });
     });
     let game = poly_links(64, 2, 10_000);

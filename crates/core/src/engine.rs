@@ -53,6 +53,10 @@ pub struct RoundStats {
 ///
 /// Reused across rounds so the aggregate kernel performs no steady-state
 /// heap allocations.
+/// The `Default` value has an *empty* `offsets` vector — allocation-free,
+/// so `mem::take` stays free in the per-round engine loop — and therefore
+/// does **not** yet satisfy the CSR invariant; call [`PairBuffer::clear`]
+/// once before the first `push`.
 #[derive(Debug, Default)]
 pub(crate) struct PairBuffer {
     pub(crate) origins: Vec<StrategyId>,

@@ -354,22 +354,35 @@ impl<'g> Ensemble<'g> {
         abort: Option<&AtomicBool>,
         mut absorb: impl FnMut(usize, O::Output),
     ) -> Result<(), (usize, DynamicsError)> {
+        // One kernel serves every group in the range: `reset` re-points
+        // the stream/state buffers at the next group without reallocating
+        // (tails reset to a narrower lane count), so a sweep's steady
+        // state allocates lane storage once, not once per group.
+        let mut kernel: Option<LaneKernel<'_>> = None;
         let mut t = start;
         while t < end {
             if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
                 return Ok(());
             }
             let lanes = width.min(end - t);
-            let mut kernel = LaneKernel::new(
-                self.game,
-                self.protocol,
-                &self.start,
-                self.base_seed,
-                t as u64,
-                lanes,
-            )
-            .map_err(|e| (t, e))?
-            .with_recording(self.record);
+            let kernel = match kernel.as_mut() {
+                Some(k) => {
+                    k.reset(t as u64, lanes);
+                    k
+                }
+                None => kernel.insert(
+                    LaneKernel::new(
+                        self.game,
+                        self.protocol,
+                        &self.start,
+                        self.base_seed,
+                        t as u64,
+                        lanes,
+                    )
+                    .map_err(|e| (t, e))?
+                    .with_recording(self.record),
+                ),
+            };
             let observers: Vec<O> = (0..lanes).map(|l| observer_factory(t + l)).collect();
             let outputs =
                 kernel.run_observed(stop, observers).map_err(|(lane, e)| (t + lane, e))?;

@@ -44,12 +44,26 @@
 //! scheduler (see `Ensemble::lane_width`) slices its 32-trial reduce
 //! blocks into lane groups of at most `W`, and a group may be narrower
 //! than `W` at a sweep tail — the kernel accepts any group size ≥ 1.
+//!
+//! # SIMD dispatch
+//!
+//! The across-lane inner loops (batched Philox keystream, union-window
+//! bounds and gathers, per-strategy latency accumulation, pair-walk
+//! migration probabilities) run through `congames-simd`, which selects an
+//! AVX2 arm or its bit-identical scalar fallback once per kernel
+//! ([`congames_simd::Dispatch::global`], overridable via the
+//! `CONGAMES_SIMD` environment variable and, for tests, per kernel via
+//! [`LaneKernel::with_dispatch`]). Integer ops are exact in both arms and
+//! float ops vectorize *across* lanes only — each lane's own operation
+//! sequence is unchanged — so the dispatch choice never changes any
+//! lane's bits; it only changes how fast they are produced.
 
 use congames_model::{
     potential, potential_delta_for_load_change, CongestionGame, GameError, GameParams, ResourceId,
     State, StrategyId,
 };
-use congames_sampling::{lane_streams, multinomial_with_rest_into, CounterRng};
+use congames_sampling::{multinomial_with_rest_into, Dispatch, LaneStreams};
+use congames_simd as simd;
 
 use crate::engine::{exploration_mu, imitation_mu, PairBuffer};
 use crate::error::DynamicsError;
@@ -94,12 +108,27 @@ pub struct LaneKernel<'g> {
     potentials: Vec<f64>,
     last_migrations: Vec<u64>,
     active: Vec<bool>,
+    /// `active` as a `u64` lane row (`u64::MAX` live, `0` retired) — the
+    /// mask form the across-lane vector ops consume.
+    active_mask: Vec<u64>,
+    /// Count of live lanes; the full-group fast paths fire when it equals
+    /// `lanes`.
+    num_active: usize,
     errors: Vec<Option<DynamicsError>>,
-    rngs: Vec<CounterRng>,
+    /// Which vector arm the across-lane loops run (bit-identical either
+    /// way; selected once at construction, see the module docs).
+    simd: Dispatch,
+    /// Per-lane counter streams with a batched keystream front end.
+    streams: LaneStreams,
     /// Per-lane CSR pair buffer: lanes share the walk but not the pair
     /// *lists* (a pair has positive probability in one lane and zero in
     /// another, and the multinomial must see exactly the scalar list).
     pairs: Vec<PairBuffer>,
+    /// Whether any lane's pair buffer holds a pair this round. `false`
+    /// (the converged steady state) lets the draw sweep return without
+    /// touching the per-lane buffers, and the next round's rebuild skip
+    /// the (already-empty) clears.
+    have_pairs: bool,
     /// Scalar scratch state for observation/stop checks: one lane's
     /// column gathered via [`State::assign_lane_column`].
     scratch: State,
@@ -112,12 +141,31 @@ pub struct LaneKernel<'g> {
     window: Vec<f64>,
     /// Per-pair `ℓ_Q(x + 1_Q − 1_P)` accumulator, one slot per lane.
     l_to_buf: Vec<f64>,
+    /// Per-pair migration probabilities, one slot per lane (vector-arm
+    /// scratch).
+    prob_buf: Vec<f64>,
     /// Multinomial output scratch.
     draw_counts: Vec<u64>,
-    /// One lane's pre-round loads column (for the potential delta).
-    old_loads: Vec<u64>,
-    /// One lane's drawn migrations `(from, to, movers)`.
-    migs: Vec<(StrategyId, StrategyId, u64)>,
+    /// `[resources × lanes]` pre-round loads snapshot (for the potential
+    /// delta), one contiguous copy per round.
+    loads_prev: Vec<u64>,
+    /// Per-lane drawn migrations `(from, to, movers)` of the current
+    /// round (draws run origin-major, applies run lane-major).
+    migs_all: Vec<Vec<(StrategyId, StrategyId, u64)>>,
+    /// Per-lane cursor into its CSR origin list during the origin-major
+    /// draw sweep.
+    cursors: Vec<usize>,
+    /// Lanes participating in the current draw site (scratch).
+    site_lanes: Vec<usize>,
+    /// Per-strategy flags marking the union of the lanes' origin sites
+    /// this round (scratch for the origin-major draw sweep).
+    site_flags: Vec<bool>,
+    /// The starting per-strategy counts / per-resource loads / potential,
+    /// kept so [`LaneKernel::reset`] can re-point the kernel at a new
+    /// lane group without reallocating.
+    init_counts: Vec<u64>,
+    init_loads: Vec<u64>,
+    init_phi: f64,
 }
 
 impl std::fmt::Debug for LaneKernel<'_> {
@@ -206,6 +254,7 @@ impl<'g> LaneKernel<'g> {
         // serves every round allocation-free.
         let max_base = base_loads.iter().copied().max().unwrap_or(0);
         let window = vec![0.0; (game.total_players() + max_base + 2) as usize];
+        let dispatch = Dispatch::global();
         Ok(LaneKernel {
             game,
             protocol,
@@ -221,19 +270,122 @@ impl<'g> LaneKernel<'g> {
             potentials: vec![phi; lanes],
             last_migrations: vec![0; lanes],
             active: vec![true; lanes],
+            active_mask: vec![u64::MAX; lanes],
+            num_active: lanes,
             errors: (0..lanes).map(|_| None).collect(),
-            rngs: lane_streams(base_seed, first_trial, lanes),
-            pairs: (0..lanes).map(|_| PairBuffer::default()).collect(),
+            simd: dispatch,
+            streams: LaneStreams::new(base_seed, first_trial, lanes, dispatch),
+            pairs: (0..lanes)
+                .map(|_| {
+                    // Establish the CSR invariant up front: clears are lazy
+                    // (`have_pairs`), so the first push may hit an
+                    // otherwise-untouched buffer.
+                    let mut pb = PairBuffer::default();
+                    pb.clear();
+                    pb
+                })
+                .collect(),
+            have_pairs: false,
             scratch: start.clone(),
             lat0: vec![0.0; r * lanes],
             lat1: vec![0.0; r * lanes],
             strat_lat: vec![0.0; s * lanes],
             window,
             l_to_buf: vec![0.0; lanes],
+            prob_buf: vec![0.0; lanes],
             draw_counts: Vec::new(),
-            old_loads: Vec::with_capacity(r),
-            migs: Vec::new(),
+            loads_prev: vec![0; r * lanes],
+            migs_all: (0..lanes).map(|_| Vec::new()).collect(),
+            cursors: vec![0; lanes],
+            site_lanes: Vec::with_capacity(lanes),
+            site_flags: vec![false; s],
+            init_counts: start.counts().to_vec(),
+            init_loads: start.loads().to_vec(),
+            init_phi: phi,
         })
+    }
+
+    /// Force a specific vector arm (testing hook — the arms are
+    /// bit-identical, see the module docs). The default is
+    /// [`Dispatch::global`], which honors the `CONGAMES_SIMD` environment
+    /// variable.
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        // Resolve once so the steady-state loops carry an always-runnable
+        // arm and skip per-op availability degradation.
+        let dispatch = dispatch.resolve();
+        self.simd = dispatch;
+        self.streams.set_dispatch(dispatch);
+        self
+    }
+
+    /// Re-point this kernel at a new lane group of the *same* game,
+    /// protocol, and start state — all per-lane buffers are rewound to
+    /// round 0 of trials `first_trial .. first_trial + lanes` without
+    /// reallocating (tail groups may be narrower than the group the
+    /// kernel was built with). After `reset`, the kernel behaves exactly
+    /// like `LaneKernel::new(game, protocol, start, base_seed,
+    /// first_trial, lanes)` with the same recording and dispatch
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn reset(&mut self, first_trial: u64, lanes: usize) {
+        assert!(lanes > 0, "need at least one lane");
+        let s = self.game.num_strategies();
+        let r = self.game.num_resources();
+        self.lanes = lanes;
+        self.first_trial = first_trial;
+        self.round = 0;
+        self.counts.truncate(s * lanes);
+        self.counts.resize(s * lanes, 0);
+        for (si, &c) in self.init_counts.iter().enumerate() {
+            self.counts[si * lanes..(si + 1) * lanes].fill(c);
+        }
+        self.loads.truncate(r * lanes);
+        self.loads.resize(r * lanes, 0);
+        for (ri, &ld) in self.init_loads.iter().enumerate() {
+            self.loads[ri * lanes..(ri + 1) * lanes].fill(ld);
+        }
+        self.lane_totals.clear();
+        self.lane_totals.extend(self.init_counts.iter().map(|&c| c * lanes as u64));
+        self.potentials.clear();
+        self.potentials.resize(lanes, self.init_phi);
+        self.last_migrations.clear();
+        self.last_migrations.resize(lanes, 0);
+        self.active.clear();
+        self.active.resize(lanes, true);
+        self.active_mask.clear();
+        self.active_mask.resize(lanes, u64::MAX);
+        self.num_active = lanes;
+        self.errors.clear();
+        self.errors.resize_with(lanes, || None);
+        self.streams.reset(first_trial, lanes);
+        self.pairs.truncate(lanes);
+        self.pairs.resize_with(lanes, PairBuffer::default);
+        // Pair clears are lazy (guarded by `have_pairs`), so a reset must
+        // scrub any leftovers itself: retired lanes can hold stale pairs
+        // from their last active round.
+        for pb in &mut self.pairs {
+            pb.clear();
+        }
+        self.have_pairs = false;
+        self.lat0.clear();
+        self.lat0.resize(r * lanes, 0.0);
+        self.lat1.clear();
+        self.lat1.resize(r * lanes, 0.0);
+        self.strat_lat.clear();
+        self.strat_lat.resize(s * lanes, 0.0);
+        self.l_to_buf.clear();
+        self.l_to_buf.resize(lanes, 0.0);
+        self.prob_buf.clear();
+        self.prob_buf.resize(lanes, 0.0);
+        self.loads_prev.clear();
+        self.loads_prev.resize(r * lanes, 0);
+        self.migs_all.truncate(lanes);
+        self.migs_all.resize_with(lanes, Vec::new);
+        self.cursors.clear();
+        self.cursors.resize(lanes, 0);
     }
 
     /// Configure trajectory recording for [`LaneKernel::run_observed`].
@@ -291,6 +443,8 @@ impl<'g> LaneKernel<'g> {
     /// shared walks stop paying for it.
     fn retire(&mut self, l: usize) {
         self.active[l] = false;
+        self.active_mask[l] = 0;
+        self.num_active -= 1;
         let w = self.lanes;
         for s in 0..self.game.num_strategies() {
             self.lane_totals[s] -= self.counts[s * w + l];
@@ -301,14 +455,8 @@ impl<'g> LaneKernel<'g> {
     /// none are). A lane whose multinomial fails retires with its error
     /// recorded ([`LaneKernel::lane_error`]); the other lanes continue.
     pub fn step(&mut self) {
-        if !self.active.iter().any(|&a| a) {
+        if self.num_active == 0 {
             return;
-        }
-        let round = self.round;
-        for l in 0..self.lanes {
-            if self.active[l] {
-                self.rngs[l].begin_round(round);
-            }
         }
         self.eval_latencies();
         self.build_strategy_latencies();
@@ -321,20 +469,36 @@ impl<'g> LaneKernel<'g> {
     /// one batched evaluation over the union load window per resource.
     fn eval_latencies(&mut self) {
         let w = self.lanes;
+        let all_live = self.num_active == w;
         for (ri, resource) in self.game.resources().iter().enumerate() {
             let base = self.base_loads[ri];
             let row = &self.loads[ri * w..(ri + 1) * w];
-            let mut lo = u64::MAX;
-            let mut hi = 0u64;
-            for (l, &ld) in row.iter().enumerate() {
-                if self.active[l] {
-                    let eff = ld + base;
-                    lo = lo.min(eff);
-                    hi = hi.max(eff);
+            // Raw-load window bounds: `base` is constant per resource, so
+            // min/max over raw loads + base equals min/max over effective
+            // loads. The full-group fast path runs the across-lane
+            // reduction unmasked.
+            let (raw_lo, lo, hi);
+            if all_live {
+                let (min_raw, max_raw) = simd::min_max_u64(self.simd, row);
+                raw_lo = min_raw;
+                lo = min_raw + base;
+                hi = max_raw + base;
+            } else {
+                let mut min_eff = u64::MAX;
+                let mut max_eff = 0u64;
+                for (l, &ld) in row.iter().enumerate() {
+                    if self.active[l] {
+                        let eff = ld + base;
+                        min_eff = min_eff.min(eff);
+                        max_eff = max_eff.max(eff);
+                    }
                 }
-            }
-            if lo == u64::MAX {
-                continue;
+                if min_eff == u64::MAX {
+                    continue;
+                }
+                raw_lo = min_eff - base;
+                lo = min_eff;
+                hi = max_eff;
             }
             // Evaluate loads `lo ..= hi + 1` once; every lane's pair is a
             // gather from the window. `eval_range_into` is bit-identical
@@ -346,11 +510,20 @@ impl<'g> LaneKernel<'g> {
             resource.latency().eval_range_into(lo, 0..n as u64, buf);
             let lat0 = &mut self.lat0[ri * w..(ri + 1) * w];
             let lat1 = &mut self.lat1[ri * w..(ri + 1) * w];
-            for l in 0..w {
-                if self.active[l] {
-                    let off = (row[l] + base - lo) as usize;
-                    lat0[l] = buf[off];
-                    lat1[l] = buf[off + 1];
+            if all_live && n == 2 {
+                // Every lane sits on the same load (the converged common
+                // case): the gather is a broadcast of the two-entry window.
+                lat0.fill(buf[0]);
+                lat1.fill(buf[1]);
+            } else if all_live {
+                simd::gather_window_pairs(self.simd, buf, row, raw_lo, lat0, lat1);
+            } else {
+                for l in 0..w {
+                    if self.active[l] {
+                        let off = (row[l] - raw_lo) as usize;
+                        lat0[l] = buf[off];
+                        lat1[l] = buf[off + 1];
+                    }
                 }
             }
         }
@@ -367,12 +540,20 @@ impl<'g> LaneKernel<'g> {
                 continue;
             }
             let out = &mut self.strat_lat[si * w..(si + 1) * w];
-            out.fill(-0.0);
-            for &r in strat.resources() {
-                let row = &self.lat0[r.index() * w..(r.index() + 1) * w];
-                for (o, &v) in out.iter_mut().zip(row) {
-                    *o += v;
+            // `-0.0 + v` is bitwise `v` for every `v` (including both
+            // zeros), so seeding the accumulator with a copy of the first
+            // row is identical to `fill(-0.0)` plus its add.
+            let mut rest = strat.resources();
+            match rest.split_first() {
+                None => out.fill(-0.0),
+                Some((&first, tail)) => {
+                    out.copy_from_slice(&self.lat0[first.index() * w..(first.index() + 1) * w]);
+                    rest = tail;
                 }
+            }
+            for &r in rest {
+                let row = &self.lat0[r.index() * w..(r.index() + 1) * w];
+                simd::add_assign(self.simd, out, row);
             }
         }
     }
@@ -386,11 +567,16 @@ impl<'g> LaneKernel<'g> {
     /// weight) filter back out.
     fn build_pairs(&mut self) {
         let w = self.lanes;
-        for (l, pb) in self.pairs.iter_mut().enumerate() {
-            if self.active[l] {
-                pb.clear();
+        // A round that pushed nothing leaves every buffer empty, so the
+        // clears only run after rounds that actually built pairs.
+        if self.have_pairs {
+            for (l, pb) in self.pairs.iter_mut().enumerate() {
+                if self.active[l] {
+                    pb.clear();
+                }
             }
         }
+        self.have_pairs = false;
         let (explore_prob, imit, expl) = match &self.protocol {
             Protocol::Imitation(p) => (0.0, Some(p), None),
             Protocol::Exploration(p) => (1.0, None, Some(p)),
@@ -424,6 +610,19 @@ impl<'g> LaneKernel<'g> {
                 continue;
             }
             let support_dest = explore_scale == 0.0 && !virtual_agents;
+            // Pure imitation without virtual agents is the paper's default
+            // protocol and the only shape whose per-lane probability is a
+            // single branch-free formula; it runs the across-lane vector
+            // arm. `coef` pre-divides λ/d — the scalar μ is
+            // `((λ/d)·gain)/ℓ_from`, left-associated, so factoring the
+            // division out is operation-identical.
+            let pure_imit = support_dest && imit_scale > 0.0;
+            let (coef, thr) = match imit {
+                Some(p) if pure_imit => {
+                    (p.lambda() / p.damping_factor(&self.params), p.gain_threshold(&self.params))
+                }
+                _ => (0.0, 0.0),
+            };
             for from_raw in class.strategy_range() {
                 let from = StrategyId::new(from_raw);
                 let fi = from.index();
@@ -442,18 +641,13 @@ impl<'g> LaneKernel<'g> {
                     }
                     // Skip the latency walk when no lane can sample this
                     // pair (the scalar early-out, unioned over lanes).
-                    let mut need = false;
-                    for l in 0..w {
-                        if self.active[l]
-                            && self.counts[fi * w + l] > 0
-                            && (explore_scale > 0.0
-                                || virtual_agents
-                                || self.counts[ti * w + l] > 0)
-                        {
-                            need = true;
-                            break;
-                        }
-                    }
+                    let cf_row = &self.counts[fi * w..(fi + 1) * w];
+                    let ct_row = &self.counts[ti * w..(ti + 1) * w];
+                    let need = if explore_scale > 0.0 || virtual_agents {
+                        simd::any_nonzero(self.simd, cf_row, &self.active_mask)
+                    } else {
+                        simd::any_pair_nonzero(self.simd, cf_row, ct_row, &self.active_mask)
+                    };
                     if !need {
                         continue;
                     }
@@ -472,9 +666,33 @@ impl<'g> LaneKernel<'g> {
                         let shared = i < from_res.len() && from_res[i] == r;
                         let table = if shared { &self.lat0 } else { &self.lat1 };
                         let row = &table[r.index() * w..(r.index() + 1) * w];
-                        for (o, &v) in lto.iter_mut().zip(row) {
-                            *o += v;
+                        simd::add_assign(self.simd, lto, row);
+                    }
+                    if pure_imit {
+                        // Across-lane arm: identical per-lane operation
+                        // sequence, masked to the lanes the scalar loop
+                        // would push (see `congames_simd`'s contract).
+                        let any_pos = simd::imitation_pair_probs(
+                            self.simd,
+                            cf_row,
+                            ct_row,
+                            &self.active_mask,
+                            &self.strat_lat[fi * w..(fi + 1) * w],
+                            &self.l_to_buf[..w],
+                            imit_scale,
+                            coef,
+                            thr,
+                            &mut self.prob_buf[..w],
+                        );
+                        if any_pos {
+                            self.have_pairs = true;
+                            for (l, &prob) in self.prob_buf[..w].iter().enumerate() {
+                                if prob > 0.0 {
+                                    self.pairs[l].push(from, to, prob);
+                                }
+                            }
                         }
+                        continue;
                     }
                     for l in 0..w {
                         if !self.active[l] || self.counts[fi * w + l] == 0 {
@@ -499,6 +717,7 @@ impl<'g> LaneKernel<'g> {
                                 * exploration_mu(p, &self.params, l_from, gain, s_c, n_c);
                         }
                         if prob > 0.0 {
+                            self.have_pairs = true;
                             self.pairs[l].push(from, to, prob);
                         }
                     }
@@ -507,31 +726,84 @@ impl<'g> LaneKernel<'g> {
         }
     }
 
-    /// Draw each lane's per-origin multinomials from its own stream,
-    /// apply the migrations to its columns, and track its potential
-    /// incrementally — the lane mirror of the scalar `aggregate_round` +
-    /// apply/delta tail of `Simulation::step`.
+    /// Draw each lane's per-origin multinomials and apply the migrations —
+    /// the lane mirror of the scalar `aggregate_round` + apply/delta tail
+    /// of `Simulation::step`.
+    ///
+    /// The draw sweep runs *origin-major*: each lane's origin list is an
+    /// ascending strategy walk (the CSR builder visits classes and
+    /// strategies in id order), so one pass over strategy ids with
+    /// per-lane cursors visits every lane's origins in its own order while
+    /// grouping the lanes that share a site. Each shared site's first
+    /// keystream block is then one batched across-lane Philox sweep
+    /// ([`LaneStreams::prime_site`]); draws past the first block fall back
+    /// to the lanes' sequential walk. Counter addressing makes the
+    /// reordering invisible: every variate is a pure function of its
+    /// `(trial, round, site, index)` address, so each lane consumes
+    /// exactly the words the lane-major (and scalar) order would.
     fn draw_and_apply(&mut self) {
         let w = self.lanes;
         let r_count = self.game.num_resources();
+        let round = self.round;
+        // A converged round builds no pairs at all: nothing to draw means
+        // nothing moves and `ΔΦ = 0`, so the sweep returns before touching
+        // any per-lane buffer.
+        if !self.have_pairs {
+            for l in 0..w {
+                if self.active[l] {
+                    self.last_migrations[l] = 0;
+                }
+            }
+            return;
+        }
+        // Union of the lanes' origin sites: one pass over the CSR origin
+        // lists (each ascending) bounds the site loop to the strategies
+        // some lane actually draws at.
+        self.site_flags.fill(false);
         for l in 0..w {
-            if !self.active[l] {
+            if !self.active[l] || self.errors[l].is_some() {
                 continue;
             }
-            self.old_loads.clear();
-            for r in 0..r_count {
-                self.old_loads.push(self.loads[r * w + l]);
+            for &o in &self.pairs[l].origins {
+                self.site_flags[o.index()] = true;
             }
-            self.migs.clear();
-            let pairs = &self.pairs[l];
-            let rng = &mut self.rngs[l];
-            let mut failed: Option<DynamicsError> = None;
-            for (j, &from) in pairs.origins.iter().enumerate() {
-                rng.begin_site(from.raw() as u64);
+        }
+        // One contiguous pre-round snapshot serves every lane's potential
+        // delta (failed lanes never apply, so their columns stay pristine).
+        self.loads_prev.copy_from_slice(&self.loads);
+        for l in 0..w {
+            self.migs_all[l].clear();
+            self.cursors[l] = 0;
+        }
+        for si in 0..self.game.num_strategies() {
+            if !self.site_flags[si] {
+                continue;
+            }
+            self.site_lanes.clear();
+            for l in 0..w {
+                if !self.active[l] || self.errors[l].is_some() {
+                    continue;
+                }
+                let pb = &self.pairs[l];
+                let j = self.cursors[l];
+                if j < pb.origins.len() && pb.origins[j].index() == si {
+                    self.site_lanes.push(l);
+                }
+            }
+            if self.site_lanes.is_empty() {
+                continue;
+            }
+            self.streams.prime_site(round, si as u64, &self.site_lanes);
+            for k in 0..self.site_lanes.len() {
+                let l = self.site_lanes[k];
+                let j = self.cursors[l];
+                self.cursors[l] = j + 1;
+                let pairs = &self.pairs[l];
+                let from = pairs.origins[j];
                 let slice = pairs.offsets[j]..pairs.offsets[j + 1];
                 let x_from = self.counts[from.index() * w + l];
                 match multinomial_with_rest_into(
-                    rng,
+                    self.streams.rng_mut(l),
                     x_from,
                     &pairs.pair_prob[slice.clone()],
                     &mut self.draw_counts,
@@ -539,25 +811,38 @@ impl<'g> LaneKernel<'g> {
                     Ok(_stay) => {
                         for (&to, &k) in pairs.pair_to[slice].iter().zip(&self.draw_counts) {
                             if k > 0 {
-                                self.migs.push((from, to, k));
+                                self.migs_all[l].push((from, to, k));
                             }
                         }
                     }
                     Err(e) => {
-                        failed = Some(e.into());
-                        break;
+                        // First failing origin (origins ascend per lane, so
+                        // this is the origin the scalar run fails at); the
+                        // lane's later sites are skipped above.
+                        self.errors[l] = Some(e.into());
                     }
                 }
             }
-            if let Some(e) = failed {
+        }
+        for l in 0..w {
+            if !self.active[l] {
+                continue;
+            }
+            if self.errors[l].is_some() {
                 // The scalar run surfaces the error without applying the
                 // round; retire the lane at its pre-round state.
-                self.errors[l] = Some(e);
                 self.retire(l);
                 continue;
             }
+            if self.migs_all[l].is_empty() {
+                // Nothing moved: loads are unchanged, `ΔΦ = 0` (the
+                // potential row is never `-0.0`, so skipping the `+= 0.0`
+                // is bit-identical).
+                self.last_migrations[l] = 0;
+                continue;
+            }
             let mut moved = 0u64;
-            for &(from, to, k) in &self.migs {
+            for &(from, to, k) in &self.migs_all[l] {
                 moved += k;
                 self.counts[from.index() * w + l] -= k;
                 self.counts[to.index() * w + l] += k;
@@ -571,7 +856,8 @@ impl<'g> LaneKernel<'g> {
                 }
             }
             let mut delta = 0.0;
-            for (r, &old) in self.old_loads.iter().enumerate() {
+            for r in 0..r_count {
+                let old = self.loads_prev[r * w + l];
                 let new = self.loads[r * w + l];
                 if old != new {
                     delta += potential_delta_for_load_change(

@@ -528,10 +528,27 @@ impl Latency for Affine {
 
     fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
         check_range_len(&range, out);
-        let (a, b) = (self.a, self.b);
-        for (slot, i) in out.iter_mut().zip(range) {
-            *slot = a * (base + i) as f64 + b;
+        // Tiny windows (the converged lane kernel's two-entry case) skip
+        // the dispatch machinery; the loop is the vector arms' own scalar
+        // tail, so the bits are unchanged.
+        if out.len() < 8 {
+            let start = base + range.start;
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = self.a * (start + j as u64) as f64 + self.b;
+            }
+            return;
         }
+        // Across-window vector arm (AVX2 when available, bit-identical
+        // scalar fallback otherwise): each element is the same
+        // `a·x + b` sequence as `value`, with the exact `u64 → f64`
+        // index conversion.
+        congames_simd::affine_fill(
+            congames_simd::Dispatch::global(),
+            self.a,
+            self.b,
+            base + range.start,
+            out,
+        );
     }
 
     /// Closed form `a·Σ_{i ∈ range}(base + i) + b·|range|`, the index sum
@@ -647,36 +664,19 @@ impl Latency for Monomial {
     fn eval_range_into(&self, base: u64, range: Range<u64>, out: &mut [f64]) {
         check_range_len(&range, out);
         let a = self.a;
-        // Degrees ≤ 4 use the exact multiply chains that `powi` with a
-        // *runtime* exponent produces (square-and-multiply), so the loops
-        // are branch-free, auto-vectorize, and stay bit-identical to
-        // `value`; higher degrees keep the per-element `powi`.
+        // Degrees ≤ 4 run the across-window vector arm with the exact
+        // multiply chains that `powi` with a *runtime* exponent produces
+        // (square-and-multiply), staying bit-identical to `value`; higher
+        // degrees — and tiny windows, where the dispatch machinery would
+        // dominate — keep the per-element `powi`.
         match self.k {
-            1 => {
-                for (slot, i) in out.iter_mut().zip(range) {
-                    *slot = a * (base + i) as f64;
-                }
-            }
-            2 => {
-                for (slot, i) in out.iter_mut().zip(range) {
-                    let x = (base + i) as f64;
-                    *slot = a * (x * x);
-                }
-            }
-            3 => {
-                for (slot, i) in out.iter_mut().zip(range) {
-                    let x = (base + i) as f64;
-                    let x2 = x * x;
-                    *slot = a * (x * x2);
-                }
-            }
-            4 => {
-                for (slot, i) in out.iter_mut().zip(range) {
-                    let x = (base + i) as f64;
-                    let x2 = x * x;
-                    *slot = a * (x2 * x2);
-                }
-            }
+            k @ 1..=4 if out.len() >= 8 => congames_simd::monomial_fill(
+                congames_simd::Dispatch::global(),
+                a,
+                k,
+                base + range.start,
+                out,
+            ),
             k => {
                 for (slot, i) in out.iter_mut().zip(range) {
                     *slot = a * ((base + i) as f64).powi(k as i32);

@@ -38,7 +38,10 @@ mod stream;
 
 pub use alias::AliasTable;
 pub use binomial::binomial;
-pub use counter::{lane_streams, CounterRng};
+pub use counter::{counter_blocks, lane_streams, CounterRng, LaneStreams};
+// Re-exported so downstream crates pick dispatch arms without depending on
+// `congames-simd` directly.
+pub use congames_simd::Dispatch;
 pub use error::SamplingError;
 pub use multinomial::{multinomial, multinomial_with_rest, multinomial_with_rest_into};
 pub use seeds::{seeded_rng, split_seed, SeedSequence};

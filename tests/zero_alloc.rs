@@ -237,8 +237,11 @@ fn assert_support_index_maintenance_alloc_free() {
 /// union latency window, per-lane CSR pair buffers, and draw scratch have
 /// hit their high-water marks, stepping 16 lockstep replicas must not
 /// touch the heap — the lane kernel holds the same zero-allocation
-/// contract as the scalar engines it replays.
-fn assert_lane_rounds_alloc_free() {
+/// contract as the scalar engines it replays, under **every** SIMD
+/// dispatch arm (the vector arms share the kernel's preallocated scratch;
+/// forcing an arm the CPU lacks resolves to the next-best one, so the
+/// check is meaningful on any host).
+fn assert_lane_rounds_alloc_free(dispatch: congames::sampling::Dispatch) {
     use congames::dynamics::LaneKernel;
     let game = game();
     let start = skewed_start(&game);
@@ -250,7 +253,8 @@ fn assert_lane_rounds_alloc_free() {
         0,
         16,
     )
-    .expect("valid lane kernel");
+    .expect("valid lane kernel")
+    .with_dispatch(dispatch);
     // Warm-up: the first rounds carry the largest flows across every lane.
     for _ in 0..50 {
         kernel.step();
@@ -264,7 +268,7 @@ fn assert_lane_rounds_alloc_free() {
     assert_eq!(
         after - before,
         0,
-        "lane kernel: {} heap allocations in 100 measured lockstep rounds",
+        "lane kernel ({dispatch:?}): {} heap allocations in 100 measured lockstep rounds",
         after - before
     );
 }
@@ -297,6 +301,9 @@ fn round_kernels_do_not_allocate_in_steady_state() {
     // Incremental support-index maintenance (inserts/removes as counts
     // cross zero) is likewise allocation-free once built.
     assert_support_index_maintenance_alloc_free();
-    // Replica-major lane rounds reuse the same scratch discipline.
-    assert_lane_rounds_alloc_free();
+    // Replica-major lane rounds reuse the same scratch discipline, in
+    // both the scalar and the vector dispatch arms.
+    use congames::sampling::Dispatch;
+    assert_lane_rounds_alloc_free(Dispatch::Scalar);
+    assert_lane_rounds_alloc_free(Dispatch::Avx512.resolve());
 }

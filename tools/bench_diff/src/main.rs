@@ -28,8 +28,10 @@ use std::process::ExitCode;
 /// (both engines), the ensemble runner, the batched latency paths
 /// (the big-flow `ΔΦ` walk and the latency-cache rebuild that
 /// `Latency::eval_range_into`/`sum_range` accelerate), and the RNG
-/// backends — raw word throughput of both generators plus a full round
-/// under each, so counter-mode overhead can't creep past the kernels —
+/// backends — raw word throughput of both generators (including the
+/// lane-batched Philox keystream behind the SIMD dispatch) plus a full
+/// round under each, so counter-mode overhead can't creep past the
+/// kernels —
 /// and the scenario hook: a hook-free run vs. an armed-but-idle schedule,
 /// so the per-round `next_fire` poll every shocked sweep pays on every
 /// non-shock round stays in the noise. The `lanes/aggregate/*` ids pin the
@@ -48,6 +50,7 @@ const DEFAULT_PINS: &[&str] = &[
     "cache_rebuild/rebuild/m1024",
     "rng/raw/xoshiro",
     "rng/raw/counter",
+    "rng/raw/counter_batched",
     "rng/round/xoshiro",
     "rng/round/counter",
     "scenario/shock_reconverge/none",
@@ -259,6 +262,7 @@ mod tests {
     {"id": "cache_rebuild/rebuild/m1024", "ns_per_iter": 15000.0, "iters": 3000},
     {"id": "rng/raw/xoshiro", "ns_per_iter": 1.2, "iters": 40000000},
     {"id": "rng/raw/counter", "ns_per_iter": 13.5, "iters": 3600000},
+    {"id": "rng/raw/counter_batched", "ns_per_iter": 350.0, "iters": 140000},
     {"id": "rng/round/xoshiro", "ns_per_iter": 150.0, "iters": 340000},
     {"id": "rng/round/counter", "ns_per_iter": 152.0, "iters": 340000},
     {"id": "scenario/shock_reconverge/none", "ns_per_iter": 21355.7, "iters": 4700},
@@ -272,7 +276,7 @@ mod tests {
     #[test]
     fn parses_the_report_shape() {
         let parsed = parse_report(SAMPLE).unwrap();
-        assert_eq!(parsed.len(), 16);
+        assert_eq!(parsed.len(), 17);
         assert_eq!(parsed[0].0, "round/aggregate/n10000_m64");
         assert_eq!(parsed[0].1, 368.4);
         assert_eq!(parsed[2].0, "aggregate/near_converged/S1024_support8");
@@ -456,7 +460,13 @@ mod tests {
     /// pins, so a counter-mode overhead regression fails the gate.
     #[test]
     fn rng_backend_pins_are_parsed_and_pinned() {
-        for id in ["rng/raw/xoshiro", "rng/raw/counter", "rng/round/xoshiro", "rng/round/counter"] {
+        for id in [
+            "rng/raw/xoshiro",
+            "rng/raw/counter",
+            "rng/raw/counter_batched",
+            "rng/round/xoshiro",
+            "rng/round/counter",
+        ] {
             assert!(DEFAULT_PINS.contains(&id), "{id} missing from DEFAULT_PINS");
             let report = format!(
                 "{{\n  \"benchmarks\": [\n    {{\"id\": \"{id}\", \"ns_per_iter\": 14.0, \"iters\": 10}}\n  ]\n}}\n"
